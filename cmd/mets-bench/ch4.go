@@ -1,0 +1,433 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mets/internal/arf"
+	"mets/internal/bloom"
+	"mets/internal/keys"
+	"mets/internal/lsm"
+	"mets/internal/surf"
+)
+
+func init() {
+	register("fig4.4", "SuRF false positive rate vs bits/key (point, range, mixed; int + email)", runFig44)
+	register("fig4.5", "SuRF throughput vs bits/key (point, range, mixed, count)", runFig45)
+	register("fig4.6", "Filter build time", runFig46)
+	register("fig4.7", "SuRF point-query thread scalability", runFig47)
+	register("table4.1", "SuRF vs ARF", runTable41)
+	register("fig4.8", "LSM point and open-seek queries under filter configurations", runFig48)
+	register("fig4.9", "LSM closed-seek queries vs fraction of empty ranges", runFig49)
+	register("fig4.11", "Worst-case dataset: throughput and bits/key", runFig411)
+}
+
+// filterSplit builds a filter over half the dataset and returns probes from
+// the whole set so ~50% of queries are negative (the §4.3 methodology).
+func filterSplit(kt keyType, n int, seed int64) (stored, probes [][]byte) {
+	all := dataset(kt, n, seed)
+	half := len(all) / 2
+	rng := rand.New(rand.NewSource(seed + 1))
+	perm := rng.Perm(len(all))
+	stored = make([][]byte, 0, half)
+	for _, i := range perm[:half] {
+		stored = append(stored, all[i])
+	}
+	sort.Slice(stored, func(i, j int) bool { return keys.Compare(stored[i], stored[j]) < 0 })
+	return stored, all
+}
+
+// rangeFor derives the thesis' range query for a probe key.
+func rangeFor(kt keyType, k []byte) (lo, hi []byte) {
+	if kt == randInt {
+		v := keys.ToUint64(k)
+		return keys.Uint64(v + 1<<37), keys.Uint64(v + 1<<38)
+	}
+	return k, keys.Successor(k)
+}
+
+func runFig44(ctx *benchContext) {
+	for _, kt := range []keyType{randInt, email} {
+		stored, probes := filterSplit(kt, ctx.numKeys(), 1)
+		present := make(map[string]bool, len(stored))
+		for _, k := range stored {
+			present[string(k)] = true
+		}
+		inRange := func(lo, hi []byte) bool {
+			i := sort.Search(len(stored), func(i int) bool { return keys.Compare(stored[i], lo) >= 0 })
+			return i < len(stored) && (hi == nil || keys.Compare(stored[i], hi) < 0)
+		}
+		fmt.Printf("-- key type: %v (%d stored) --\n", kt, len(stored))
+		row("filter", "bits/key", "pointFPR%", "rangeFPR%")
+		configs := []struct {
+			name string
+			cfg  *surf.Config // nil = bloom
+			bpk  float64
+		}{
+			{"Bloom-10", nil, 10}, {"Bloom-14", nil, 14},
+			{"SuRF-Base", ptr(surf.BaseConfig()), 0},
+			{"SuRF-Hash4", ptr(surf.HashConfig(4)), 0},
+			{"SuRF-Hash8", ptr(surf.HashConfig(8)), 0},
+			{"SuRF-Real4", ptr(surf.RealConfig(4)), 0},
+			{"SuRF-Real8", ptr(surf.RealConfig(8)), 0},
+			{"SuRF-Mixed4+4", ptr(surf.MixedConfig(4, 4)), 0},
+		}
+		for _, c := range configs {
+			var lookup func(k []byte) bool
+			var lookupRange func(lo, hi []byte) bool
+			var bpk float64
+			if c.cfg == nil {
+				f := bloom.Build(stored, c.bpk)
+				lookup = f.Contains
+				lookupRange = nil
+				bpk = c.bpk
+			} else {
+				f, err := surf.Build(stored, *c.cfg)
+				if err != nil {
+					continue
+				}
+				lookup = f.Lookup
+				lookupRange = func(lo, hi []byte) bool { return f.LookupRange(lo, hi, false) }
+				bpk = f.BitsPerKey()
+			}
+			fpP, negP := 0, 0
+			fpR, negR := 0, 0
+			for _, k := range probes {
+				if !present[string(k)] {
+					negP++
+					if lookup(k) {
+						fpP++
+					}
+				}
+				if lookupRange != nil {
+					lo, hi := rangeFor(kt, k)
+					if !inRange(lo, hi) {
+						negR++
+						if lookupRange(lo, hi) {
+							fpR++
+						}
+					}
+				}
+			}
+			rfpr := -1.0
+			if negR > 0 {
+				rfpr = 100 * float64(fpR) / float64(negR)
+			}
+			row(c.name, bpk, 100*float64(fpP)/float64(negP), rfpr)
+		}
+	}
+	fmt.Println("paper: hash bits halve point FPR each; only real bits help ranges; emails are harder (denser keys)")
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func runFig45(ctx *benchContext) {
+	for _, kt := range []keyType{randInt, email} {
+		stored, probes := filterSplit(kt, ctx.numKeys(), 3)
+		fmt.Printf("-- key type: %v --\n", kt)
+		row("filter", "point Mops", "range Mops", "count Mops")
+		bf := bloom.Build(stored, 14)
+		start := time.Now()
+		for _, k := range probes {
+			bf.Contains(k)
+		}
+		row("Bloom-14", mops(len(probes), time.Since(start)), -1.0, -1.0)
+		for _, c := range []struct {
+			name string
+			cfg  surf.Config
+		}{
+			{"SuRF-Base", surf.BaseConfig()},
+			{"SuRF-Hash4", surf.HashConfig(4)},
+			{"SuRF-Real4", surf.RealConfig(4)},
+		} {
+			f, err := surf.Build(stored, c.cfg)
+			if err != nil {
+				continue
+			}
+			start = time.Now()
+			for _, k := range probes {
+				f.Lookup(k)
+			}
+			pt := mops(len(probes), time.Since(start))
+			start = time.Now()
+			for _, k := range probes {
+				lo, hi := rangeFor(kt, k)
+				f.LookupRange(lo, hi, false)
+			}
+			rt := mops(len(probes), time.Since(start))
+			start = time.Now()
+			cnt := len(probes) / 4
+			for i := 0; i < cnt; i++ {
+				a, b := stored[(i*7)%len(stored)], stored[(i*13)%len(stored)]
+				if keys.Compare(a, b) > 0 {
+					a, b = b, a
+				}
+				f.Count(a, b)
+			}
+			ct := mops(cnt, time.Since(start))
+			row(c.name, pt, rt, ct)
+		}
+	}
+	fmt.Println("paper: SuRF is comparable to Bloom on int keys, slower on emails; ranges/counts cost a full descent")
+}
+
+func runFig46(ctx *benchContext) {
+	for _, kt := range []keyType{randInt, email} {
+		stored, _ := filterSplit(kt, ctx.numKeys(), 5)
+		fmt.Printf("-- key type: %v (%d keys) --\n", kt, len(stored))
+		row("filter", "build ms")
+		start := time.Now()
+		bloom.Build(stored, 14)
+		row("Bloom-14", float64(time.Since(start).Milliseconds()))
+		for _, c := range []struct {
+			name string
+			cfg  surf.Config
+		}{
+			{"SuRF-Base", surf.BaseConfig()}, {"SuRF-Hash4", surf.HashConfig(4)}, {"SuRF-Real8", surf.RealConfig(8)},
+		} {
+			start = time.Now()
+			surf.Build(stored, c.cfg)
+			row(c.name, float64(time.Since(start).Milliseconds()))
+		}
+	}
+	fmt.Println("paper: SuRF builds faster than Bloom (single sequential scan vs k random writes per key)")
+}
+
+func runFig47(ctx *benchContext) {
+	stored, probes := filterSplit(randInt, ctx.numKeys(), 7)
+	f, _ := surf.Build(stored, surf.HashConfig(4))
+	row("threads", "aggregate Mops")
+	for _, threads := range []int{1, 2, 4, 8, runtime.NumCPU()} {
+		var wg sync.WaitGroup
+		per := len(probes) / threads
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(off int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					f.Lookup(probes[(off+i)%len(probes)])
+				}
+			}(t * per)
+		}
+		wg.Wait()
+		row(fmt.Sprintf("%d", threads), mops(per*threads, time.Since(start)))
+	}
+	fmt.Println("paper: near-perfect scaling (read-only, lock-free)")
+}
+
+func runTable41(ctx *benchContext) {
+	n := 100000 * ctx.scale
+	all := keys.RandomUint64(n, 1)
+	stored := all[:n/2]
+	sortedStored := keys.Dedup(keys.EncodeUint64s(stored))
+	// Zipf-ish queries of range size 2^40, ~50% empty.
+	rng := rand.New(rand.NewSource(2))
+	type q struct{ lo, hi uint64 }
+	queries := make([]q, ctx.queries/2)
+	for i := range queries {
+		base := all[rng.Intn(len(all))]
+		queries[i] = q{base + 1, base + 1<<40}
+	}
+	truth := func(lo, hi uint64) bool {
+		i := sort.Search(len(sortedStored), func(i int) bool { return keys.ToUint64(sortedStored[i]) >= lo })
+		return i < len(sortedStored) && keys.ToUint64(sortedStored[i]) <= hi
+	}
+
+	// ARF: train on 20% of the queries.
+	startBuild := time.Now()
+	af := arf.New(stored, int64(len(stored))*14)
+	trainN := len(queries) / 5
+	for _, qq := range queries[:trainN] {
+		af.Train(qq.lo, qq.hi)
+	}
+	arfBuild := time.Since(startBuild)
+	eval := queries[trainN:]
+	start := time.Now()
+	fp, neg := 0, 0
+	for _, qq := range eval {
+		got := af.Query(qq.lo, qq.hi)
+		if !truth(qq.lo, qq.hi) {
+			neg++
+			if got {
+				fp++
+			}
+		}
+	}
+	arfTput := mops(len(eval), time.Since(start))
+	arfFPR := 100 * float64(fp) / float64(neg)
+
+	// SuRF-Real4 at the same 14 bits/key.
+	startBuild = time.Now()
+	sf, _ := surf.Build(sortedStored, surf.RealConfig(4))
+	surfBuild := time.Since(startBuild)
+	start = time.Now()
+	fp, neg = 0, 0
+	for _, qq := range eval {
+		got := sf.LookupRange(keys.Uint64(qq.lo), keys.Uint64(qq.hi), true)
+		if !truth(qq.lo, qq.hi) {
+			neg++
+			if got {
+				fp++
+			}
+		}
+	}
+	surfTput := mops(len(eval), time.Since(start))
+	surfFPR := 100 * float64(fp) / float64(neg)
+
+	row("metric", "ARF", "SuRF")
+	row("range query Mops", arfTput, surfTput)
+	row("FPR %", arfFPR, surfFPR)
+	row("build+train ms", float64(arfBuild.Milliseconds()), float64(surfBuild.Milliseconds()))
+	row("build mem MB", mb(af.TrainingMemory()), mb(sf.MemoryUsage()))
+	fmt.Println("paper: SuRF 20x faster, 12x more accurate, 98x faster to build, 1300x less build memory")
+}
+
+// ssdLatency models the per-I/O cost of the paper's SSD when deriving
+// effective throughput (charging it analytically avoids the coarse timer
+// granularity of sleeping per block fetch).
+const ssdLatency = 100 * time.Microsecond
+
+// effKops converts (queries, cpu time, I/O count) into the throughput the
+// workload would see with each counted block fetch costing ssdLatency.
+func effKops(q int, cpu time.Duration, ios int64) float64 {
+	total := cpu + time.Duration(ios)*ssdLatency
+	return float64(q) / total.Seconds() / 1e3
+}
+
+// timeSeriesDB loads the §4.4 sensor workload into an LSM instance.
+func timeSeriesDB(ctx *benchContext, fb lsm.FilterBuilder) (*lsm.DB, []keys.SensorEvent) {
+	events := keys.SensorEvents(200, 200000, uint64(20000000*ctx.scale), 11)
+	cfg := lsm.Config{
+		MemTableBytes:       1 << 20,
+		BlockSize:           4096,
+		L0CompactionTrigger: 4,
+		LevelSizeMultiplier: 10,
+		TargetTableBytes:    1 << 20,
+		BlockCacheBytes:     2 << 20,
+		Filter:              fb,
+	}
+	db := lsm.Open(cfg)
+	val := bytes.Repeat([]byte{0xCD}, 512)
+	for _, e := range events {
+		db.Put(e.Key(), val)
+	}
+	db.Flush()
+	return db, events
+}
+
+func lsmFilterConfigs() []struct {
+	name string
+	fb   lsm.FilterBuilder
+} {
+	return []struct {
+		name string
+		fb   lsm.FilterBuilder
+	}{
+		{"no-filter", nil},
+		{"Bloom-14", lsm.BloomFilterBuilder(14)},
+		{"SuRF-Hash4", lsm.SuRFFilterBuilder(surf.HashConfig(4))},
+		{"SuRF-Real4", lsm.SuRFFilterBuilder(surf.RealConfig(4))},
+	}
+}
+
+func runFig48(ctx *benchContext) {
+	row("config", "point Kops*", "pt I/O", "openseek Kops*", "os I/O", "filterMB")
+	fmt.Println("(* effective throughput with 100us charged per counted I/O)")
+	for _, c := range lsmFilterConfigs() {
+		db, events := timeSeriesDB(ctx, c.fb)
+		rng := rand.New(rand.NewSource(13))
+		maxTS := events[len(events)-1].Timestamp
+		q := ctx.queries / 10
+		db.ResetStats()
+		start := time.Now()
+		for i := 0; i < q; i++ {
+			// Random (timestamp, sensor) point queries: almost all absent.
+			db.Get(keys.Uint128(uint64(rng.Int63n(int64(maxTS))), uint64(rng.Intn(200))))
+		}
+		ptTime := time.Since(start)
+		ptIOs := db.Stats.BlockReads
+		ptIO := float64(ptIOs) / float64(q)
+		db.ResetStats()
+		start = time.Now()
+		for i := 0; i < q; i++ {
+			db.Seek(keys.Uint128(uint64(rng.Int63n(int64(maxTS))), 0), nil)
+		}
+		osTime := time.Since(start)
+		osIOs := db.Stats.BlockReads
+		osIO := float64(osIOs) / float64(q)
+		row(c.name, effKops(q, ptTime, ptIOs), ptIO, effKops(q, osTime, osIOs), osIO, mb(db.FilterMemory()))
+	}
+	fmt.Println("paper: filters cut point I/O; SuRF uniquely trims open-seek I/O toward its floor of 1")
+}
+
+func runFig49(ctx *benchContext) {
+	// Range size controls the fraction of empty results:
+	// P(empty) = exp(-R/lambda) with lambda = mean inter-arrival over all sensors.
+	row("config", "%empty", "Kops*", "I/O per op")
+	fmt.Println("(* effective throughput with 100us charged per counted I/O)")
+	for _, c := range lsmFilterConfigs() {
+		db, events := timeSeriesDB(ctx, c.fb)
+		lambda := float64(events[len(events)-1].Timestamp) / float64(len(events))
+		maxTS := events[len(events)-1].Timestamp
+		for _, pEmpty := range []float64{0.5, 0.9, 0.99} {
+			rangeNs := uint64(lambda * logInv(pEmpty))
+			rng := rand.New(rand.NewSource(17))
+			q := ctx.queries / 20
+			db.ResetStats()
+			empties := 0
+			start := time.Now()
+			for i := 0; i < q; i++ {
+				lo := uint64(rng.Int63n(int64(maxTS)))
+				if _, ok := db.Seek(keys.Uint128(lo, 0), keys.Uint128(lo+rangeNs, 0)); !ok {
+					empties++
+				}
+			}
+			elapsed := time.Since(start)
+			row(fmt.Sprintf("%s@%.0f%%", c.name, pEmpty*100),
+				100*float64(empties)/float64(q),
+				effKops(q, elapsed, db.Stats.BlockReads),
+				float64(db.Stats.BlockReads)/float64(q))
+		}
+	}
+	fmt.Println("paper: SuRF-Real speeds closed seeks up to 5x at 99% empty; Bloom is no better than no filter")
+}
+
+// logInv returns ln(1/p) so that exp(-R/lambda) = p at R = lambda*logInv(p).
+func logInv(p float64) float64 { return math.Log(1 / p) }
+
+func runFig411(ctx *benchContext) {
+	row("dataset", "point Mops", "bits/key")
+	for _, ds := range []struct {
+		name string
+		ks   [][]byte
+	}{
+		{"64-bit int", dataset(randInt, ctx.numKeys()/4, 1)},
+		{"email", dataset(email, ctx.numKeys()/4, 1)},
+		{"worst-case", keys.Dedup(keys.WorstCase(ctx.numKeys()/8, 1))},
+	} {
+		f, err := surf.Build(ds.ks, surf.BaseConfig())
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		for i, k := range ds.ks {
+			f.Lookup(k)
+			if i == ctx.queries {
+				break
+			}
+		}
+		n := len(ds.ks)
+		if n > ctx.queries {
+			n = ctx.queries
+		}
+		row(ds.name, mops(n, time.Since(start)), f.BitsPerKey())
+	}
+	fmt.Println("paper: the adversarial dataset forces ~64 trie levels and ~328 bits/key (64% of raw key size)")
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/ycsb"
+)
+
+// mops formats a throughput in million operations per second.
+func mops(ops int, d time.Duration) float64 {
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// mb formats bytes as megabytes.
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// row prints one aligned result row.
+func row(cells ...any) {
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			fmt.Printf("%-22s", v)
+		case float64:
+			fmt.Printf("%12.3f", v)
+		case int:
+			fmt.Printf("%12d", v)
+		case int64:
+			fmt.Printf("%12d", v)
+		default:
+			fmt.Printf("%12v", v)
+		}
+	}
+	fmt.Println()
+}
+
+// keyType identifies the three workload key families of the thesis.
+type keyType int
+
+const (
+	randInt keyType = iota
+	monoInc
+	email
+)
+
+func (k keyType) String() string {
+	switch k {
+	case randInt:
+		return "rand-int"
+	case monoInc:
+		return "mono-inc"
+	default:
+		return "email"
+	}
+}
+
+// dataset produces sorted unique keys of the given type. Email datasets are
+// generated at half the requested size (matching the thesis' use of 25M
+// emails vs 50M integers).
+func dataset(kt keyType, n int, seed int64) [][]byte {
+	switch kt {
+	case randInt:
+		return keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(n, seed)))
+	case monoInc:
+		return keys.EncodeUint64s(keys.MonoIncUint64(n, 1))
+	default:
+		return keys.Dedup(keys.Emails(n/2, seed))
+	}
+}
+
+// dyn is the uniform handle for measurable ordered indexes.
+type dyn interface {
+	Get(key []byte) (uint64, bool)
+	Scan(start []byte, fn func(k []byte, v uint64) bool) int
+	MemoryUsage() int64
+}
+
+type writable interface {
+	dyn
+	Insert(key []byte, value uint64) bool
+	Update(key []byte, value uint64) bool
+}
+
+// measureLoad inserts all keys in a fixed shuffled order, returning Mops.
+func measureLoad(t writable, ks [][]byte, seed int64) float64 {
+	perm := permutation(len(ks), seed)
+	start := time.Now()
+	for _, i := range perm {
+		t.Insert(ks[i], uint64(i))
+	}
+	return mops(len(ks), time.Since(start))
+}
+
+func permutation(n int, seed int64) []int {
+	g := ycsb.NewGenerator(n, true, seed)
+	_ = g
+	perm := make([]int, n)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		state = state*2862933555777941757 + 3037000493
+		j := int(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// measureWorkload runs count YCSB operations of workload w and returns Mops.
+func measureWorkload(t writable, ks [][]byte, w ycsb.Workload, count int, seed int64) float64 {
+	gen := ycsb.NewGenerator(len(ks), false, seed)
+	ops := gen.Ops(w, count)
+	// Pre-generate insert keys for workload E outside the timed region.
+	inserts := keys.EncodeUint64s(keys.RandomUint64(count/10+16, seed+77))
+	start := time.Now()
+	for _, op := range ops {
+		switch op.Kind {
+		case ycsb.OpRead:
+			t.Get(ks[op.KeyIndex])
+		case ycsb.OpUpdate:
+			t.Update(ks[op.KeyIndex], uint64(op.KeyIndex)+1)
+		case ycsb.OpInsert:
+			t.Insert(inserts[op.KeyIndex%len(inserts)], 1)
+		case ycsb.OpScan:
+			n := 0
+			t.Scan(ks[op.KeyIndex], func([]byte, uint64) bool {
+				n++
+				return n < op.ScanLen
+			})
+		}
+	}
+	return mops(count, time.Since(start))
+}
+
+// loadEntries builds the sorted entries for static construction.
+func loadEntries(ks [][]byte) []index.Entry {
+	entries := make([]index.Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	return entries
+}
+
+// measureGets runs point queries with a Zipfian access pattern.
+func measureGets(t dyn, ks [][]byte, count int, seed int64) float64 {
+	gen := ycsb.NewGenerator(len(ks), false, seed)
+	ops := gen.Ops(ycsb.WorkloadC, count)
+	start := time.Now()
+	for _, op := range ops {
+		t.Get(ks[op.KeyIndex])
+	}
+	return mops(count, time.Since(start))
+}
+
+// measureScans runs YCSB-E-style short range scans.
+func measureScans(t dyn, ks [][]byte, count int, seed int64) float64 {
+	gen := ycsb.NewGenerator(len(ks), false, seed)
+	ops := gen.Ops(ycsb.WorkloadE, count)
+	start := time.Now()
+	for _, op := range ops {
+		if op.Kind != ycsb.OpScan {
+			continue
+		}
+		n := 0
+		t.Scan(ks[op.KeyIndex], func([]byte, uint64) bool {
+			n++
+			return n < op.ScanLen
+		})
+	}
+	return mops(count, time.Since(start))
+}

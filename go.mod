@@ -1,0 +1,3 @@
+module mets
+
+go 1.22

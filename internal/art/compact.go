@@ -1,0 +1,231 @@
+package art
+
+import (
+	"bytes"
+	"fmt"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// layout1Max is the largest fanout for which the exact-size Layout 1 (key
+// array + child array) is smaller than the 256-pointer Layout 3 (§2.2).
+const layout1Max = 227
+
+// Compact is the static ART produced by the Dynamic-to-Static rules: nodes
+// are sized exactly to their content (Layout 1 up to 227 children, Layout 3
+// above), keys live in one packed arena, and child references are 4-byte
+// indexes instead of pointers.
+type Compact struct {
+	// Packed entries, sorted.
+	keyData []byte
+	keyOffs []uint32
+	values  []uint64
+	// Nodes. children values: >= 0 is a node index; < 0 encodes entry index
+	// ^e for a leaf.
+	nodes []cnode
+}
+
+type cnode struct {
+	prefixOff  uint32 // into keyData
+	prefixLen  uint16
+	prefixLeaf int32 // entry index or -1
+	labels     []byte
+	children   []int32
+	layout3    []int32 // 256 slots; nil when Layout 1 is used (entry 0 = none is encoded as math.MinInt32)
+}
+
+const noChild = int32(-1 << 31)
+
+// NewCompact builds a Compact ART from sorted unique entries.
+func NewCompact(entries []index.Entry) (*Compact, error) {
+	c := &Compact{keyOffs: make([]uint32, 1, len(entries)+1)}
+	for i, e := range entries {
+		if i > 0 && keys.Compare(entries[i-1].Key, e.Key) >= 0 {
+			return nil, fmt.Errorf("art: entries must be sorted and unique (index %d)", i)
+		}
+		c.keyData = append(c.keyData, e.Key...)
+		c.keyOffs = append(c.keyOffs, uint32(len(c.keyData)))
+		c.values = append(c.values, e.Value)
+	}
+	if len(entries) > 0 {
+		c.build(0, len(entries), 0)
+	}
+	return c, nil
+}
+
+func (c *Compact) key(i int) []byte { return c.keyData[c.keyOffs[i]:c.keyOffs[i+1]] }
+
+// build constructs the subtree over entries [lo, hi) that share the first
+// depth key bytes, returning the child reference (node index or leaf code).
+func (c *Compact) build(lo, hi, depth int) int32 {
+	if hi-lo == 1 {
+		return ^int32(lo) // lazy expansion: a single key is a leaf
+	}
+	// Path compression: extend depth while all keys share the next byte and
+	// none ends.
+	start := depth
+	for {
+		first := c.key(lo)
+		if len(first) == depth || len(c.key(hi-1)) == depth {
+			break
+		}
+		b := first[depth]
+		if c.key(hi - 1)[depth] != b {
+			break
+		}
+		// Sorted input: equal first and last byte at depth implies all equal.
+		depth++
+	}
+	nodeIdx := int32(len(c.nodes))
+	c.nodes = append(c.nodes, cnode{
+		prefixOff:  c.keyOffs[lo] + uint32(start),
+		prefixLen:  uint16(depth - start),
+		prefixLeaf: -1,
+	})
+	i := lo
+	if len(c.key(i)) == depth {
+		c.nodes[nodeIdx].prefixLeaf = int32(i)
+		i++
+	}
+	type group struct {
+		b      byte
+		lo, hi int
+	}
+	var groups []group
+	for i < hi {
+		b := c.key(i)[depth]
+		j := i + 1
+		for j < hi && c.key(j)[depth] == b {
+			j++
+		}
+		groups = append(groups, group{b, i, j})
+		i = j
+	}
+	if len(groups) <= layout1Max {
+		labels := make([]byte, len(groups))
+		children := make([]int32, len(groups))
+		for g, grp := range groups {
+			labels[g] = grp.b
+			children[g] = c.build(grp.lo, grp.hi, depth+1)
+		}
+		c.nodes[nodeIdx].labels = labels
+		c.nodes[nodeIdx].children = children
+	} else {
+		slots := make([]int32, 256)
+		for s := range slots {
+			slots[s] = noChild
+		}
+		for _, grp := range groups {
+			slots[grp.b] = c.build(grp.lo, grp.hi, depth+1)
+		}
+		c.nodes[nodeIdx].layout3 = slots
+	}
+	return nodeIdx
+}
+
+func (c *Compact) prefix(n *cnode) []byte {
+	return c.keyData[n.prefixOff : n.prefixOff+uint32(n.prefixLen)]
+}
+
+// Len returns the number of entries.
+func (c *Compact) Len() int { return len(c.values) }
+
+// Get returns the value stored under key.
+func (c *Compact) Get(key []byte) (uint64, bool) {
+	if len(c.values) == 0 {
+		return 0, false
+	}
+	if len(c.values) == 1 {
+		if bytes.Equal(c.key(0), key) {
+			return c.values[0], true
+		}
+		return 0, false
+	}
+	ref := int32(0)
+	depth := 0
+	for {
+		if ref < 0 {
+			e := int(^ref)
+			if bytes.Equal(c.key(e), key) {
+				return c.values[e], true
+			}
+			return 0, false
+		}
+		n := &c.nodes[ref]
+		p := c.prefix(n)
+		if !prefixMatches(p, key, depth) {
+			return 0, false
+		}
+		depth += len(p)
+		if depth == len(key) {
+			if n.prefixLeaf >= 0 {
+				return c.values[n.prefixLeaf], true
+			}
+			return 0, false
+		}
+		b := key[depth]
+		next := noChild
+		if n.layout3 != nil {
+			next = n.layout3[b]
+		} else {
+			for i, l := range n.labels {
+				if l == b {
+					next = n.children[i]
+					break
+				}
+				if l > b {
+					break
+				}
+			}
+		}
+		if next == noChild {
+			return 0, false
+		}
+		ref = next
+		depth++
+	}
+}
+
+// Scan visits entries in order from the smallest key >= start. Because the
+// packed entries are already sorted, this is a lower-bound binary search
+// (via the trie for locality) followed by an array walk.
+func (c *Compact) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	lo, hi := 0, len(c.values)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(c.key(mid), start) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	count := 0
+	for i := lo; i < len(c.values); i++ {
+		count++
+		if !fn(c.key(i), c.values[i]) {
+			break
+		}
+	}
+	return count
+}
+
+// At returns the i-th entry.
+func (c *Compact) At(i int) ([]byte, uint64) { return c.key(i), c.values[i] }
+
+// MemoryUsage counts the packed arenas and the exact-size nodes: a Layout 1
+// node costs 12 bytes of header + 1 byte per label + 4 bytes per child, a
+// Layout 3 node 12 + 1024 bytes.
+func (c *Compact) MemoryUsage() int64 {
+	m := int64(len(c.keyData)) + int64(len(c.keyOffs))*4 + int64(len(c.values))*8
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		m += 12
+		if n.layout3 != nil {
+			m += 1024
+		} else {
+			m += int64(len(n.labels)) * 5
+		}
+	}
+	return m + 64
+}

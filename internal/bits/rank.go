@@ -1,0 +1,83 @@
+package bits
+
+import mathbits "math/bits"
+
+// RankVector augments a bit vector with a single-level rank lookup table
+// (one 32-bit precomputed rank per basic block). With blockSize = 64 at most
+// one popcount is needed per query (the LOUDS-Dense configuration); with
+// blockSize = 512 a block fits a cache line's worth of payload and the LUT
+// adds only 6.25% space (the LOUDS-Sparse configuration).
+type RankVector struct {
+	Vector
+	blockSize  int
+	blockShift uint // log2(blockSize); block sizes are powers of two
+	lut        []uint32
+}
+
+// NewRankVector builds rank support over v with the given basic block size
+// (must be a positive multiple of 64). The vector is copied by reference; do
+// not modify it afterwards.
+func NewRankVector(v *Vector, blockSize int) *RankVector {
+	if blockSize <= 0 || blockSize%64 != 0 || blockSize&(blockSize-1) != 0 {
+		panic("bits: block size must be a power-of-two multiple of 64")
+	}
+	r := &RankVector{Vector: *v, blockSize: blockSize}
+	for 1<<r.blockShift < blockSize {
+		r.blockShift++
+	}
+	numBlocks := (v.n + blockSize - 1) / blockSize
+	r.lut = make([]uint32, numBlocks+1)
+	wordsPerBlock := blockSize / 64
+	cum := uint32(0)
+	for b := 0; b < numBlocks; b++ {
+		r.lut[b] = cum
+		start := b * wordsPerBlock
+		end := start + wordsPerBlock
+		if end > len(v.words) {
+			end = len(v.words)
+		}
+		for _, w := range v.words[start:end] {
+			cum += uint32(mathbits.OnesCount64(w))
+		}
+	}
+	r.lut[numBlocks] = cum
+	return r
+}
+
+// Rank1 returns the number of set bits in positions [0, i] inclusive.
+func (r *RankVector) Rank1(i int) int {
+	if i < 0 || r.n == 0 {
+		return 0
+	}
+	if i >= r.n {
+		i = r.n - 1
+	}
+	block := i >> r.blockShift
+	c := int(r.lut[block])
+	wordStart := block << (r.blockShift - 6)
+	lastWord := i >> 6
+	for w := wordStart; w < lastWord; w++ {
+		c += mathbits.OnesCount64(r.words[w])
+	}
+	c += mathbits.OnesCount64(r.words[lastWord] & maskUpTo(uint(i)&63))
+	return c
+}
+
+// Rank0 returns the number of clear bits in positions [0, i] inclusive.
+func (r *RankVector) Rank0(i int) int {
+	if i < 0 || r.n == 0 {
+		return 0
+	}
+	if i >= r.n {
+		i = r.n - 1
+	}
+	return i + 1 - r.Rank1(i)
+}
+
+// Ones returns the total number of set bits.
+func (r *RankVector) Ones() int { return int(r.lut[len(r.lut)-1]) }
+
+// MemoryUsage returns the bytes used by the payload plus the rank LUT.
+func (r *RankVector) MemoryUsage() int64 {
+	return r.Vector.MemoryUsage() + int64(len(r.lut)*4) + 16
+}

@@ -1,0 +1,68 @@
+package bits
+
+import mathbits "math/bits"
+
+// SelectVector augments a RankVector with sampled select support: the
+// positions of every sampleRate-th set bit are precomputed, and queries scan
+// forward word-by-word from the nearest sample (§3.6 of the thesis; the
+// default sampling rate of 64 adds 1–2% space overall on S-LOUDS).
+type SelectVector struct {
+	RankVector
+	sampleRate  int
+	sampleShift uint     // log2(sampleRate); rates are powers of two
+	samples     []uint32 // samples[j] = position of the (j*sampleRate + 1)-th set bit
+}
+
+// NewSelectVector builds combined rank and select support over v.
+func NewSelectVector(v *Vector, blockSize, sampleRate int) *SelectVector {
+	if sampleRate <= 0 || sampleRate&(sampleRate-1) != 0 {
+		panic("bits: sample rate must be a positive power of two")
+	}
+	s := &SelectVector{RankVector: *NewRankVector(v, blockSize), sampleRate: sampleRate}
+	for 1<<s.sampleShift < sampleRate {
+		s.sampleShift++
+	}
+	ones := 0
+	for wi, w := range s.words {
+		for w != 0 {
+			if ones%sampleRate == 0 {
+				s.samples = append(s.samples, uint32(wi*64+mathbits.TrailingZeros64(w)))
+			}
+			ones++
+			w &= w - 1
+		}
+	}
+	return s
+}
+
+// Select1 returns the position of the i-th (1-based) set bit, or -1 if the
+// vector has fewer than i set bits.
+func (s *SelectVector) Select1(i int) int {
+	if i <= 0 || i > s.Ones() {
+		return -1
+	}
+	sampleIdx := (i - 1) >> s.sampleShift
+	pos := int(s.samples[sampleIdx])
+	remaining := i - sampleIdx<<s.sampleShift // how many set bits still to find from pos, inclusive
+	if remaining == 1 {
+		return pos
+	}
+	// Skip the sampled bit itself, then scan forward.
+	w := pos >> 6
+	word := s.words[w] &^ ((uint64(1) << (uint(pos)&63 + 1)) - 1)
+	remaining--
+	for {
+		c := mathbits.OnesCount64(word)
+		if c >= remaining {
+			return w*64 + selectInWord(word, remaining)
+		}
+		remaining -= c
+		w++
+		word = s.words[w]
+	}
+}
+
+// MemoryUsage returns bytes used by payload, rank LUT, and select samples.
+func (s *SelectVector) MemoryUsage() int64 {
+	return s.RankVector.MemoryUsage() + int64(len(s.samples)*4) + 16
+}

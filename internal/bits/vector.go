@@ -1,0 +1,166 @@
+// Package bits provides bit vectors with constant-time rank and select
+// support, following the lightweight lookup-table designs of Fast Succinct
+// Tries (Zhang, "Memory-Efficient Search Trees for Database Management
+// Systems", §3.6): a single-level rank LUT with a configurable basic-block
+// size and a sampled select LUT.
+package bits
+
+import (
+	mathbits "math/bits"
+)
+
+// Vector is a growable bit vector. The zero value is an empty vector ready
+// to use. Bits are numbered from zero.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// NewVector returns a vector pre-sized to hold n bits, all zero.
+func NewVector(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromWords wraps an existing word slice as an n-bit vector (used when
+// deserializing); the slice is not copied.
+func FromWords(words []uint64, n int) *Vector {
+	return &Vector{words: words, n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the underlying word slice (read-only use).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i to one. The bit must be within Len.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear sets bit i to zero.
+func (v *Vector) Clear(i int) {
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Append adds one bit at the end of the vector.
+func (v *Vector) Append(bit bool) {
+	if v.n>>6 == len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	if bit {
+		v.words[v.n>>6] |= 1 << (uint(v.n) & 63)
+	}
+	v.n++
+}
+
+// AppendN adds n copies of bit at the end of the vector.
+func (v *Vector) AppendN(bit bool, n int) {
+	for i := 0; i < n; i++ {
+		v.Append(bit)
+	}
+}
+
+// NextSet returns the smallest position p with from <= p < limit whose bit
+// is set, or -1 if there is none. limit is clamped to Len.
+func (v *Vector) NextSet(from, limit int) int {
+	if limit > v.n {
+		limit = v.n
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= limit {
+		return -1
+	}
+	w := from >> 6
+	word := v.words[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if word != 0 {
+			p := w*64 + mathbits.TrailingZeros64(word)
+			if p >= limit {
+				return -1
+			}
+			return p
+		}
+		w++
+		if w*64 >= limit {
+			return -1
+		}
+		word = v.words[w]
+	}
+}
+
+// Count returns the total number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += mathbits.OnesCount64(w)
+	}
+	return c
+}
+
+// MemoryUsage returns the number of bytes used by the vector payload.
+func (v *Vector) MemoryUsage() int64 {
+	return int64(len(v.words)*8) + 16
+}
+
+// rankWithin counts the ones in v.words in bit positions [from, to] inclusive.
+func (v *Vector) rankWithin(from, to int) int {
+	if to < from {
+		return 0
+	}
+	fw, tw := from>>6, to>>6
+	if fw == tw {
+		mask := (^uint64(0) << (uint(from) & 63)) & maskUpTo(uint(to)&63)
+		return mathbits.OnesCount64(v.words[fw] & mask)
+	}
+	c := mathbits.OnesCount64(v.words[fw] &^ (1<<(uint(from)&63) - 1))
+	for w := fw + 1; w < tw; w++ {
+		c += mathbits.OnesCount64(v.words[w])
+	}
+	c += mathbits.OnesCount64(v.words[tw] & maskUpTo(uint(to)&63))
+	return c
+}
+
+// maskUpTo returns a mask with bits 0..b inclusive set.
+func maskUpTo(b uint) uint64 {
+	if b >= 63 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (b + 1)) - 1
+}
+
+// selectInByte[b][i] is the position of the (i+1)-th set bit in byte b.
+var selectInByte [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		n := 0
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<uint(bit)) != 0 {
+				selectInByte[b][n] = uint8(bit)
+				n++
+			}
+		}
+	}
+}
+
+// selectInWord returns the position (0-based) of the i-th (1-based) set bit
+// within word w, or 64 if w has fewer than i set bits.
+func selectInWord(w uint64, i int) int {
+	for sh := 0; sh < 64; sh += 8 {
+		b := int(w>>uint(sh)) & 0xFF
+		c := mathbits.OnesCount8(uint8(b))
+		if i <= c {
+			return sh + int(selectInByte[b][i-1])
+		}
+		i -= c
+	}
+	return 64
+}

@@ -1,0 +1,111 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	ks := keys.EncodeUint64s(keys.RandomUint64(20000, 1))
+	f := Build(ks, 10)
+	for _, k := range ks {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %x", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	for _, bpk := range []float64{8, 10, 14} {
+		n := 50000
+		ks := keys.EncodeUint64s(keys.MonoIncUint64(n, 0))
+		f := Build(ks, bpk)
+		fp := 0
+		probes := 100000
+		for i := 0; i < probes; i++ {
+			if f.Contains(keys.Uint64(uint64(n + 1000 + i))) {
+				fp++
+			}
+		}
+		got := float64(fp) / float64(probes)
+		// Theoretical FPR for optimal k is ~0.6185^bpk.
+		theory := 1.0
+		for i := 0; i < int(bpk); i++ {
+			theory *= 0.6185
+		}
+		if got > theory*3+0.001 {
+			t.Errorf("bpk=%v: FPR %.4f way above theory %.4f", bpk, got, theory)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	ks := keys.Emails(5000, 2)
+	f := Build(ks, 12)
+	for _, k := range ks {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	fp := 0
+	for i := 0; i < 20000; i++ {
+		if f.Contains([]byte(fmt.Sprintf("zz.nonexistent@user%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 20000; rate > 0.02 {
+		t.Errorf("string-key FPR %.4f too high", rate)
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64([]byte("hello"))
+	b := Hash64([]byte("hello"))
+	c := Hash64([]byte("hellp"))
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == c {
+		t.Fatal("hash collision on near keys (suspicious)")
+	}
+}
+
+func TestEmptyAndTinyKeys(t *testing.T) {
+	f := New(10, 10)
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte("0123456789abcdef")) // exactly one 16-byte block
+	for _, k := range [][]byte{{}, {0}, []byte("0123456789abcdef")} {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestMemoryUsageMatchesBitsPerKey(t *testing.T) {
+	f := New(10000, 10)
+	if mem := f.MemoryUsage(); mem < 10000*10/8 || mem > 10000*10/8+1024 {
+		t.Fatalf("memory %d not ~%d", mem, 10000*10/8)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(b.N+1, 10)
+	k := keys.Uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys.PutUint64(k, uint64(i))
+		f.Add(k)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	ks := keys.EncodeUint64s(keys.RandomUint64(100000, 1))
+	f := Build(ks, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(ks[i%len(ks)])
+	}
+}

@@ -1,0 +1,380 @@
+// Package btree implements an STX-style in-memory B+tree over byte-string
+// keys plus its Dynamic-to-Static derivatives from Chapter 2: the Compact
+// B+tree (Compaction + Structural Reduction rules) and the Compressed
+// B+tree (Compression rule, flate-compressed leaves with a CLOCK node
+// cache).
+package btree
+
+import (
+	"bytes"
+
+	"mets/internal/keys"
+)
+
+// fanout is the number of entries per node. With 8-byte keys and 8-byte
+// values this approximates the 512-byte nodes the thesis found best for
+// in-memory operation.
+const fanout = 32
+
+type leafNode struct {
+	keys   [][]byte
+	values []uint64
+	next   *leafNode
+	prev   *leafNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key in children[i+1]'s subtree.
+	keys     [][]byte
+	children []any // *innerNode or *leafNode
+}
+
+// Tree is a dynamic B+tree. Create with New.
+type Tree struct {
+	root      any // *innerNode or *leafNode; nil when empty
+	height    int // 1 = root is a leaf
+	numLeaves int
+	numInner  int
+	length    int
+	keyBytes  int64
+	// AllowDuplicates switches the tree into multimap mode (used for
+	// secondary indexes): Insert never fails and equal keys co-exist.
+	allowDuplicates bool
+}
+
+// New returns an empty B+tree.
+func New() *Tree { return &Tree{} }
+
+// NewMulti returns an empty B+tree that admits duplicate keys (secondary
+// index mode, §5.3.5).
+func NewMulti() *Tree { return &Tree{allowDuplicates: true} }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.length }
+
+// Get returns the value of key (the first match in multimap mode).
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	l, _ := t.findLeaf(key)
+	if l == nil {
+		return 0, false
+	}
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && bytes.Equal(l.keys[i], key) {
+		return l.values[i], true
+	}
+	// The first equal key may sit in the next leaf when key falls at a
+	// boundary; lowerBound on this leaf returning len means check next.
+	if i == len(l.keys) && l.next != nil && len(l.next.keys) > 0 && bytes.Equal(l.next.keys[0], key) {
+		return l.next.values[0], true
+	}
+	return 0, false
+}
+
+// GetAll returns every value stored under key (multimap mode helper).
+func (t *Tree) GetAll(key []byte) []uint64 {
+	var out []uint64
+	t.Scan(key, func(k []byte, v uint64) bool {
+		if !bytes.Equal(k, key) {
+			return false
+		}
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Insert adds key/value. In unique mode it returns false when the key
+// already exists; in multimap mode it always succeeds.
+func (t *Tree) Insert(key []byte, value uint64) bool {
+	if t.root == nil {
+		l := &leafNode{}
+		l.keys = append(l.keys, cloneKey(key))
+		l.values = append(l.values, value)
+		t.root = l
+		t.height = 1
+		t.numLeaves = 1
+		t.length = 1
+		t.keyBytes += int64(len(key))
+		return true
+	}
+	if !t.allowDuplicates {
+		if _, ok := t.Get(key); ok {
+			return false
+		}
+	}
+	newChild, splitKey := t.insert(t.root, key, value)
+	if newChild != nil {
+		root := &innerNode{}
+		root.keys = append(root.keys, splitKey)
+		root.children = append(root.children, t.root, newChild)
+		t.root = root
+		t.height++
+		t.numInner++
+	}
+	t.length++
+	t.keyBytes += int64(len(key))
+	return true
+}
+
+// insert descends to the leaf, splitting on the way back when full.
+func (t *Tree) insert(n any, key []byte, value uint64) (newSibling any, splitKey []byte) {
+	switch node := n.(type) {
+	case *leafNode:
+		i := upperBound(node.keys, key)
+		node.keys = append(node.keys, nil)
+		copy(node.keys[i+1:], node.keys[i:])
+		node.keys[i] = cloneKey(key)
+		node.values = append(node.values, 0)
+		copy(node.values[i+1:], node.values[i:])
+		node.values[i] = value
+		if len(node.keys) <= fanout {
+			return nil, nil
+		}
+		mid := len(node.keys) / 2
+		sib := &leafNode{
+			keys:   append([][]byte(nil), node.keys[mid:]...),
+			values: append([]uint64(nil), node.values[mid:]...),
+			next:   node.next,
+			prev:   node,
+		}
+		if node.next != nil {
+			node.next.prev = sib
+		}
+		node.keys = node.keys[:mid]
+		node.values = node.values[:mid]
+		node.next = sib
+		t.numLeaves++
+		return sib, sib.keys[0]
+	case *innerNode:
+		c := upperBound(node.keys, key)
+		newChild, sk := t.insert(node.children[c], key, value)
+		if newChild == nil {
+			return nil, nil
+		}
+		node.keys = append(node.keys, nil)
+		copy(node.keys[c+1:], node.keys[c:])
+		node.keys[c] = sk
+		node.children = append(node.children, nil)
+		copy(node.children[c+2:], node.children[c+1:])
+		node.children[c+1] = newChild
+		if len(node.children) <= fanout {
+			return nil, nil
+		}
+		mid := len(node.keys) / 2
+		upKey := node.keys[mid]
+		sib := &innerNode{
+			keys:     append([][]byte(nil), node.keys[mid+1:]...),
+			children: append([]any(nil), node.children[mid+1:]...),
+		}
+		node.keys = node.keys[:mid]
+		node.children = node.children[:mid+1]
+		t.numInner++
+		return sib, upKey
+	}
+	panic("btree: unknown node type")
+}
+
+// Update overwrites the value of the first entry equal to key.
+func (t *Tree) Update(key []byte, value uint64) bool {
+	l, _ := t.findLeaf(key)
+	if l == nil {
+		return false
+	}
+	i := lowerBound(l.keys, key)
+	if i == len(l.keys) {
+		if l.next != nil && len(l.next.keys) > 0 && bytes.Equal(l.next.keys[0], key) {
+			l.next.values[0] = value
+			return true
+		}
+		return false
+	}
+	if !bytes.Equal(l.keys[i], key) {
+		return false
+	}
+	l.values[i] = value
+	return true
+}
+
+// Delete removes the first entry equal to key. Leaves are allowed to
+// underflow (entries are removed without rebalancing, as in common
+// main-memory B+tree implementations with lazy deletion); empty leaves are
+// unlinked from the leaf chain.
+func (t *Tree) Delete(key []byte) bool {
+	l, _ := t.findLeaf(key)
+	if l == nil {
+		return false
+	}
+	i := lowerBound(l.keys, key)
+	if i == len(l.keys) && l.next != nil {
+		l = l.next
+		i = 0
+	}
+	if i >= len(l.keys) || !bytes.Equal(l.keys[i], key) {
+		return false
+	}
+	t.keyBytes -= int64(len(l.keys[i]))
+	copy(l.keys[i:], l.keys[i+1:])
+	l.keys = l.keys[:len(l.keys)-1]
+	copy(l.values[i:], l.values[i+1:])
+	l.values = l.values[:len(l.values)-1]
+	if len(l.keys) == 0 {
+		if l.prev != nil {
+			l.prev.next = l.next
+		}
+		if l.next != nil {
+			l.next.prev = l.prev
+		}
+	}
+	t.length--
+	return true
+}
+
+// DeleteValue removes the first entry matching both key and value (multimap
+// mode), returning false when no such pair exists.
+func (t *Tree) DeleteValue(key []byte, value uint64) bool {
+	l, _ := t.findLeaf(key)
+	if l == nil {
+		return false
+	}
+	i := lowerBound(l.keys, key)
+	for {
+		if i == len(l.keys) {
+			l = l.next
+			if l == nil {
+				return false
+			}
+			i = 0
+			continue
+		}
+		if !bytes.Equal(l.keys[i], key) {
+			return false
+		}
+		if l.values[i] == value {
+			t.keyBytes -= int64(len(l.keys[i]))
+			copy(l.keys[i:], l.keys[i+1:])
+			l.keys = l.keys[:len(l.keys)-1]
+			copy(l.values[i:], l.values[i+1:])
+			l.values = l.values[:len(l.values)-1]
+			if len(l.keys) == 0 {
+				if l.prev != nil {
+					l.prev.next = l.next
+				}
+				if l.next != nil {
+					l.next.prev = l.prev
+				}
+			}
+			t.length--
+			return true
+		}
+		i++
+	}
+}
+
+// findLeaf descends to the leaf holding the first entry >= key. Routing
+// goes left of equal separators so that duplicate runs spanning a split are
+// found from their beginning (reads then continue along the leaf chain).
+func (t *Tree) findLeaf(key []byte) (*leafNode, int) {
+	n := t.root
+	if n == nil {
+		return nil, 0
+	}
+	depth := 0
+	for {
+		switch node := n.(type) {
+		case *leafNode:
+			return node, depth
+		case *innerNode:
+			n = node.children[lowerBound(node.keys, key)]
+			depth++
+		}
+	}
+}
+
+// Scan visits entries in order from the smallest key >= start.
+func (t *Tree) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	l, _ := t.findLeaf(start)
+	if l == nil {
+		return 0
+	}
+	i := lowerBound(l.keys, start)
+	count := 0
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if !fn(l.keys[i], l.values[i]) {
+				return count + 1
+			}
+			count++
+		}
+		l = l.next
+		i = 0
+	}
+	return count
+}
+
+// MemoryUsage accounts nodes and stored key bytes: every stored key costs a
+// 16-byte (pointer, length) header plus its bytes, values 8 bytes, child
+// pointers 8 bytes, and each node a 48-byte header (mirroring the C++
+// layout the thesis measures).
+func (t *Tree) MemoryUsage() int64 {
+	var m int64
+	m += int64(t.numLeaves+t.numInner) * 48
+	m += t.keyBytes
+	m += int64(t.length) * (16 + 8) // key header + value
+	// Inner separators duplicate key storage.
+	var sepBytes int64
+	var sepCount int64
+	var walk func(n any)
+	walk = func(n any) {
+		if in, ok := n.(*innerNode); ok {
+			for _, k := range in.keys {
+				sepBytes += int64(len(k))
+				sepCount++
+			}
+			for _, c := range in.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	m += sepBytes + sepCount*16
+	m += int64(t.numInner) * fanout * 8 // child pointer slots
+	m += int64(t.numLeaves) * 16        // leaf chain pointers
+	// Pre-allocated empty slots in leaves (the waste Compaction removes).
+	m += int64(t.numLeaves*fanout-t.length) * 8
+	return m
+}
+
+// cloneKey copies a key so callers may reuse their buffers.
+func cloneKey(k []byte) []byte {
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}
+
+// lowerBound returns the first index whose key is >= key.
+func lowerBound(ks [][]byte, key []byte) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(ks[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the number of keys <= key (the child slot to follow).
+func upperBound(ks [][]byte, key []byte) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(ks[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

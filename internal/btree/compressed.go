@@ -1,0 +1,256 @@
+package btree
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// compressedBlockSize is the number of entries per compressed leaf block
+// (small blocks keep the per-query decompression cost bounded, as the
+// thesis' 512-byte nodes do).
+const compressedBlockSize = 64
+
+// defaultNodeCacheSize is the number of decompressed blocks kept by the
+// CLOCK cache (§2.4).
+const defaultNodeCacheSize = 512
+
+// Compressed is the Compression-rule B+tree (§2.4): the packed leaf level is
+// cut into blocks that are deflate-compressed; a small CLOCK cache holds
+// recently decompressed blocks so a point query decompresses at most one
+// block.
+type Compressed struct {
+	minKeys   [][]byte // first key of each block
+	blocks    [][]byte // compressed payloads
+	blockLens []int32  // entries per block
+	length    int
+	cache     *clockCache
+	reader    flate.Resetter // reused inflater (single-threaded use)
+	// Stats for the evaluation harness.
+	Decompressions int64
+}
+
+// NewCompressed builds a Compressed B+tree from sorted unique entries.
+func NewCompressed(entries []index.Entry, cacheBlocks int) (*Compressed, error) {
+	if cacheBlocks <= 0 {
+		cacheBlocks = defaultNodeCacheSize
+	}
+	c := &Compressed{length: len(entries)}
+	for i := 0; i < len(entries); i += compressedBlockSize {
+		j := i + compressedBlockSize
+		if j > len(entries) {
+			j = len(entries)
+		}
+		if i > 0 && keys.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			return nil, fmt.Errorf("btree: entries must be sorted and unique")
+		}
+		payload, err := compressBlock(entries[i:j])
+		if err != nil {
+			return nil, err
+		}
+		c.minKeys = append(c.minKeys, entries[i].Key)
+		c.blocks = append(c.blocks, payload)
+		c.blockLens = append(c.blockLens, int32(j-i))
+	}
+	c.cache = newClockCache(cacheBlocks)
+	return c, nil
+}
+
+// compressBlock serializes entries as (varint keylen, key bytes, 8-byte
+// value)* and deflates the result.
+func compressBlock(entries []index.Entry) ([]byte, error) {
+	var raw bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	for _, e := range entries {
+		n := binary.PutUvarint(tmp[:], uint64(len(e.Key)))
+		raw.Write(tmp[:n])
+		raw.Write(e.Key)
+		binary.LittleEndian.PutUint64(tmp[:8], e.Value)
+		raw.Write(tmp[:8])
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// decodedBlock is a decompressed leaf block.
+type decodedBlock struct {
+	keys   [][]byte
+	values []uint64
+}
+
+// block returns the decoded form of block b, consulting the cache first.
+func (c *Compressed) block(b int) (*decodedBlock, error) {
+	if d := c.cache.get(b); d != nil {
+		return d, nil
+	}
+	c.Decompressions++
+	if c.reader == nil {
+		c.reader = flate.NewReader(bytes.NewReader(c.blocks[b])).(flate.Resetter)
+	} else if err := c.reader.Reset(bytes.NewReader(c.blocks[b]), nil); err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(c.reader.(io.Reader))
+	if err != nil {
+		return nil, err
+	}
+	d := &decodedBlock{}
+	for off := 0; off < len(raw); {
+		kl, n := binary.Uvarint(raw[off:])
+		off += n
+		d.keys = append(d.keys, raw[off:off+int(kl)])
+		off += int(kl)
+		d.values = append(d.values, binary.LittleEndian.Uint64(raw[off:]))
+		off += 8
+	}
+	c.cache.put(b, d)
+	return d, nil
+}
+
+// findBlock returns the index of the block that may contain key.
+func (c *Compressed) findBlock(key []byte) int {
+	lo, hi := 0, len(c.minKeys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(c.minKeys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// Len returns the number of entries.
+func (c *Compressed) Len() int { return c.length }
+
+// Get returns the value stored under key.
+func (c *Compressed) Get(key []byte) (uint64, bool) {
+	if c.length == 0 {
+		return 0, false
+	}
+	d, err := c.block(c.findBlock(key))
+	if err != nil {
+		return 0, false
+	}
+	i := lowerBound(d.keys, key)
+	if i < len(d.keys) && bytes.Equal(d.keys[i], key) {
+		return d.values[i], true
+	}
+	return 0, false
+}
+
+// Scan visits entries in order from the smallest key >= start.
+func (c *Compressed) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if c.length == 0 {
+		return 0
+	}
+	count := 0
+	for b := c.findBlock(start); b < len(c.blocks); b++ {
+		d, err := c.block(b)
+		if err != nil {
+			return count
+		}
+		i := 0
+		if count == 0 {
+			i = lowerBound(d.keys, start)
+		}
+		for ; i < len(d.keys); i++ {
+			count++
+			if !fn(d.keys[i], d.values[i]) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// MemoryUsage counts the compressed payloads, the block index, and the node
+// cache's decoded blocks.
+func (c *Compressed) MemoryUsage() int64 {
+	var m int64
+	for i, b := range c.blocks {
+		m += int64(len(b)) + int64(len(c.minKeys[i])) + 32
+	}
+	m += c.cache.memoryUsage()
+	return m + 64
+}
+
+// clockCache is a fixed-capacity CLOCK (second-chance) cache of decoded
+// blocks, approximating LRU as in §2.4.
+type clockCache struct {
+	capacity int
+	hand     int
+	slots    []clockSlot
+	where    map[int]int // block id -> slot
+}
+
+type clockSlot struct {
+	id    int
+	block *decodedBlock
+	ref   bool
+}
+
+func newClockCache(capacity int) *clockCache {
+	return &clockCache{capacity: capacity, where: make(map[int]int, capacity)}
+}
+
+func (c *clockCache) get(id int) *decodedBlock {
+	if s, ok := c.where[id]; ok {
+		c.slots[s].ref = true
+		return c.slots[s].block
+	}
+	return nil
+}
+
+func (c *clockCache) put(id int, b *decodedBlock) {
+	if len(c.slots) < c.capacity {
+		c.where[id] = len(c.slots)
+		c.slots = append(c.slots, clockSlot{id: id, block: b, ref: true})
+		return
+	}
+	for {
+		s := &c.slots[c.hand]
+		if s.ref {
+			s.ref = false
+			c.hand = (c.hand + 1) % len(c.slots)
+			continue
+		}
+		delete(c.where, s.id)
+		*s = clockSlot{id: id, block: b, ref: true}
+		c.where[id] = c.hand
+		c.hand = (c.hand + 1) % len(c.slots)
+		return
+	}
+}
+
+func (c *clockCache) memoryUsage() int64 {
+	var m int64
+	for _, s := range c.slots {
+		if s.block == nil {
+			continue
+		}
+		for _, k := range s.block.keys {
+			m += int64(len(k)) + 16
+		}
+		m += int64(len(s.block.values)) * 8
+	}
+	return m + int64(c.capacity)*16
+}

@@ -1,0 +1,203 @@
+package btree
+
+import (
+	"fmt"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// PrefixCompact is a prefix B+tree (Bayer & Unterauer) over the compact
+// static layout: within each fanout-sized leaf group, keys are front-coded
+// against the group head (stored in full), so shared prefixes are stored
+// once per group. Used in the Chapter 6 HOPE integration (Fig 6.21), where
+// its partial key storage reduces — but does not eliminate — the benefit of
+// key compression (Fig 6.7).
+type PrefixCompact struct {
+	heads   [][]byte // full first key of each group
+	lcpLens []uint16 // per entry: shared prefix with the group head
+	sufData []byte   // concatenated suffixes
+	sufOffs []uint32 // len(n)+1
+	values  []uint64
+	seps    [][]int32 // group-index separators, as in Compact
+}
+
+// NewPrefixCompact builds a PrefixCompact from sorted unique entries.
+func NewPrefixCompact(entries []index.Entry) (*PrefixCompact, error) {
+	c := &PrefixCompact{sufOffs: make([]uint32, 1, len(entries)+1)}
+	for i, e := range entries {
+		if i > 0 && keys.Compare(entries[i-1].Key, e.Key) >= 0 {
+			return nil, fmt.Errorf("btree: entries must be sorted and unique (index %d)", i)
+		}
+		if i%fanout == 0 {
+			c.heads = append(c.heads, e.Key)
+		}
+		head := c.heads[len(c.heads)-1]
+		l := commonLenBytes(head, e.Key)
+		c.lcpLens = append(c.lcpLens, uint16(l))
+		c.sufData = append(c.sufData, e.Key[l:]...)
+		c.sufOffs = append(c.sufOffs, uint32(len(c.sufData)))
+		c.values = append(c.values, e.Value)
+	}
+	// Separator levels over group heads.
+	cur := make([]int32, len(c.heads))
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	for len(cur) > 1 {
+		c.seps = append(c.seps, cur)
+		next := make([]int32, 0, (len(cur)+fanout-1)/fanout)
+		for i := 0; i < len(cur); i += fanout {
+			next = append(next, cur[i])
+		}
+		if len(next) <= fanout {
+			c.seps = append(c.seps, next)
+			break
+		}
+		cur = next
+	}
+	return c, nil
+}
+
+func commonLenBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Len returns the number of entries.
+func (c *PrefixCompact) Len() int { return len(c.values) }
+
+// keyAt materializes entry i's key.
+func (c *PrefixCompact) keyAt(i int) []byte {
+	head := c.heads[i/fanout]
+	l := int(c.lcpLens[i])
+	suf := c.sufData[c.sufOffs[i]:c.sufOffs[i+1]]
+	out := make([]byte, l+len(suf))
+	copy(out, head[:l])
+	copy(out[l:], suf)
+	return out
+}
+
+// compareAt compares entry i's key with key without materializing it.
+func (c *PrefixCompact) compareAt(i int, key []byte) int {
+	head := c.heads[i/fanout]
+	l := int(c.lcpLens[i])
+	if r := keys.Compare(head[:l], limit(key, l)); r != 0 {
+		return r
+	}
+	if len(key) < l {
+		return 1 // entry extends beyond the whole key
+	}
+	return keys.Compare(c.sufData[c.sufOffs[i]:c.sufOffs[i+1]], key[l:])
+}
+
+func limit(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// lowerBoundIdx returns the index of the first key >= key.
+func (c *PrefixCompact) lowerBoundIdx(key []byte) int {
+	numGroups := len(c.heads)
+	group := 0
+	if len(c.seps) > 0 {
+		node := 0
+		for l := len(c.seps) - 1; l >= 0; l-- {
+			level := c.seps[l]
+			a := node * fanout
+			b := a + fanout
+			if b > len(level) {
+				b = len(level)
+			}
+			child := a
+			for a < b {
+				mid := (a + b) / 2
+				if keys.Compare(c.heads[level[mid]], key) <= 0 {
+					child = mid
+					a = mid + 1
+				} else {
+					b = mid
+				}
+			}
+			node = child
+		}
+		group = node
+	} else if numGroups > 1 {
+		lo, hi := 0, numGroups
+		g := 0
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if keys.Compare(c.heads[mid], key) <= 0 {
+				g = mid
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		group = g
+	}
+	lo := group * fanout
+	hi := lo + fanout
+	if hi > len(c.values) {
+		hi = len(c.values)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.compareAt(mid, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (c *PrefixCompact) Get(key []byte) (uint64, bool) {
+	if len(c.values) == 0 {
+		return 0, false
+	}
+	i := c.lowerBoundIdx(key)
+	if i < len(c.values) && c.compareAt(i, key) == 0 {
+		return c.values[i], true
+	}
+	return 0, false
+}
+
+// Scan visits entries in order from the smallest key >= start.
+func (c *PrefixCompact) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if len(c.values) == 0 {
+		return 0
+	}
+	count := 0
+	for i := c.lowerBoundIdx(start); i < len(c.values); i++ {
+		count++
+		if !fn(c.keyAt(i), c.values[i]) {
+			break
+		}
+	}
+	return count
+}
+
+// MemoryUsage returns the packed structure size in bytes.
+func (c *PrefixCompact) MemoryUsage() int64 {
+	var m int64
+	for _, h := range c.heads {
+		m += int64(len(h)) + 16
+	}
+	m += int64(len(c.lcpLens))*2 + int64(len(c.sufData)) + int64(len(c.sufOffs))*4 +
+		int64(len(c.values))*8
+	for _, l := range c.seps {
+		m += int64(len(l)) * 4
+	}
+	return m + 64
+}

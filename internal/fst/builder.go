@@ -1,0 +1,192 @@
+// Package fst implements the Fast Succinct Trie of Chapter 3: a static trie
+// encoded with LOUDS-DS, i.e. a small number of bitmap-encoded LOUDS-Dense
+// levels on top and near-optimal LOUDS-Sparse levels below, with the
+// customized rank/select structures and label-search optimizations of §3.6.
+//
+// The trie maps byte-string keys to uint64 values and supports exact-match
+// lookup, lower-bound seeks with forward iteration, and O(height) approximate
+// range counting. With Config.Truncate it stores only minimum-length
+// distinguishing prefixes, which is the basis of the SuRF filter (Chapter 4).
+package fst
+
+import (
+	"fmt"
+
+	"mets/internal/keys"
+)
+
+// Config controls trie construction.
+type Config struct {
+	// Truncate stores minimum-length unique key prefixes instead of complete
+	// keys (SuRF-Base behaviour, §4.1.1).
+	Truncate bool
+	// StoreValues keeps the caller-supplied uint64 value per key. Filters
+	// turn this off and attach suffix arrays via LeafRefs instead.
+	StoreValues bool
+	// DenseRatio is the LOUDS-Sparse : LOUDS-Dense size ratio R of §3.4 that
+	// picks the dense/sparse cutoff level. Zero means the default of 64.
+	DenseRatio int
+	// DenseLevels, if >= 0, overrides the ratio-derived cutoff with an
+	// explicit number of LOUDS-Dense levels (used by the Fig 3.7 sweep).
+	DenseLevels int
+	// LinearLabelSearch disables the word-at-a-time label search in sparse
+	// nodes, falling back to a byte loop (the Fig 3.6 ablation).
+	LinearLabelSearch bool
+	// RankSparseBlock overrides the sparse rank basic-block size (default
+	// 512); RankDenseBlock the dense one (default 64); SelectSample the
+	// select sampling rate (default 64). Used by the Fig 3.6 ablations.
+	RankSparseBlock int
+	RankDenseBlock  int
+	SelectSample    int
+}
+
+// DefaultConfig returns the configuration used by the thesis: full keys,
+// values stored, R = 64.
+func DefaultConfig() Config {
+	return Config{StoreValues: true, DenseLevels: -1}
+}
+
+// LeafRef locates the source key behind a leaf: the index into the build-time
+// key list and the byte offset at which the stored prefix ended (the suffix
+// keys[KeyIndex][SuffixStart:] was not stored in the trie).
+type LeafRef struct {
+	KeyIndex    int32
+	SuffixStart int32
+}
+
+// bNode is the neutral (pre-encoding) representation of one trie node.
+type bNode struct {
+	prefixKey bool
+	pkLeaf    LeafRef
+	labels    []byte
+	hasChild  []bool
+	leaves    []LeafRef // parallel to labels; valid where !hasChild
+}
+
+// buildRange is a BFS work item: keys[lo:hi) share the first depth bytes.
+type buildRange struct {
+	lo, hi, depth int
+}
+
+// buildLevels constructs the neutral level-ordered node lists from sorted,
+// unique keys.
+func buildLevels(ks [][]byte, truncate bool) ([][]bNode, error) {
+	for i := 1; i < len(ks); i++ {
+		if keys.Compare(ks[i-1], ks[i]) >= 0 {
+			return nil, fmt.Errorf("fst: keys must be sorted and unique (violated at index %d)", i)
+		}
+	}
+	var levels [][]bNode
+	cur := []buildRange{{0, len(ks), 0}}
+	for len(cur) > 0 {
+		var next []buildRange
+		nodes := make([]bNode, 0, len(cur))
+		for _, r := range cur {
+			var n bNode
+			i := r.lo
+			if len(ks[i]) == r.depth {
+				n.prefixKey = true
+				n.pkLeaf = LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth)}
+				i++
+			}
+			for i < r.hi {
+				b := ks[i][r.depth]
+				j := i + 1
+				for j < r.hi && ks[j][r.depth] == b {
+					j++
+				}
+				switch {
+				case j-i == 1 && (truncate || len(ks[i]) == r.depth+1):
+					n.labels = append(n.labels, b)
+					n.hasChild = append(n.hasChild, false)
+					n.leaves = append(n.leaves, LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth + 1)})
+				default:
+					n.labels = append(n.labels, b)
+					n.hasChild = append(n.hasChild, true)
+					n.leaves = append(n.leaves, LeafRef{})
+					next = append(next, buildRange{i, j, r.depth + 1})
+				}
+				i = j
+			}
+			nodes = append(nodes, n)
+		}
+		levels = append(levels, nodes)
+		cur = next
+	}
+	return levels, nil
+}
+
+// levelSizes returns, per level, the encoded size in bits under LOUDS-Dense
+// (513 bits per node) and LOUDS-Sparse (10 bits per entry, terminators
+// included).
+func levelSizes(levels [][]bNode) (dense, sparse []int64) {
+	dense = make([]int64, len(levels))
+	sparse = make([]int64, len(levels))
+	for l, nodes := range levels {
+		dense[l] = int64(len(nodes)) * 513
+		var entries int64
+		for _, n := range nodes {
+			entries += int64(len(n.labels))
+			if n.prefixKey {
+				entries++
+			}
+		}
+		sparse[l] = entries * 10
+	}
+	return dense, sparse
+}
+
+// pickCutoff implements §3.4: the cutoff is the largest l such that
+// LOUDS-Dense-Size(l) * R <= LOUDS-Sparse-Size(l), where the former covers
+// levels [0, l) and the latter levels [l, H).
+func pickCutoff(levels [][]bNode, ratio int) int {
+	dense, sparse := levelSizes(levels)
+	suffix := make([]int64, len(levels)+1)
+	for l := len(levels) - 1; l >= 0; l-- {
+		suffix[l] = suffix[l+1] + sparse[l]
+	}
+	cutoff := 0
+	var densePrefix int64
+	for l := 0; l <= len(levels); l++ {
+		if densePrefix*int64(ratio) <= suffix[l] {
+			cutoff = l
+		}
+		if l < len(levels) {
+			densePrefix += dense[l]
+		}
+	}
+	return cutoff
+}
+
+// Build constructs a Trie over sorted unique keys. values may be nil when
+// cfg.StoreValues is false; otherwise it must be parallel to ks.
+func Build(ks [][]byte, values []uint64, cfg Config) (*Trie, error) {
+	if cfg.StoreValues && len(values) != len(ks) {
+		return nil, fmt.Errorf("fst: %d values for %d keys", len(values), len(ks))
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("fst: empty key set")
+	}
+	levels, err := buildLevels(ks, cfg.Truncate)
+	if err != nil {
+		return nil, err
+	}
+	ratio := cfg.DenseRatio
+	if ratio == 0 {
+		ratio = 64
+	}
+	cutoff := cfg.DenseLevels
+	if cutoff < 0 {
+		cutoff = pickCutoff(levels, ratio)
+	}
+	if cutoff > len(levels) {
+		cutoff = len(levels)
+	}
+	// A root holding only the empty key (no branches) cannot be expressed in
+	// LOUDS-Sparse — a lone 0xFF entry reads as a real label — so encode it
+	// with LOUDS-Dense, whose IsPrefixKey bit is unambiguous.
+	if cutoff == 0 && levels[0][0].prefixKey && len(levels[0][0].labels) == 0 {
+		cutoff = 1
+	}
+	return encode(levels, ks, values, cutoff, cfg), nil
+}

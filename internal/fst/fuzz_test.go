@@ -1,0 +1,68 @@
+package fst
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// FuzzTrieOps builds a trie from a fuzz-derived key set and checks Get,
+// LowerBound and CountLess against brute force.
+func FuzzTrieOps(f *testing.F) {
+	f.Add([]byte("a\x00ab\x00abc\x00b"), []byte("ab"))
+	f.Add([]byte("hello\x00world\x00he"), []byte("hf"))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0xFF, 0x00, 0xFE}, []byte{0xFF})
+	f.Fuzz(func(t *testing.T, keyBlob, probe []byte) {
+		// Split the blob into keys on 0x00 (dropping empties keeps the
+		// corpus focused; the empty-key case has dedicated unit tests).
+		var ks [][]byte
+		for _, part := range bytes.Split(keyBlob, []byte{0}) {
+			if len(part) > 0 && len(part) < 64 {
+				ks = append(ks, part)
+			}
+		}
+		if len(ks) == 0 {
+			return
+		}
+		ks = keys.Dedup(ks)
+		values := make([]uint64, len(ks))
+		for i := range values {
+			values[i] = uint64(i)
+		}
+		trie, err := Build(ks, values, Config{StoreValues: true, DenseLevels: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range ks {
+			if v, ok := trie.Get(k); !ok || v != uint64(i) {
+				t.Fatalf("Get(%q) = %d,%v", k, v, ok)
+			}
+		}
+		idx := sort.Search(len(ks), func(i int) bool { return keys.Compare(ks[i], probe) >= 0 })
+		it := trie.LowerBound(probe)
+		if idx == len(ks) {
+			if it.Valid() {
+				t.Fatalf("LowerBound(%q) = %q past end", probe, it.Key())
+			}
+		} else if !it.Valid() || !bytes.Equal(it.Key(), ks[idx]) {
+			t.Fatalf("LowerBound(%q) mismatch", probe)
+		}
+		if got := trie.CountLess(probe); got != idx {
+			t.Fatalf("CountLess(%q) = %d, want %d", probe, got, idx)
+		}
+		// Serialization must round-trip.
+		data, err := trie.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := UnmarshalTrie(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := loaded.Get(ks[0]); !ok || v != 0 {
+			t.Fatal("round trip lost first key")
+		}
+	})
+}

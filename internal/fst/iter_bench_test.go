@@ -1,0 +1,23 @@
+package fst
+
+import (
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func BenchmarkScanNext(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	values := make([]uint64, len(ks))
+	trie, _ := Build(ks, values, DefaultConfig())
+	it := trie.NewIterator()
+	it.First()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !it.Valid() {
+			it.First()
+		}
+		_ = it.Value()
+		it.Next()
+	}
+}

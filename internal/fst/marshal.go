@@ -1,0 +1,225 @@
+package fst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mets/internal/bits"
+)
+
+// Serialization format (little-endian):
+//
+//	magic "FST1" | config | scalar counts | dense bitvectors | sparse
+//	sections | values | per-level bookkeeping
+//
+// Rank and select support structures are rebuilt on load (they are small
+// and derive deterministically from the payload bits), so the on-disk form
+// stays close to the succinct structure itself. Leaf back-references are
+// not serialized: a loaded trie behaves like one after DropLeafRefs.
+
+const marshalMagic = "FST1"
+
+type sectionWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *sectionWriter) u64(v uint64) {
+	if s.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, s.err = s.w.Write(b[:])
+}
+
+func (s *sectionWriter) bytes(b []byte) {
+	s.u64(uint64(len(b)))
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(b)
+}
+
+func (s *sectionWriter) words(ws []uint64) {
+	s.u64(uint64(len(ws)))
+	for _, w := range ws {
+		s.u64(w)
+	}
+}
+
+func (s *sectionWriter) ints(vs []int) {
+	s.u64(uint64(len(vs)))
+	for _, v := range vs {
+		s.u64(uint64(v))
+	}
+}
+
+func (s *sectionWriter) vector(v *bits.Vector) {
+	s.u64(uint64(v.Len()))
+	s.words(v.Words())
+}
+
+type sectionReader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (s *sectionReader) u64() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(s.r, b[:]); err != nil {
+		s.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *sectionReader) bytes() []byte {
+	n := s.u64()
+	if s.err != nil {
+		return nil
+	}
+	if n > uint64(s.r.Len()) {
+		s.err = fmt.Errorf("fst: corrupt length %d", n)
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(s.r, out); err != nil {
+		s.err = err
+		return nil
+	}
+	return out
+}
+
+func (s *sectionReader) words() []uint64 {
+	n := s.u64()
+	if s.err != nil {
+		return nil
+	}
+	if n > uint64(s.r.Len()/8)+1 {
+		s.err = fmt.Errorf("fst: corrupt word count %d", n)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.u64()
+	}
+	return out
+}
+
+func (s *sectionReader) ints() []int {
+	n := s.u64()
+	if s.err != nil {
+		return nil
+	}
+	if n > uint64(s.r.Len()/8)+1 {
+		s.err = fmt.Errorf("fst: corrupt int count %d", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(s.u64())
+	}
+	return out
+}
+
+func (s *sectionReader) vector() *bits.Vector {
+	n := s.u64()
+	ws := s.words()
+	if s.err != nil {
+		return nil
+	}
+	if uint64(len(ws)) != (n+63)/64 {
+		s.err = fmt.Errorf("fst: vector size mismatch")
+		return nil
+	}
+	return bits.FromWords(ws, int(n))
+}
+
+// MarshalBinary serializes the trie (without leaf back-references).
+func (t *Trie) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	s := &sectionWriter{w: &buf}
+	// Config fields that affect query behaviour.
+	flags := uint64(0)
+	if t.cfg.Truncate {
+		flags |= 1
+	}
+	if t.cfg.StoreValues {
+		flags |= 2
+	}
+	if t.cfg.LinearLabelSearch {
+		flags |= 4
+	}
+	s.u64(flags)
+	s.u64(uint64(t.height))
+	s.u64(uint64(t.denseHeight))
+	s.u64(uint64(t.denseNodeCount))
+	s.u64(uint64(t.denseChildCount))
+	s.u64(uint64(t.numDenseLeaves))
+	s.u64(uint64(t.numSparseLeaves))
+	s.vector(&t.dLabels.Vector)
+	s.vector(&t.dHasChild.Vector)
+	s.vector(&t.dIsPrefix.Vector)
+	s.bytes(t.sLabels)
+	s.vector(&t.sHasChild.Vector)
+	s.vector(&t.sLouds.Vector)
+	s.words(t.dValues)
+	s.words(t.sValues)
+	s.ints(t.dLevelValueStart)
+	s.ints(t.sLevelPosStart)
+	s.ints(t.sLevelValueStart)
+	if s.err != nil {
+		return nil, s.err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalTrie reconstructs a trie serialized by MarshalBinary, rebuilding
+// the rank/select support with the default tuning.
+func UnmarshalTrie(data []byte) (*Trie, error) {
+	if len(data) < 4 || string(data[:4]) != marshalMagic {
+		return nil, fmt.Errorf("fst: bad magic")
+	}
+	s := &sectionReader{r: bytes.NewReader(data[4:])}
+	t := &Trie{}
+	flags := s.u64()
+	t.cfg.Truncate = flags&1 != 0
+	t.cfg.StoreValues = flags&2 != 0
+	t.cfg.LinearLabelSearch = flags&4 != 0
+	t.height = int(s.u64())
+	t.denseHeight = int(s.u64())
+	t.denseNodeCount = int(s.u64())
+	t.denseChildCount = int(s.u64())
+	t.numDenseLeaves = int(s.u64())
+	t.numSparseLeaves = int(s.u64())
+	dLabels := s.vector()
+	dHasChild := s.vector()
+	dIsPrefix := s.vector()
+	t.sLabels = s.bytes()
+	sHasChild := s.vector()
+	sLouds := s.vector()
+	t.dValues = s.words()
+	t.sValues = s.words()
+	t.dLevelValueStart = s.ints()
+	t.sLevelPosStart = s.ints()
+	t.sLevelValueStart = s.ints()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.r.Len() != 0 {
+		return nil, fmt.Errorf("fst: %d trailing bytes", s.r.Len())
+	}
+	t.dLabels = bits.NewRankVector(dLabels, 64)
+	t.dHasChild = bits.NewRankVector(dHasChild, 64)
+	t.dIsPrefix = bits.NewRankVector(dIsPrefix, 64)
+	t.sHasChild = bits.NewRankVector(sHasChild, 512)
+	t.sLouds = bits.NewSelectVector(sLouds, 512, 64)
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package fst
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for dsName, ks := range datasets(t) {
+		trie := buildExact(t, ks, Config{DenseLevels: -1})
+		data, err := trie.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := UnmarshalTrie(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range ks {
+			if v, ok := loaded.Get(k); !ok || v != uint64(i) {
+				t.Fatalf("%s: loaded trie Get(%q) = %d,%v", dsName, k, v, ok)
+			}
+		}
+		// Iteration equivalence.
+		it := loaded.NewIterator()
+		it.First()
+		for i := range ks {
+			if !it.Valid() || !bytes.Equal(it.Key(), ks[i]) {
+				t.Fatalf("%s: loaded trie iteration broke at %d", dsName, i)
+			}
+			it.Next()
+		}
+		// Counting equivalence.
+		if loaded.CountLess(ks[len(ks)/2]) != trie.CountLess(ks[len(ks)/2]) {
+			t.Fatalf("%s: CountLess diverged after round trip", dsName)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(500, 9))
+	trie := buildExact(t, ks, Config{DenseLevels: -1})
+	data, _ := trie.MarshalBinary()
+	if _, err := UnmarshalTrie(data[:10]); err == nil {
+		t.Fatal("truncated trie accepted")
+	}
+	if _, err := UnmarshalTrie([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := UnmarshalTrie(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

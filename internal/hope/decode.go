@@ -1,0 +1,85 @@
+package hope
+
+// Decoder inverts an Encoder. Search-tree queries never decode (§6.2: HOPE
+// optimizes for encoding speed), but the decoder enables the unique-
+// decodability property tests and debugging.
+type Decoder struct {
+	codes   []Code   // sorted ascending (dictionary order)
+	symbols [][]byte // parallel
+}
+
+// NewDecoder builds a decoder for the encoder's dictionary.
+func (e *Encoder) NewDecoder() *Decoder {
+	d := &Decoder{}
+	switch dict := e.dict.(type) {
+	case *singleCharDict:
+		for b := 0; b < 256; b++ {
+			d.codes = append(d.codes, dict.codes[b])
+			d.symbols = append(d.symbols, []byte{byte(b)})
+		}
+	case *doubleCharDict:
+		for p := 0; p < 65536; p++ {
+			d.codes = append(d.codes, dict.codes[p])
+			d.symbols = append(d.symbols, []byte{byte(p >> 8), byte(p)})
+		}
+	case *intervalDict:
+		d.fromInterval(dict)
+	case *bitmapTrieDict:
+		d.fromInterval(dict.fallback)
+	}
+	return d
+}
+
+func (d *Decoder) fromInterval(dict *intervalDict) {
+	for i := range dict.los {
+		d.codes = append(d.codes, dict.codes[i])
+		sym := dict.los[i][:dict.symLens[i]]
+		d.symbols = append(d.symbols, sym)
+	}
+}
+
+// Decode reconstructs the source string from an encoded bit string of the
+// given exact bit length.
+func (d *Decoder) Decode(enc []byte, nbits int) []byte {
+	var out []byte
+	pos := 0
+	for pos < nbits {
+		window := readBits(enc, pos, 64)
+		// Largest code whose left-aligned bits are <= window.
+		lo, hi := 0, len(d.codes)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d.codes[mid].Bits <= window {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		i := lo - 1
+		if i < 0 {
+			return out // corrupt input
+		}
+		c := d.codes[i]
+		// Verify the code is a prefix of the window.
+		if c.Len > 0 && (window>>(64-uint(c.Len))) != (c.Bits>>(64-uint(c.Len))) {
+			return out
+		}
+		out = append(out, d.symbols[i]...)
+		pos += int(c.Len)
+	}
+	return out
+}
+
+// readBits reads up to n bits starting at bit position pos, left-aligned in
+// a uint64 (missing bits are zero).
+func readBits(enc []byte, pos, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 1
+		bi := pos + i
+		if bi < len(enc)*8 {
+			v |= uint64(enc[bi>>3]>>(7-uint(bi&7))) & 1
+		}
+	}
+	return v
+}

@@ -1,0 +1,204 @@
+package hope
+
+import (
+	mathbits "math/bits"
+
+	"mets/internal/keys"
+)
+
+// dictionary resolves the longest applicable dictionary entry for the head
+// of src, returning the code and the number of source bytes consumed.
+type dictionary interface {
+	lookup(src []byte) (Code, int)
+	numEntries() int
+	memoryUsage() int64
+	// contextBytes is the number of leading source bytes a lookup may
+	// inspect; batch encoding only reuses prefix bits segmented at least
+	// this far inside the shared prefix.
+	contextBytes() int
+}
+
+// singleCharDict is the FIFC/FIVC single-character dictionary: 256
+// fixed-length intervals.
+type singleCharDict struct {
+	codes [256]Code
+}
+
+func (d *singleCharDict) lookup(src []byte) (Code, int) { return d.codes[src[0]], 1 }
+func (d *singleCharDict) contextBytes() int             { return 1 }
+func (d *singleCharDict) numEntries() int               { return 256 }
+func (d *singleCharDict) memoryUsage() int64            { return 256 * 9 }
+
+// doubleCharDict holds 65536 two-byte intervals; a trailing odd byte b is
+// encoded with the (b, 0x00) entry (keys must therefore avoid 0x00, §6.2).
+type doubleCharDict struct {
+	codes []Code // 65536
+}
+
+func (d *doubleCharDict) lookup(src []byte) (Code, int) {
+	if len(src) >= 2 {
+		return d.codes[int(src[0])<<8|int(src[1])], 2
+	}
+	return d.codes[int(src[0])<<8], 1
+}
+func (d *doubleCharDict) numEntries() int    { return 65536 }
+func (d *doubleCharDict) contextBytes() int  { return 2 }
+func (d *doubleCharDict) memoryUsage() int64 { return 65536 * 9 }
+
+// intervalDict is the general VIFC/VIVC dictionary: sorted interval
+// boundaries searched by binary search, with per-interval symbol lengths.
+type intervalDict struct {
+	los        [][]byte
+	symLens    []uint16
+	codes      []Code
+	boundBytes int64
+	maxLo      int
+}
+
+func newIntervalDict(ivs []interval, codes []Code) *intervalDict {
+	d := &intervalDict{
+		los:     make([][]byte, len(ivs)),
+		symLens: make([]uint16, len(ivs)),
+		codes:   codes,
+	}
+	for i, iv := range ivs {
+		d.los[i] = iv.lo
+		d.symLens[i] = uint16(len(iv.symbol))
+		d.boundBytes += int64(len(iv.lo))
+		if len(iv.lo) > d.maxLo {
+			d.maxLo = len(iv.lo)
+		}
+	}
+	return d
+}
+
+func (d *intervalDict) lookup(src []byte) (Code, int) {
+	lo, hi := 0, len(d.los)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(d.los[mid], src) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo - 1
+	if i < 0 {
+		i = 0 // only the empty string sorts below the first interval
+	}
+	n := int(d.symLens[i])
+	if n > len(src) {
+		n = len(src)
+	}
+	return d.codes[i], n
+}
+func (d *intervalDict) numEntries() int   { return len(d.los) }
+func (d *intervalDict) contextBytes() int { return d.maxLo + 1 }
+func (d *intervalDict) memoryUsage() int64 {
+	return d.boundBytes + int64(len(d.los))*(16+2+9)
+}
+
+// bitmapTrieDict is the 3-gram bitmap-trie of Fig 6.6: each node holds a
+// 256-bit bitmap of branches plus a cumulative set-bit counter, giving
+// pointer-free constant-time child addressing. It accelerates lookups for
+// fixed-length-gram interval dictionaries; misses fall back to the binary
+// search dictionary.
+type bitmapTrieDict struct {
+	gramLen  int
+	bitmaps  [][4]uint64
+	counters []uint32
+	// leafCode[i] is the dictionary slot of the i-th (in order) complete
+	// gram path.
+	leafSlot []uint32
+	fallback *intervalDict
+}
+
+func (d *bitmapTrieDict) lookup(src []byte) (Code, int) {
+	if len(src) < d.gramLen {
+		return d.fallback.lookup(src)
+	}
+	node := 0
+	for level := 0; level < d.gramLen; level++ {
+		b := src[level]
+		bm := &d.bitmaps[node]
+		if bm[b>>6]&(1<<(uint(b)&63)) == 0 {
+			return d.fallback.lookup(src)
+		}
+		// Rank of this branch within the global breadth-first bit order.
+		rank := int(d.counters[node])
+		for w := 0; w < int(b>>6); w++ {
+			rank += popcount(bm[w])
+		}
+		rank += popcount(bm[b>>6] & (1<<(uint(b)&63) - 1))
+		if level == d.gramLen-1 {
+			slot := d.leafSlot[rank-d.leafBase()]
+			return d.fallback.codes[slot], int(d.fallback.symLens[slot])
+		}
+		node = rank + 1 // breadth-first child numbering, root = 0
+	}
+	return d.fallback.lookup(src)
+}
+
+// leafBase returns the rank offset where last-level branches begin.
+func (d *bitmapTrieDict) leafBase() int { return len(d.bitmaps) - 1 }
+
+func (d *bitmapTrieDict) numEntries() int   { return d.fallback.numEntries() }
+func (d *bitmapTrieDict) contextBytes() int { return d.fallback.contextBytes() }
+func (d *bitmapTrieDict) memoryUsage() int64 {
+	return int64(len(d.bitmaps))*36 + int64(len(d.leafSlot))*4 + d.fallback.memoryUsage()
+}
+
+func popcount(x uint64) int { return mathbits.OnesCount64(x) }
+
+// newBitmapTrieDict indexes the full-length grams of an interval dictionary.
+func newBitmapTrieDict(gramLen int, fallback *intervalDict) *bitmapTrieDict {
+	d := &bitmapTrieDict{gramLen: gramLen, fallback: fallback}
+	// Collect dictionary slots whose symbol is a full gram and whose
+	// interval starts exactly at the gram (so the trie resolves exactly the
+	// [g, g+) intervals; everything else falls back).
+	type item struct {
+		gram []byte
+		slot uint32
+	}
+	var items []item
+	for i := range fallback.los {
+		if int(fallback.symLens[i]) == gramLen && len(fallback.los[i]) == gramLen {
+			items = append(items, item{fallback.los[i], uint32(i)})
+		}
+	}
+	// Build the trie breadth-first over the (already sorted) grams.
+	type nodeRange struct{ lo, hi, depth int }
+	queue := []nodeRange{{0, len(items), 0}}
+	var leafOrder []uint32
+	for len(queue) > 0 {
+		nr := queue[0]
+		queue = queue[1:]
+		var bm [4]uint64
+		i := nr.lo
+		for i < nr.hi {
+			b := items[i].gram[nr.depth]
+			j := i + 1
+			for j < nr.hi && items[j].gram[nr.depth] == b {
+				j++
+			}
+			bm[b>>6] |= 1 << (uint(b) & 63)
+			if nr.depth+1 < gramLen {
+				queue = append(queue, nodeRange{i, j, nr.depth + 1})
+			} else {
+				leafOrder = append(leafOrder, items[i].slot)
+			}
+			i = j
+		}
+		d.bitmaps = append(d.bitmaps, bm)
+	}
+	// counters[n] = total set bits in bitmaps before node n.
+	d.counters = make([]uint32, len(d.bitmaps))
+	acc := uint32(0)
+	for n := range d.bitmaps {
+		d.counters[n] = acc
+		bm := &d.bitmaps[n]
+		acc += uint32(popcount(bm[0]) + popcount(bm[1]) + popcount(bm[2]) + popcount(bm[3]))
+	}
+	d.leafSlot = leafOrder
+	return d
+}

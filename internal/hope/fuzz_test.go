@@ -1,0 +1,50 @@
+package hope
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// FuzzOrderPreservation trains each scheme once and checks the core
+// invariant — encoded order equals source order — on fuzz-provided pairs.
+func FuzzOrderPreservation(f *testing.F) {
+	sample := keys.Dedup(keys.Emails(500, 1))
+	encoders := make([]*Encoder, 0, len(Schemes))
+	for _, s := range Schemes {
+		e, err := Train(sample, s, 1<<10)
+		if err != nil {
+			f.Fatal(err)
+		}
+		encoders = append(encoders, e)
+	}
+	f.Add([]byte("com.a@x"), []byte("com.b@y"))
+	f.Add([]byte("aaa"), []byte("aab"))
+	f.Add([]byte{1, 2, 3}, []byte{1, 2})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// The N-gram/ALM schemes document a no-0x00 requirement.
+		a = bytes.ReplaceAll(a, []byte{0}, []byte{1})
+		b = bytes.ReplaceAll(b, []byte{0}, []byte{1})
+		if len(a) > 256 || len(b) > 256 {
+			return
+		}
+		for i, e := range encoders {
+			ea, eb := e.Encode(a), e.Encode(b)
+			switch keys.Compare(a, b) {
+			case -1:
+				if keys.Compare(ea, eb) > 0 {
+					t.Fatalf("scheme %v: order(%q < %q) violated", Schemes[i], a, b)
+				}
+			case 1:
+				if keys.Compare(ea, eb) < 0 {
+					t.Fatalf("scheme %v: order(%q > %q) violated", Schemes[i], a, b)
+				}
+			default:
+				if !bytes.Equal(ea, eb) {
+					t.Fatalf("scheme %v: equal inputs diverged", Schemes[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package hope implements the High-speed Order-Preserving Encoder of
+// Chapter 6: a dictionary-based string compressor for search-tree keys.
+// Encoding is complete (any key encodes) and order-preserving (byte-wise
+// comparison of encoded keys matches the source order), so compressed keys
+// can be inserted into any of this repository's trees and still support
+// range queries.
+//
+// Six schemes are provided, following Table 6.1:
+//
+//	Single-Char   FIVC  256 one-byte intervals, optimal alphabetic codes
+//	Double-Char   FIVC  65536 two-byte intervals, alphabetic codes
+//	ALM           VIFC  variable-length intervals, fixed-length codes
+//	3-Grams       VIVC  3-byte gram intervals, alphabetic codes
+//	4-Grams       VIVC  4-byte gram intervals, alphabetic codes
+//	ALM-Improved  VIVC  variable-length intervals, alphabetic codes
+//
+// The N-gram and ALM schemes require keys free of 0x00 bytes (as in the
+// reference implementation); integer keys should use Single-Char.
+package hope
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheme selects a compression scheme.
+type Scheme int
+
+const (
+	SingleChar Scheme = iota
+	DoubleChar
+	ALM
+	ThreeGrams
+	FourGrams
+	ALMImproved
+)
+
+// Schemes lists every scheme in evaluation order.
+var Schemes = []Scheme{SingleChar, DoubleChar, ALM, ThreeGrams, FourGrams, ALMImproved}
+
+// String returns the scheme's paper name.
+func (s Scheme) String() string {
+	switch s {
+	case SingleChar:
+		return "Single-Char"
+	case DoubleChar:
+		return "Double-Char"
+	case ALM:
+		return "ALM"
+	case ThreeGrams:
+		return "3-Grams"
+	case FourGrams:
+		return "4-Grams"
+	case ALMImproved:
+		return "ALM-Improved"
+	}
+	return "?"
+}
+
+// Encoder encodes keys using a trained dictionary.
+type Encoder struct {
+	scheme Scheme
+	dict   dictionary
+
+	// BuildStats records the two build phases for Fig 6.12.
+	BuildStats struct {
+		SymbolSelect time.Duration // symbol counting + interval construction
+		CodeAssign   time.Duration // code assignment (alphabetic / fixed)
+		DictBuild    time.Duration // final dictionary structure
+	}
+}
+
+// Option tweaks training.
+type Option func(*trainOpts)
+
+type trainOpts struct {
+	useBitmapTrie bool
+}
+
+// WithBitmapTrie builds the Fig 6.6 bitmap-trie index for gram dictionaries.
+func WithBitmapTrie() Option { return func(o *trainOpts) { o.useBitmapTrie = true } }
+
+// Train builds an encoder of the given scheme from a key sample.
+// dictLimit caps the number of dictionary entries (power of two between 2^8
+// and 2^16 in the thesis; ignored by Single/Double-Char whose sizes are
+// fixed).
+func Train(sample [][]byte, scheme Scheme, dictLimit int, opts ...Option) (*Encoder, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("hope: empty sample")
+	}
+	var o trainOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	if dictLimit <= 0 {
+		dictLimit = 1 << 16
+	}
+	e := &Encoder{scheme: scheme}
+	switch scheme {
+	case SingleChar:
+		t0 := time.Now()
+		var weights [256]uint64
+		for _, k := range sample {
+			for _, b := range k {
+				weights[b]++
+			}
+		}
+		e.BuildStats.SymbolSelect = time.Since(t0)
+		t0 = time.Now()
+		codes := assignAlphabeticCodes(weights[:])
+		e.BuildStats.CodeAssign = time.Since(t0)
+		t0 = time.Now()
+		d := &singleCharDict{}
+		copy(d.codes[:], codes)
+		e.dict = d
+		e.BuildStats.DictBuild = time.Since(t0)
+	case DoubleChar:
+		t0 := time.Now()
+		weights := make([]uint64, 65536)
+		for _, k := range sample {
+			i := 0
+			for ; i+2 <= len(k); i += 2 {
+				weights[int(k[i])<<8|int(k[i+1])]++
+			}
+			if i < len(k) {
+				weights[int(k[i])<<8]++
+			}
+		}
+		e.BuildStats.SymbolSelect = time.Since(t0)
+		t0 = time.Now()
+		codes := assignAlphabeticCodes(weights)
+		e.BuildStats.CodeAssign = time.Since(t0)
+		t0 = time.Now()
+		e.dict = &doubleCharDict{codes: codes}
+		e.BuildStats.DictBuild = time.Since(t0)
+	case ThreeGrams, FourGrams, ALM, ALMImproved:
+		t0 := time.Now()
+		var grams [][]byte
+		switch scheme {
+		case ThreeGrams:
+			grams = collectGrams(sample, 3, dictLimit/2)
+		case FourGrams:
+			grams = collectGrams(sample, 4, dictLimit/2)
+		default:
+			grams = collectSubstrings(sample, 8, dictLimit/2)
+		}
+		ivs := buildIntervals(grams)
+		// Weight intervals by simulating encoding over the sample.
+		weights := make([]uint64, len(ivs))
+		probe := newIntervalDict(ivs, make([]Code, len(ivs)))
+		for _, k := range sample {
+			src := k
+			for len(src) > 0 {
+				i := probe.find(src)
+				weights[i]++
+				n := int(probe.symLens[i])
+				if n > len(src) {
+					n = len(src)
+				}
+				src = src[n:]
+			}
+		}
+		e.BuildStats.SymbolSelect = time.Since(t0)
+		t0 = time.Now()
+		var codes []Code
+		if scheme == ALM {
+			codes = assignFixedCodes(len(ivs))
+		} else {
+			codes = assignAlphabeticCodes(weights)
+		}
+		e.BuildStats.CodeAssign = time.Since(t0)
+		t0 = time.Now()
+		id := newIntervalDict(ivs, codes)
+		if o.useBitmapTrie && (scheme == ThreeGrams || scheme == FourGrams) {
+			gl := 3
+			if scheme == FourGrams {
+				gl = 4
+			}
+			e.dict = newBitmapTrieDict(gl, id)
+		} else {
+			e.dict = id
+		}
+		e.BuildStats.DictBuild = time.Since(t0)
+	default:
+		return nil, fmt.Errorf("hope: unknown scheme %d", scheme)
+	}
+	return e, nil
+}
+
+// find returns the interval index containing src (helper shared with the
+// training weight pass).
+func (d *intervalDict) find(src []byte) int {
+	lo, hi := 0, len(d.los)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareBytes(d.los[mid], src) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+func compareBytes(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Scheme returns the encoder's scheme.
+func (e *Encoder) Scheme() Scheme { return e.scheme }
+
+// NumEntries returns the dictionary size.
+func (e *Encoder) NumEntries() int { return e.dict.numEntries() }
+
+// MemoryUsage returns the dictionary size in bytes.
+func (e *Encoder) MemoryUsage() int64 { return e.dict.memoryUsage() }
+
+// Encode compresses key into an order-preserving byte string (bit codes
+// padded with zeros to a byte boundary).
+func (e *Encoder) Encode(key []byte) []byte {
+	b, _ := e.EncodeBits(key)
+	return b
+}
+
+// EncodeBits compresses key, additionally returning the exact bit length.
+func (e *Encoder) EncodeBits(key []byte) ([]byte, int) {
+	w := bitWriter{buf: make([]byte, 0, len(key))}
+	src := key
+	for len(src) > 0 {
+		c, n := e.dict.lookup(src)
+		w.writeCode(c)
+		src = src[n:]
+	}
+	return w.buf, w.nbits
+}
+
+// EncodeBatch compresses a sorted batch, reusing the encoded prefix of the
+// previous key up to the last symbol boundary inside the shared prefix
+// (the batch/pair-encoding optimization of §6.2.2).
+func (e *Encoder) EncodeBatch(sorted [][]byte) [][]byte {
+	out := make([][]byte, len(sorted))
+	var prevKey []byte
+	var prevMarks []mark // symbol boundaries of the previous key
+	var prevBuf []byte
+	var marks []mark
+	for i, key := range sorted {
+		lcp := commonPrefixLen(prevKey, key)
+		// Find the last previous symbol boundary far enough inside the
+		// common prefix that the dictionary cannot distinguish the two keys
+		// from there.
+		safe := lcp - e.dict.contextBytes()
+		resume := 0
+		resumeBits := 0
+		for _, m := range prevMarks {
+			if int(m.srcPos) <= safe {
+				resume = int(m.srcPos)
+				resumeBits = int(m.bitPos)
+			} else {
+				break
+			}
+		}
+		w := bitWriter{buf: make([]byte, 0, len(key))}
+		marks = marks[:0]
+		if resumeBits > 0 {
+			w.buf = append(w.buf, prevBuf[:(resumeBits+7)/8]...)
+			// Clear the padding bits after resumeBits.
+			if r := resumeBits & 7; r != 0 {
+				w.buf[len(w.buf)-1] &= 0xFF << uint(8-r)
+			}
+			w.nbits = resumeBits
+			for _, m := range prevMarks {
+				if int(m.srcPos) <= resume {
+					marks = append(marks, m)
+				}
+			}
+		}
+		src := key[resume:]
+		for len(src) > 0 {
+			c, n := e.dict.lookup(src)
+			w.writeCode(c)
+			src = src[n:]
+			marks = append(marks, mark{srcPos: int32(len(key) - len(src)), bitPos: int32(w.nbits)})
+		}
+		out[i] = w.buf
+		prevKey = key
+		prevBuf = w.buf
+		prevMarks = append(prevMarks[:0], marks...)
+	}
+	return out
+}
+
+type mark struct {
+	srcPos int32
+	bitPos int32
+}
+
+// CompressionRate returns total source bytes divided by total encoded bytes
+// over the given keys (the CPR metric of §6.1.2, measured byte-wise as the
+// trees store whole bytes).
+func (e *Encoder) CompressionRate(ks [][]byte) float64 {
+	var src, enc int64
+	for _, k := range ks {
+		src += int64(len(k))
+		enc += int64(len(e.Encode(k)))
+	}
+	if enc == 0 {
+		return 0
+	}
+	return float64(src) / float64(enc)
+}

@@ -1,0 +1,372 @@
+// Package hybrid implements the dual-stage hybrid index architecture of
+// Chapter 5: a small dynamic stage absorbs all writes while a compact,
+// read-optimized static stage holds the bulk of the entries. A ratio-based
+// trigger periodically merges the dynamic stage into the static stage
+// (merge-all strategy, §5.2.2), and a Bloom filter in front of the dynamic
+// stage lets most point reads touch a single stage (§5.1).
+package hybrid
+
+import (
+	"time"
+
+	"mets/internal/bloom"
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// Config tunes the dual-stage behaviour.
+type Config struct {
+	// MergeRatio R triggers a merge when static/dynamic size falls to R
+	// (default 10, the §5.3.3 sweet spot).
+	MergeRatio int
+	// MinDynamic is the dynamic-stage entry count below which merges never
+	// trigger (keeps tiny indexes from thrashing).
+	MinDynamic int
+	// DisableBloom removes the dynamic-stage Bloom filter (Fig 5.9).
+	DisableBloom bool
+	// BloomBitsPerKey sizes the filter (default 10).
+	BloomBitsPerKey float64
+}
+
+// DefaultConfig returns the thesis defaults.
+func DefaultConfig() Config {
+	return Config{MergeRatio: 10, MinDynamic: 4096, BloomBitsPerKey: 10}
+}
+
+// StaticBuilder constructs a static-stage structure from sorted entries.
+type StaticBuilder func(entries []index.Entry) (index.Static, error)
+
+// Index is a single logical index made of two physical stages.
+type Index struct {
+	cfg        Config
+	newDynamic func() index.Dynamic
+	build      StaticBuilder
+
+	dynamic    index.Dynamic
+	static     index.Static
+	filter     *bloom.Filter
+	tombstones map[string]struct{}
+	// shadows counts keys present in both stages (a dynamic-stage update or
+	// re-insert shadowing a static entry), so Len stays exact.
+	shadows int
+
+	// Merge telemetry for the Chapter 5 experiments.
+	Merges         int
+	LastMergeTime  time.Duration
+	TotalMergeTime time.Duration
+}
+
+// New creates a hybrid index from a dynamic-stage factory and a
+// static-stage builder.
+func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Index {
+	if cfg.MergeRatio <= 0 {
+		cfg.MergeRatio = 10
+	}
+	if cfg.BloomBitsPerKey == 0 {
+		cfg.BloomBitsPerKey = 10
+	}
+	h := &Index{
+		cfg:        cfg,
+		newDynamic: newDynamic,
+		build:      build,
+		dynamic:    newDynamic(),
+		tombstones: make(map[string]struct{}),
+	}
+	h.resetFilter(0)
+	return h
+}
+
+func (h *Index) resetFilter(expected int) {
+	if h.cfg.DisableBloom {
+		return
+	}
+	if expected < 4096 {
+		expected = 4096
+	}
+	h.filter = bloom.New(expected, h.cfg.BloomBitsPerKey)
+}
+
+// Len returns the total number of live entries.
+func (h *Index) Len() int {
+	n := h.dynamic.Len() - h.shadows
+	if h.static != nil {
+		n += h.static.Len() - len(h.tombstones)
+	}
+	return n
+}
+
+// DynamicLen and StaticLen expose the per-stage sizes.
+func (h *Index) DynamicLen() int { return h.dynamic.Len() }
+func (h *Index) StaticLen() int {
+	if h.static == nil {
+		return 0
+	}
+	return h.static.Len()
+}
+
+// inDynamic reports whether key may be in the dynamic stage, consulting the
+// Bloom filter first.
+func (h *Index) mayBeDynamic(key []byte) bool {
+	return h.filter == nil || h.filter.Contains(key)
+}
+
+// Get returns the value stored under key, searching the stages in order.
+func (h *Index) Get(key []byte) (uint64, bool) {
+	if h.mayBeDynamic(key) {
+		if v, ok := h.dynamic.Get(key); ok {
+			return v, true
+		}
+	}
+	if h.static != nil {
+		if v, ok := h.static.Get(key); ok {
+			if _, dead := h.tombstones[string(key)]; !dead {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert adds a new entry (primary-index semantics: duplicate keys are
+// rejected after checking both stages). It may trigger a merge.
+func (h *Index) Insert(key []byte, value uint64) bool {
+	if _, ok := h.Get(key); ok {
+		return false
+	}
+	if !h.dynamic.Insert(key, value) {
+		return false
+	}
+	if _, dead := h.tombstones[string(key)]; dead {
+		// The stale static entry becomes shadowed instead of tombstoned.
+		delete(h.tombstones, string(key))
+		h.shadows++
+	}
+	if h.filter != nil {
+		h.filter.Add(key)
+	}
+	h.maybeMerge()
+	return true
+}
+
+// Update overwrites the value of an existing key. Following §5.1, an update
+// whose target lives in the static stage inserts a fresh entry into the
+// dynamic stage, which shadows the static one until the next merge.
+func (h *Index) Update(key []byte, value uint64) bool {
+	if h.mayBeDynamic(key) {
+		if h.dynamic.Update(key, value) {
+			return true
+		}
+	}
+	if h.static == nil {
+		return false
+	}
+	if _, ok := h.static.Get(key); !ok {
+		return false
+	}
+	if _, dead := h.tombstones[string(key)]; dead {
+		return false
+	}
+	h.dynamic.Insert(key, value)
+	h.shadows++
+	if h.filter != nil {
+		h.filter.Add(key)
+	}
+	h.maybeMerge()
+	return true
+}
+
+// Delete removes key: directly from the dynamic stage, and via a tombstone
+// for static-stage entries (garbage-collected at the next merge). A key that
+// was updated after a merge lives in both stages — the dynamic copy shadows
+// the static one — so both must be taken out.
+func (h *Index) Delete(key []byte) bool {
+	deleted := h.mayBeDynamic(key) && h.dynamic.Delete(key)
+	if h.static != nil {
+		if _, ok := h.static.Get(key); ok {
+			if _, dead := h.tombstones[string(key)]; !dead {
+				h.tombstones[string(key)] = struct{}{}
+				if deleted {
+					h.shadows-- // the removed dynamic copy was a shadow
+				}
+				deleted = true
+			}
+		}
+	}
+	return deleted
+}
+
+// dynChunk is how many dynamic-stage entries a Scan buffers at a time; short
+// scans (the YCSB-E common case) then touch only O(scan length) entries.
+const dynChunk = 64
+
+// dynCursor pulls sorted dynamic-stage entries lazily in chunks.
+type dynCursor struct {
+	d       index.Dynamic
+	buf     []index.Entry
+	i       int
+	nextKey []byte // resume point; nil when exhausted
+	done    bool
+}
+
+func newDynCursor(d index.Dynamic, start []byte) *dynCursor {
+	c := &dynCursor{d: d, nextKey: start}
+	if start == nil {
+		c.nextKey = []byte{}
+	}
+	c.fill()
+	return c
+}
+
+func (c *dynCursor) fill() {
+	c.buf = c.buf[:0]
+	c.i = 0
+	if c.done {
+		return
+	}
+	c.d.Scan(c.nextKey, func(k []byte, v uint64) bool {
+		kk := make([]byte, len(k))
+		copy(kk, k)
+		c.buf = append(c.buf, index.Entry{Key: kk, Value: v})
+		return len(c.buf) < dynChunk
+	})
+	if len(c.buf) < dynChunk {
+		c.done = true
+		return
+	}
+	c.nextKey = keys.Successor(c.buf[len(c.buf)-1].Key)
+	if c.nextKey == nil {
+		c.done = true
+	}
+}
+
+// peek returns the current entry, or nil when exhausted.
+func (c *dynCursor) peek() *index.Entry {
+	if c.i == len(c.buf) {
+		if c.done {
+			return nil
+		}
+		c.fill()
+		if len(c.buf) == 0 {
+			return nil
+		}
+	}
+	return &c.buf[c.i]
+}
+
+func (c *dynCursor) advance() { c.i++ }
+
+// Scan visits live entries in key order from the smallest key >= start,
+// merging the two stages on the fly. Dynamic-stage entries shadow
+// static-stage entries with equal keys.
+func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	dyn := newDynCursor(h.dynamic, start)
+	count := 0
+	emit := func(k []byte, v uint64) bool {
+		count++
+		return fn(k, v)
+	}
+	cont := true
+	if h.static != nil {
+		h.static.Scan(start, func(k []byte, v uint64) bool {
+			for {
+				e := dyn.peek()
+				if e == nil || keys.Compare(e.Key, k) > 0 {
+					break
+				}
+				shadowing := keys.Compare(e.Key, k) == 0
+				if cont = emit(e.Key, e.Value); !cont {
+					return false
+				}
+				dyn.advance()
+				if shadowing {
+					return true // the dynamic entry replaced this static one
+				}
+			}
+			if _, dead := h.tombstones[string(k)]; dead {
+				return true
+			}
+			cont = emit(k, v)
+			return cont
+		})
+	}
+	for cont {
+		e := dyn.peek()
+		if e == nil {
+			break
+		}
+		cont = emit(e.Key, e.Value)
+		dyn.advance()
+	}
+	return count
+}
+
+// maybeMerge fires the ratio-based merge trigger.
+func (h *Index) maybeMerge() {
+	d := h.dynamic.Len()
+	if d < h.cfg.MinDynamic {
+		return
+	}
+	if h.static != nil && d*h.cfg.MergeRatio < h.static.Len() {
+		return
+	}
+	h.Merge()
+}
+
+// Merge migrates every dynamic-stage entry into a rebuilt static stage
+// (merge-all, §5.2.2), applying shadowing updates and tombstones.
+func (h *Index) Merge() {
+	startT := time.Now()
+	dyn := index.Snapshot(h.dynamic)
+	var merged []index.Entry
+	if h.static == nil {
+		merged = dyn
+	} else {
+		merged = make([]index.Entry, 0, len(dyn)+h.static.Len())
+		di := 0
+		h.static.Scan(nil, func(k []byte, v uint64) bool {
+			for di < len(dyn) && keys.Compare(dyn[di].Key, k) < 0 {
+				merged = append(merged, dyn[di])
+				di++
+			}
+			if di < len(dyn) && keys.Compare(dyn[di].Key, k) == 0 {
+				merged = append(merged, dyn[di]) // dynamic shadows static
+				di++
+				return true
+			}
+			if _, dead := h.tombstones[string(k)]; !dead {
+				kk := make([]byte, len(k))
+				copy(kk, k)
+				merged = append(merged, index.Entry{Key: kk, Value: v})
+			}
+			return true
+		})
+		merged = append(merged, dyn[di:]...)
+	}
+	st, err := h.build(merged)
+	if err != nil {
+		panic("hybrid: static build failed: " + err.Error())
+	}
+	h.static = st
+	h.dynamic = h.newDynamic()
+	h.tombstones = make(map[string]struct{})
+	h.shadows = 0
+	h.resetFilter(len(merged) / h.cfg.MergeRatio)
+	h.LastMergeTime = time.Since(startT)
+	h.TotalMergeTime += h.LastMergeTime
+	h.Merges++
+}
+
+// MemoryUsage sums both stages, the Bloom filter, and tombstones.
+func (h *Index) MemoryUsage() int64 {
+	m := h.dynamic.MemoryUsage()
+	if h.static != nil {
+		m += h.static.MemoryUsage()
+	}
+	if h.filter != nil {
+		m += h.filter.MemoryUsage()
+	}
+	for k := range h.tombstones {
+		m += int64(len(k)) + 16
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package hybrid
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// TestModelBasedRandomOps drives each hybrid variant with a random operation
+// stream and checks every result against a map+sorted-slice oracle. This is
+// the strongest correctness test for the dual-stage interplay (shadowing
+// updates, tombstones, merges, bloom filter staleness).
+func TestModelBasedRandomOps(t *testing.T) {
+	for name, h := range allVariants(Config{MergeRatio: 4, MinDynamic: 64, BloomBitsPerKey: 10}) {
+		rng := rand.New(rand.NewSource(99))
+		oracle := make(map[string]uint64)
+		keySpace := make([][]byte, 400)
+		for i := range keySpace {
+			keySpace[i] = keys.Uint64(uint64(rng.Intn(1000)) * 2654435761)
+		}
+		for step := 0; step < 20000; step++ {
+			k := keySpace[rng.Intn(len(keySpace))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				_, exists := oracle[string(k)]
+				got := h.Insert(k, uint64(step))
+				if got == exists {
+					t.Fatalf("%s step %d: Insert(%x) = %v, oracle exists=%v", name, step, k, got, exists)
+				}
+				if got {
+					oracle[string(k)] = uint64(step)
+				}
+			case 4, 5: // update
+				_, exists := oracle[string(k)]
+				got := h.Update(k, uint64(step)+1<<32)
+				if got != exists {
+					t.Fatalf("%s step %d: Update(%x) = %v, oracle %v", name, step, k, got, exists)
+				}
+				if got {
+					oracle[string(k)] = uint64(step) + 1<<32
+				}
+			case 6: // delete
+				_, exists := oracle[string(k)]
+				got := h.Delete(k)
+				if got != exists {
+					t.Fatalf("%s step %d: Delete(%x) = %v, oracle %v", name, step, k, got, exists)
+				}
+				delete(oracle, string(k))
+			case 7, 8: // get
+				want, exists := oracle[string(k)]
+				got, ok := h.Get(k)
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("%s step %d: Get(%x) = (%d,%v), oracle (%d,%v)", name, step, k, got, ok, want, exists)
+				}
+			case 9: // bounded scan vs oracle
+				var sorted []string
+				for kk := range oracle {
+					sorted = append(sorted, kk)
+				}
+				sort.Strings(sorted)
+				idx := sort.SearchStrings(sorted, string(k))
+				var got []string
+				h.Scan(k, func(sk []byte, v uint64) bool {
+					got = append(got, string(sk))
+					return len(got) < 5
+				})
+				for i, g := range got {
+					if idx+i >= len(sorted) || g != sorted[idx+i] {
+						t.Fatalf("%s step %d: scan mismatch at %d", name, step, i)
+					}
+				}
+			}
+			if step%5000 == 4999 && h.Len() != len(oracle) {
+				t.Fatalf("%s step %d: Len = %d, oracle %d", name, step, h.Len(), len(oracle))
+			}
+		}
+		// Final full verification.
+		for kk, want := range oracle {
+			if got, ok := h.Get([]byte(kk)); !ok || got != want {
+				t.Fatalf("%s: final Get(%x) = (%d,%v), want %d", name, kk, got, ok, want)
+			}
+		}
+		var sorted [][]byte
+		for kk := range oracle {
+			sorted = append(sorted, []byte(kk))
+		}
+		sort.Slice(sorted, func(i, j int) bool { return keys.Compare(sorted[i], sorted[j]) < 0 })
+		i := 0
+		h.Scan(nil, func(k []byte, _ uint64) bool {
+			if i >= len(sorted) || !bytes.Equal(k, sorted[i]) {
+				t.Fatalf("%s: final scan[%d] mismatch", name, i)
+			}
+			i++
+			return true
+		})
+		if i != len(sorted) {
+			t.Fatalf("%s: final scan visited %d of %d", name, i, len(sorted))
+		}
+	}
+}

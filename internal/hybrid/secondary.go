@@ -1,0 +1,197 @@
+package hybrid
+
+import (
+	"time"
+
+	"mets/internal/bloom"
+	"mets/internal/btree"
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// Secondary is the non-unique (secondary index) hybrid of §5.3.5: the
+// dynamic stage is a multimap B+tree; the static stage stores each distinct
+// key once with a packed value list. Value updates are applied in place in
+// whichever stage holds the entry, so a key's values never straddle both
+// stages' semantics.
+type Secondary struct {
+	cfg     Config
+	dynamic *btree.Tree
+	static  *btree.CompactMulti
+	filter  *bloom.Filter
+
+	Merges         int
+	LastMergeTime  time.Duration
+	TotalMergeTime time.Duration
+}
+
+// NewSecondary returns an empty secondary hybrid B+tree index.
+func NewSecondary(cfg Config) *Secondary {
+	if cfg.MergeRatio <= 0 {
+		cfg.MergeRatio = 10
+	}
+	if cfg.BloomBitsPerKey == 0 {
+		cfg.BloomBitsPerKey = 10
+	}
+	s := &Secondary{cfg: cfg, dynamic: btree.NewMulti()}
+	s.resetFilter(0)
+	return s
+}
+
+func (s *Secondary) resetFilter(expected int) {
+	if s.cfg.DisableBloom {
+		return
+	}
+	if expected < 4096 {
+		expected = 4096
+	}
+	s.filter = bloom.New(expected, s.cfg.BloomBitsPerKey)
+}
+
+// Len returns the number of stored (key, value) pairs.
+func (s *Secondary) Len() int {
+	n := s.dynamic.Len()
+	if s.static != nil {
+		n += s.static.Len()
+	}
+	return n
+}
+
+// Insert adds one (key, value) pair; duplicates are expected.
+func (s *Secondary) Insert(key []byte, value uint64) bool {
+	s.dynamic.Insert(key, value)
+	if s.filter != nil {
+		s.filter.Add(key)
+	}
+	s.maybeMerge()
+	return true
+}
+
+// GetAll returns every value stored under key across both stages.
+func (s *Secondary) GetAll(key []byte) []uint64 {
+	var out []uint64
+	if s.filter == nil || s.filter.Contains(key) {
+		out = append(out, s.dynamic.GetAll(key)...)
+	}
+	if s.static != nil {
+		out = append(out, s.static.GetAll(key)...)
+	}
+	return out
+}
+
+// Get returns one value stored under key.
+func (s *Secondary) Get(key []byte) (uint64, bool) {
+	vs := s.GetAll(key)
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[0], true
+}
+
+// Update replaces old with new among key's values, in place in whichever
+// stage holds it (§5.1: secondary indexes update in place to keep a key's
+// value list in one stage).
+func (s *Secondary) Update(key []byte, old, new uint64) bool {
+	if s.filter == nil || s.filter.Contains(key) {
+		if s.dynamic.DeleteValue(key, old) {
+			s.dynamic.Insert(key, new)
+			return true
+		}
+	}
+	if s.static != nil {
+		vs := s.static.GetAll(key)
+		for i, v := range vs {
+			if v == old {
+				vs[i] = new // packed value lists are mutable in place
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Scan visits (key, value) pairs in key order from the smallest key >= start.
+func (s *Secondary) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	dyn := index.Snapshot2(s.dynamic, start)
+	di := 0
+	count := 0
+	cont := true
+	emit := func(k []byte, v uint64) bool {
+		count++
+		return fn(k, v)
+	}
+	if s.static != nil {
+		s.static.Scan(start, func(k []byte, v uint64) bool {
+			for di < len(dyn) && keys.Compare(dyn[di].Key, k) <= 0 {
+				if cont = emit(dyn[di].Key, dyn[di].Value); !cont {
+					return false
+				}
+				di++
+			}
+			cont = emit(k, v)
+			return cont
+		})
+	}
+	for cont && di < len(dyn) {
+		cont = emit(dyn[di].Key, dyn[di].Value)
+		di++
+	}
+	return count
+}
+
+func (s *Secondary) maybeMerge() {
+	d := s.dynamic.Len()
+	if d < s.cfg.MinDynamic {
+		return
+	}
+	if s.static != nil && d*s.cfg.MergeRatio < s.static.Len() {
+		return
+	}
+	s.Merge()
+}
+
+// Merge migrates all dynamic pairs into a rebuilt static stage.
+func (s *Secondary) Merge() {
+	startT := time.Now()
+	dyn := index.Snapshot(s.dynamic)
+	var merged []index.Entry
+	if s.static == nil {
+		merged = dyn
+	} else {
+		merged = make([]index.Entry, 0, len(dyn)+s.static.Len())
+		di := 0
+		s.static.Scan(nil, func(k []byte, v uint64) bool {
+			for di < len(dyn) && keys.Compare(dyn[di].Key, k) <= 0 {
+				merged = append(merged, dyn[di])
+				di++
+			}
+			kk := make([]byte, len(k))
+			copy(kk, k)
+			merged = append(merged, index.Entry{Key: kk, Value: v})
+			return true
+		})
+		merged = append(merged, dyn[di:]...)
+	}
+	st, err := btree.NewCompactMulti(merged)
+	if err != nil {
+		panic("hybrid: secondary static build failed: " + err.Error())
+	}
+	s.static = st
+	s.dynamic = btree.NewMulti()
+	s.resetFilter(len(merged) / s.cfg.MergeRatio)
+	s.LastMergeTime = time.Since(startT)
+	s.TotalMergeTime += s.LastMergeTime
+	s.Merges++
+}
+
+// MemoryUsage sums both stages and the Bloom filter.
+func (s *Secondary) MemoryUsage() int64 {
+	m := s.dynamic.MemoryUsage()
+	if s.static != nil {
+		m += s.static.MemoryUsage()
+	}
+	if s.filter != nil {
+		m += s.filter.MemoryUsage()
+	}
+	return m
+}

@@ -1,0 +1,45 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fakeIndex is a minimal Scan/Len implementation for Snapshot tests.
+type fakeIndex struct{ entries []Entry }
+
+func (f *fakeIndex) Len() int { return len(f.entries) }
+func (f *fakeIndex) Scan(start []byte, fn func([]byte, uint64) bool) int {
+	n := 0
+	for _, e := range f.entries {
+		if start != nil && bytes.Compare(e.Key, start) < 0 {
+			continue
+		}
+		n++
+		if !fn(e.Key, e.Value) {
+			break
+		}
+	}
+	return n
+}
+
+func TestSnapshot(t *testing.T) {
+	f := &fakeIndex{entries: []Entry{
+		{Key: []byte("a"), Value: 1},
+		{Key: []byte("b"), Value: 2},
+		{Key: []byte("c"), Value: 3},
+	}}
+	snap := Snapshot(f)
+	if len(snap) != 3 || string(snap[1].Key) != "b" || snap[2].Value != 3 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	from := Snapshot2(f, []byte("b"))
+	if len(from) != 2 || string(from[0].Key) != "b" {
+		t.Fatalf("Snapshot2 = %v", from)
+	}
+	// Keys must be copies, not aliases.
+	f.entries[0].Key[0] = 'z'
+	if string(snap[0].Key) != "a" {
+		t.Fatal("Snapshot aliases the source keys")
+	}
+}

@@ -1,0 +1,158 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := Uint64(a), Uint64(b)
+		switch {
+		case a < b:
+			return Compare(ka, kb) < 0
+		case a > b:
+			return Compare(ka, kb) > 0
+		default:
+			return Compare(ka, kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return ToUint64(Uint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "a", -1},
+		{"abc", "abd", -1}, {"abc", "abc", 0}, {"ab", "abc", -1},
+		{"b", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := Compare([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	if got := Successor([]byte("abc")); !bytes.Equal(got, []byte("abd")) {
+		t.Errorf("Successor(abc) = %q", got)
+	}
+	if got := Successor([]byte{0x61, 0xFF}); !bytes.Equal(got, []byte{0x62}) {
+		t.Errorf("Successor(a\\xff) = %x", got)
+	}
+	if got := Successor([]byte{0xFF, 0xFF}); got != nil {
+		t.Errorf("Successor(all-FF) = %x, want nil", got)
+	}
+	// Successor(k) must be > any extension of k.
+	if Compare(Successor([]byte("ab")), []byte("ab\xff\xff\xff")) <= 0 {
+		t.Errorf("successor not greater than extensions")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ks := [][]byte{[]byte("b"), []byte("a"), []byte("b"), []byte("c"), []byte("a")}
+	out := Dedup(ks)
+	if len(out) != 3 {
+		t.Fatalf("Dedup len = %d, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if Compare(out[i-1], out[i]) >= 0 {
+			t.Fatalf("Dedup output not strictly sorted")
+		}
+	}
+}
+
+func TestRandomUint64Distinct(t *testing.T) {
+	vs := RandomUint64(10000, 42)
+	seen := make(map[uint64]bool)
+	for _, v := range vs {
+		if seen[v] {
+			t.Fatalf("duplicate key %d", v)
+		}
+		seen[v] = true
+	}
+	// Deterministic given the seed.
+	vs2 := RandomUint64(10000, 42)
+	for i := range vs {
+		if vs[i] != vs2[i] {
+			t.Fatalf("RandomUint64 not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMonoInc(t *testing.T) {
+	vs := MonoIncUint64(100, 5)
+	for i, v := range vs {
+		if v != uint64(5+i) {
+			t.Fatalf("MonoInc[%d] = %d", i, v)
+		}
+	}
+}
+
+func checkStringDataset(t *testing.T, name string, ks [][]byte, minAvg, maxAvg float64) {
+	t.Helper()
+	seen := make(map[string]bool)
+	total := 0
+	for _, k := range ks {
+		if seen[string(k)] {
+			t.Fatalf("%s: duplicate key %q", name, k)
+		}
+		seen[string(k)] = true
+		total += len(k)
+		if bytes.IndexByte(k, 0) >= 0 {
+			t.Fatalf("%s: key contains 0x00: %q", name, k)
+		}
+	}
+	avg := float64(total) / float64(len(ks))
+	if avg < minAvg || avg > maxAvg {
+		t.Fatalf("%s: average key length %.1f outside [%v, %v]", name, avg, minAvg, maxAvg)
+	}
+}
+
+func TestEmails(t *testing.T) { checkStringDataset(t, "emails", Emails(5000, 7), 12, 40) }
+func TestURLs(t *testing.T)   { checkStringDataset(t, "urls", URLs(5000, 7), 25, 80) }
+func TestWords(t *testing.T)  { checkStringDataset(t, "words", Words(5000, 7), 5, 20) }
+
+func TestWorstCase(t *testing.T) {
+	ks := WorstCase(1000, 3)
+	if len(ks) != 1000 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	for i := 0; i < len(ks); i += 2 {
+		a, b := ks[i], ks[i+1]
+		if len(a) != 64 || len(b) != 64 {
+			t.Fatalf("keys must be 64 bytes, got %d %d", len(a), len(b))
+		}
+		if !bytes.Equal(a[:63], b[:63]) {
+			t.Fatalf("pair %d does not share a 63-byte prefix", i/2)
+		}
+		if a[63] == b[63] {
+			t.Fatalf("pair %d not distinguished by last byte", i/2)
+		}
+	}
+}
+
+func TestSensorEvents(t *testing.T) {
+	events := SensorEvents(10, 1000, 100000, 11)
+	if len(events) < 500 {
+		t.Fatalf("too few events: %d (expect ~1000)", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if Compare(events[i-1].Key(), events[i].Key()) >= 0 {
+			t.Fatalf("events not sorted/distinct at %d", i)
+		}
+	}
+}

@@ -1,0 +1,567 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"mets/internal/keys"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// MemTableBytes triggers a flush to level 0 (default 4 MB as in
+	// RocksDB's description in §4.2).
+	MemTableBytes int64
+	// BlockSize is the SSTable block payload size (default 4096).
+	BlockSize int
+	// L0CompactionTrigger is the number of level-0 tables that triggers
+	// compaction into level 1 (default 4).
+	L0CompactionTrigger int
+	// LevelSizeMultiplier is the per-level size ratio (default 10).
+	LevelSizeMultiplier int
+	// TargetTableBytes caps individual tables at levels >= 1 (default 2 MB).
+	TargetTableBytes int64
+	// Filter builds per-table filters at flush/compaction time; nil = none.
+	Filter FilterBuilder
+	// BlockCacheBytes caps the decoded-block cache (default 8 MB).
+	BlockCacheBytes int64
+	// IOLatency is charged per block fetch that misses the cache,
+	// simulating the SSD of §4.4 (default 0: count only).
+	IOLatency time.Duration
+}
+
+// DefaultConfig returns the §4.4-style configuration.
+func DefaultConfig() Config {
+	return Config{
+		MemTableBytes:       4 << 20,
+		BlockSize:           4096,
+		L0CompactionTrigger: 4,
+		LevelSizeMultiplier: 10,
+		TargetTableBytes:    2 << 20,
+		BlockCacheBytes:     8 << 20,
+	}
+}
+
+// Stats counts simulated I/O.
+type Stats struct {
+	BlockReads      int64 // block fetches that missed the cache ("I/O")
+	CacheHits       int64
+	FilterNegatives int64 // I/Os avoided by a filter
+	Flushes         int64
+	Compactions     int64
+}
+
+// DB is the storage engine.
+type DB struct {
+	cfg    Config
+	mem    *memTable
+	levels [][]*SSTable // levels[0] newest-last; levels >= 1 sorted by minKey, disjoint
+	nextID uint64
+	cache  *blockCache
+	Stats  Stats
+}
+
+// Open creates an empty DB.
+func Open(cfg Config) *DB {
+	def := DefaultConfig()
+	if cfg.MemTableBytes == 0 {
+		cfg.MemTableBytes = def.MemTableBytes
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = def.BlockSize
+	}
+	if cfg.L0CompactionTrigger == 0 {
+		cfg.L0CompactionTrigger = def.L0CompactionTrigger
+	}
+	if cfg.LevelSizeMultiplier == 0 {
+		cfg.LevelSizeMultiplier = def.LevelSizeMultiplier
+	}
+	if cfg.TargetTableBytes == 0 {
+		cfg.TargetTableBytes = def.TargetTableBytes
+	}
+	if cfg.BlockCacheBytes == 0 {
+		cfg.BlockCacheBytes = def.BlockCacheBytes
+	}
+	return &DB{
+		cfg:   cfg,
+		mem:   newMemTable(),
+		cache: newBlockCache(cfg.BlockCacheBytes),
+	}
+}
+
+// Put inserts or overwrites a record.
+func (db *DB) Put(key, value []byte) {
+	db.mem.put(key, value)
+	if db.mem.bytes >= db.cfg.MemTableBytes {
+		db.flush()
+	}
+}
+
+// tombstoneMarker is the value stored for deleted keys until compaction
+// drops them. Values are length-prefixed in blocks, so a nil-vs-marker
+// distinction needs an out-of-band convention: user values are stored with
+// a 1-byte 0x01 prefix, tombstones as the single byte 0x00. The prefix is
+// added in put/encode paths and stripped on every read.
+var tombstoneMarker = []byte{0}
+
+func isTombstone(stored []byte) bool { return len(stored) == 1 && stored[0] == 0 }
+
+// userValue strips the live-record tag.
+func userValue(stored []byte) []byte { return stored[1:] }
+
+// Delete removes key by writing a tombstone; the space is reclaimed when a
+// compaction merges the tombstone past the key's last live version.
+func (db *DB) Delete(key []byte) {
+	db.mem.putRaw(key, tombstoneMarker)
+	if db.mem.bytes >= db.cfg.MemTableBytes {
+		db.flush()
+	}
+}
+
+// Flush forces the MemTable to level 0.
+func (db *DB) Flush() { db.flush() }
+
+func (db *DB) flush() {
+	entries := db.mem.sorted()
+	if len(entries) == 0 {
+		return
+	}
+	t, err := buildSSTable(db.nextID, entries, db.cfg.BlockSize, db.cfg.Filter)
+	if err != nil {
+		panic("lsm: filter build failed: " + err.Error())
+	}
+	db.nextID++
+	if len(db.levels) == 0 {
+		db.levels = append(db.levels, nil)
+	}
+	db.levels[0] = append(db.levels[0], t)
+	db.mem = newMemTable()
+	db.Stats.Flushes++
+	db.maybeCompact()
+}
+
+// readBlock fetches (and decodes) one block, consulting the cache.
+func (db *DB) readBlock(t *SSTable, idx int) []Entry {
+	if e := db.cache.get(t.id, idx); e != nil {
+		db.Stats.CacheHits++
+		return e
+	}
+	db.Stats.BlockReads++
+	if db.cfg.IOLatency > 0 {
+		time.Sleep(db.cfg.IOLatency)
+	}
+	e := decodeBlock(t.blocks[idx])
+	db.cache.put(t.id, idx, e, int64(len(t.blocks[idx])))
+	return e
+}
+
+// Get returns the value stored under key (Fig 4.3 left path). Tombstones
+// shadow older versions across all levels.
+func (db *DB) Get(key []byte) ([]byte, bool) {
+	if v, ok := db.mem.get(key); ok {
+		if isTombstone(v) {
+			return nil, false
+		}
+		return userValue(v), true
+	}
+	probe := func(t *SSTable) ([]byte, bool, bool) {
+		if keys.Compare(key, t.minKey) < 0 || keys.Compare(key, t.maxKey) > 0 {
+			return nil, false, false
+		}
+		if t.filter != nil && !t.filter.Lookup(key) {
+			db.Stats.FilterNegatives++
+			return nil, false, false
+		}
+		b := t.blockFor(key)
+		if b < 0 {
+			return nil, false, false
+		}
+		v, ok := blockGet(db.readBlock(t, b), key)
+		return v, ok, true
+	}
+	if len(db.levels) > 0 {
+		l0 := db.levels[0]
+		for i := len(l0) - 1; i >= 0; i-- { // newest first
+			if v, ok, _ := probe(l0[i]); ok {
+				if isTombstone(v) {
+					return nil, false
+				}
+				return userValue(v), true
+			}
+		}
+	}
+	for l := 1; l < len(db.levels); l++ {
+		tables := db.levels[l]
+		i := sort.Search(len(tables), func(i int) bool {
+			return keys.Compare(tables[i].maxKey, key) >= 0
+		})
+		if i < len(tables) {
+			if v, ok, _ := probe(tables[i]); ok {
+				if isTombstone(v) {
+					return nil, false
+				}
+				return userValue(v), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// seekCandidate is one source in the Seek merge.
+type seekCandidate struct {
+	key   []byte
+	value []byte
+	table *SSTable
+	exact bool // key/value read from a block (or the MemTable)
+	prio  int  // version order: MemTable > newer L0 > older L0 > L1 > L2 ...
+}
+
+// candLess orders candidates for resolution: by key; on ties approximate
+// candidates first (they must be resolved before an exact winner can be
+// declared), then newer sources first.
+func candLess(a, b *seekCandidate) bool {
+	if c := keys.Compare(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	if a.exact != b.exact {
+		return !a.exact
+	}
+	return a.prio > b.prio
+}
+
+// Seek returns the smallest record with key >= lo and (when hi != nil)
+// key < hi, following the Fig 4.3 Seek path: with SuRF filters, candidate
+// keys come from the filters and only the winning table's block is fetched;
+// a closed seek whose candidates all fall past hi costs no I/O.
+func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
+	var cands []seekCandidate
+	if k, v, ok := db.mem.seek(lo); ok {
+		cands = append(cands, seekCandidate{key: k, value: v, exact: true, prio: 1 << 30})
+	}
+	addTable := func(t *SSTable, prio int) {
+		if !t.overlaps(lo, nil) {
+			return
+		}
+		if t.filter != nil {
+			c, _, ok := t.filter.SeekCandidate(lo)
+			if !ok {
+				db.Stats.FilterNegatives++
+				return
+			}
+			cands = append(cands, seekCandidate{key: c, table: t, prio: prio})
+			return
+		}
+		cands = append(cands, seekCandidate{key: t.minKey, table: t, prio: prio})
+	}
+	if len(db.levels) > 0 {
+		for i, t := range db.levels[0] {
+			addTable(t, 1000+i) // newer level-0 tables shadow older ones
+		}
+	}
+	for l := 1; l < len(db.levels); l++ {
+		tables := db.levels[l]
+		i := sort.Search(len(tables), func(i int) bool {
+			return keys.Compare(tables[i].maxKey, lo) >= 0
+		})
+		if i < len(tables) {
+			addTable(tables[i], -l)
+		}
+	}
+	// Resolve: repeatedly take the first candidate in (key, approx-first,
+	// newest-first) order. An approximate candidate at the front must be
+	// replaced by the exact first-match from its table's block; once the
+	// front is exact, every other source's key is strictly greater (their
+	// truncated keys lower-bound their true keys), so it wins.
+	for len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if candLess(&cands[i], &cands[best]) {
+				best = i
+			}
+		}
+		c := cands[best]
+		if c.exact {
+			if hi != nil && keys.Compare(c.key, hi) >= 0 {
+				return Entry{}, false
+			}
+			if isTombstone(c.value) {
+				// The newest version of this key is a delete: restart past
+				// it, suppressing older versions in other tables.
+				next := keys.Successor(c.key)
+				if next == nil {
+					return Entry{}, false
+				}
+				return db.Seek(next, hi)
+			}
+			return Entry{Key: c.key, Value: userValue(c.value)}, true
+		}
+		// Candidate keys from filters are truncated: when the candidate
+		// already sorts at or past hi, only a prefix of hi can still hide a
+		// boundary false positive (§4.2); check cheaply before an I/O.
+		if hi != nil && keys.Compare(c.key, hi) >= 0 && !bytes.HasPrefix(hi, c.key) {
+			cands = append(cands[:best], cands[best+1:]...)
+			continue
+		}
+		// Fetch the table's exact first record >= lo.
+		e, ok := db.tableSeek(c.table, lo)
+		if !ok {
+			cands = append(cands[:best], cands[best+1:]...)
+			continue
+		}
+		cands[best] = seekCandidate{key: e.Key, value: e.Value, exact: true, prio: c.prio}
+	}
+	return Entry{}, false
+}
+
+// tableSeek reads the first record with key >= lo from t.
+func (db *DB) tableSeek(t *SSTable, lo []byte) (Entry, bool) {
+	b := t.blockFor(lo)
+	if b < 0 {
+		if keys.Compare(lo, t.minKey) < 0 {
+			b = 0
+		} else {
+			return Entry{}, false
+		}
+	}
+	for ; b < len(t.blocks); b++ {
+		entries := db.readBlock(t, b)
+		if i := firstGE(entries, lo); i < len(entries) {
+			return entries[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// Count approximates the number of records in [lo, hi]: with counting
+// filters it is pure in-memory work (plus the MemTable); otherwise blocks
+// are scanned (Fig 4.3 right path).
+func (db *DB) Count(lo, hi []byte) int {
+	total := db.mem.count(lo, hi)
+	each := func(t *SSTable) {
+		if !t.overlaps(lo, hi) {
+			return
+		}
+		if t.filter != nil {
+			if n, ok := t.filter.Count(lo, hi); ok {
+				total += n
+				return
+			}
+		}
+		for b := t.blockFor(lo); b >= 0 && b < len(t.blocks); b++ {
+			entries := db.readBlock(t, b)
+			done := false
+			for i := firstGE(entries, lo); i < len(entries); i++ {
+				if keys.Compare(entries[i].Key, hi) > 0 {
+					done = true
+					break
+				}
+				if !isTombstone(entries[i].Value) {
+					total++
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if len(db.levels) > 0 {
+		for _, t := range db.levels[0] {
+			each(t)
+		}
+	}
+	for l := 1; l < len(db.levels); l++ {
+		for _, t := range db.levels[l] {
+			each(t)
+		}
+	}
+	return total
+}
+
+// maybeCompact runs compactions until the shape invariants hold.
+func (db *DB) maybeCompact() {
+	for {
+		if len(db.levels) > 0 && len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+			db.compactL0()
+			continue
+		}
+		changed := false
+		for l := 1; l < len(db.levels); l++ {
+			if db.levelBytes(l) > db.levelTarget(l) {
+				db.compactLevel(l)
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (db *DB) levelBytes(l int) int64 {
+	var m int64
+	for _, t := range db.levels[l] {
+		m += t.DiskUsage()
+	}
+	return m
+}
+
+func (db *DB) levelTarget(l int) int64 {
+	t := int64(10) << 20 // level 1 target: 10 MB
+	for i := 1; i < l; i++ {
+		t *= int64(db.cfg.LevelSizeMultiplier)
+	}
+	return t
+}
+
+// compactL0 merges every level-0 table plus the overlapping level-1 tables.
+func (db *DB) compactL0() {
+	db.Stats.Compactions++
+	inputs := append([]*SSTable(nil), db.levels[0]...)
+	var lo, hi []byte
+	for _, t := range inputs {
+		if lo == nil || keys.Compare(t.minKey, lo) < 0 {
+			lo = t.minKey
+		}
+		if hi == nil || keys.Compare(t.maxKey, hi) > 0 {
+			hi = t.maxKey
+		}
+	}
+	var keep, merge []*SSTable
+	if len(db.levels) > 1 {
+		for _, t := range db.levels[1] {
+			if t.overlaps(lo, hi) {
+				merge = append(merge, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+	}
+	// L0 tables may overlap each other: newest (last) wins on duplicates.
+	bottom := len(db.levels) <= 2 || len(db.levels[2]) == 0
+	merged := db.mergeTables(append(merge, inputs...), bottom)
+	out := db.splitIntoTables(merged)
+	db.levels[0] = nil
+	if len(db.levels) == 1 {
+		db.levels = append(db.levels, nil)
+	}
+	db.levels[1] = sortTables(append(keep, out...))
+}
+
+// compactLevel pushes one table from level l into level l+1.
+func (db *DB) compactLevel(l int) {
+	db.Stats.Compactions++
+	t := db.levels[l][0]
+	db.levels[l] = db.levels[l][1:]
+	if len(db.levels) == l+1 {
+		db.levels = append(db.levels, nil)
+	}
+	var keep, merge []*SSTable
+	for _, u := range db.levels[l+1] {
+		if u.overlaps(t.minKey, t.maxKey) {
+			merge = append(merge, u)
+		} else {
+			keep = append(keep, u)
+		}
+	}
+	bottom := l+2 >= len(db.levels) || len(db.levels[l+2]) == 0
+	merged := db.mergeTables(append(merge, t), bottom)
+	out := db.splitIntoTables(merged)
+	db.levels[l+1] = sortTables(append(keep, out...))
+}
+
+// mergeTables merges tables (later tables win on equal keys) without
+// charging I/O: compaction reads are sequential background work, not the
+// foreground I/O the experiments count. When the output is the bottom
+// level, tombstones are garbage-collected.
+func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) []Entry {
+	var all []Entry
+	seen := make(map[string]int)
+	for _, t := range tables {
+		for _, raw := range t.blocks {
+			for _, e := range decodeBlock(raw) {
+				if i, ok := seen[string(e.Key)]; ok {
+					all[i] = e
+					continue
+				}
+				seen[string(e.Key)] = len(all)
+				all = append(all, e)
+			}
+		}
+	}
+	if dropTombstones {
+		live := all[:0]
+		for _, e := range all {
+			if !isTombstone(e.Value) {
+				live = append(live, e)
+			}
+		}
+		all = live
+	}
+	sort.Slice(all, func(i, j int) bool { return keys.Compare(all[i].Key, all[j].Key) < 0 })
+	return all
+}
+
+func (db *DB) splitIntoTables(entries []Entry) []*SSTable {
+	var out []*SSTable
+	var size int64
+	start := 0
+	for i, e := range entries {
+		size += int64(len(e.Key) + len(e.Value))
+		if size >= db.cfg.TargetTableBytes || i == len(entries)-1 {
+			t, err := buildSSTable(db.nextID, entries[start:i+1], db.cfg.BlockSize, db.cfg.Filter)
+			if err != nil {
+				panic("lsm: filter build failed: " + err.Error())
+			}
+			db.nextID++
+			out = append(out, t)
+			start = i + 1
+			size = 0
+		}
+	}
+	return out
+}
+
+func sortTables(ts []*SSTable) []*SSTable {
+	sort.Slice(ts, func(i, j int) bool { return keys.Compare(ts[i].minKey, ts[j].minKey) < 0 })
+	return ts
+}
+
+// NumLevels returns the number of levels currently in use.
+func (db *DB) NumLevels() int { return len(db.levels) }
+
+// TablesAt returns the number of tables at level l.
+func (db *DB) TablesAt(l int) int {
+	if l >= len(db.levels) {
+		return 0
+	}
+	return len(db.levels[l])
+}
+
+// FilterMemory totals the resident filter bytes.
+func (db *DB) FilterMemory() int64 {
+	var m int64
+	for _, level := range db.levels {
+		for _, t := range level {
+			if t.filter != nil {
+				m += t.filter.MemoryUsage()
+			}
+		}
+	}
+	return m
+}
+
+// DiskUsage totals serialized table bytes.
+func (db *DB) DiskUsage() int64 {
+	var m int64
+	for _, level := range db.levels {
+		for _, t := range level {
+			m += t.DiskUsage()
+		}
+	}
+	return m
+}
+
+// ResetStats clears the I/O counters.
+func (db *DB) ResetStats() { db.Stats = Stats{} }

@@ -1,0 +1,169 @@
+package lsm
+
+import (
+	"mets/internal/btree"
+	"mets/internal/keys"
+)
+
+// memTable is the mutable write buffer: an ordered index over an append-only
+// value arena.
+type memTable struct {
+	idx   *btree.Tree
+	vals  [][]byte
+	bytes int64
+}
+
+func newMemTable() *memTable {
+	return &memTable{idx: btree.New()}
+}
+
+// put stores a live user value (tagged 0x01); putRaw stores a
+// pre-encoded record such as a tombstone.
+func (m *memTable) put(key, value []byte) {
+	tagged := make([]byte, 0, len(value)+1)
+	tagged = append(tagged, 1)
+	tagged = append(tagged, value...)
+	m.putRaw(key, tagged)
+}
+
+func (m *memTable) putRaw(key, raw []byte) {
+	v := append([]byte(nil), raw...)
+	if m.idx.Update(key, uint64(len(m.vals))) {
+		m.vals = append(m.vals, v)
+		m.bytes += int64(len(raw))
+		return
+	}
+	m.idx.Insert(key, uint64(len(m.vals)))
+	m.vals = append(m.vals, v)
+	m.bytes += int64(len(key) + len(raw))
+}
+
+func (m *memTable) get(key []byte) ([]byte, bool) {
+	i, ok := m.idx.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return m.vals[i], true
+}
+
+// seek returns the smallest record with key >= lo.
+func (m *memTable) seek(lo []byte) ([]byte, []byte, bool) {
+	var k, v []byte
+	m.idx.Scan(lo, func(key []byte, vi uint64) bool {
+		k = append([]byte(nil), key...)
+		v = m.vals[vi]
+		return false
+	})
+	return k, v, k != nil
+}
+
+// count returns the number of records in [lo, hi].
+func (m *memTable) count(lo, hi []byte) int {
+	n := 0
+	m.idx.Scan(lo, func(key []byte, _ uint64) bool {
+		if keys.Compare(key, hi) > 0 {
+			return false
+		}
+		n++
+		return true
+	})
+	return n
+}
+
+// sorted snapshots the memtable.
+func (m *memTable) sorted() []Entry {
+	out := make([]Entry, 0, m.idx.Len())
+	m.idx.Scan(nil, func(key []byte, vi uint64) bool {
+		k := append([]byte(nil), key...)
+		out = append(out, Entry{Key: k, Value: m.vals[vi]})
+		return true
+	})
+	return out
+}
+
+// blockCache is a CLOCK cache of decoded blocks keyed by (table, block),
+// capped by total serialized bytes.
+type blockCache struct {
+	capacity int64
+	used     int64
+	hand     int
+	slots    []cacheSlot
+	where    map[cacheKey]int
+}
+
+type cacheKey struct {
+	table uint64
+	block int
+}
+
+type cacheSlot struct {
+	key     cacheKey
+	entries []Entry
+	bytes   int64
+	ref     bool
+	live    bool
+}
+
+func newBlockCache(capacity int64) *blockCache {
+	return &blockCache{capacity: capacity, where: make(map[cacheKey]int)}
+}
+
+func (c *blockCache) get(table uint64, block int) []Entry {
+	if i, ok := c.where[cacheKey{table, block}]; ok {
+		c.slots[i].ref = true
+		return c.slots[i].entries
+	}
+	return nil
+}
+
+func (c *blockCache) put(table uint64, block int, entries []Entry, bytes int64) {
+	for c.used+bytes > c.capacity && c.evictOne() {
+	}
+	if c.used+bytes > c.capacity {
+		return // block larger than the whole cache
+	}
+	k := cacheKey{table, block}
+	slot := cacheSlot{key: k, entries: entries, bytes: bytes, ref: true, live: true}
+	for i := range c.slots {
+		if !c.slots[i].live {
+			c.slots[i] = slot
+			c.where[k] = i
+			c.used += bytes
+			return
+		}
+	}
+	c.where[k] = len(c.slots)
+	c.slots = append(c.slots, slot)
+	c.used += bytes
+}
+
+func (c *blockCache) evictOne() bool {
+	live := 0
+	for i := range c.slots {
+		if c.slots[i].live {
+			live++
+		}
+	}
+	if live == 0 {
+		return false
+	}
+	for {
+		if c.hand >= len(c.slots) {
+			c.hand = 0
+		}
+		s := &c.slots[c.hand]
+		c.hand++
+		if !s.live {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		delete(c.where, s.key)
+		c.used -= s.bytes
+		s.live = false
+		s.entries = nil
+		return true
+	}
+}

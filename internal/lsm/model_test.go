@@ -1,0 +1,202 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mets/internal/keys"
+	"mets/internal/surf"
+)
+
+// TestModelBasedRandomOps drives the engine with a random put/get/seek
+// stream against a map oracle, across flushes and compactions, for each
+// filter configuration.
+func TestModelBasedRandomOps(t *testing.T) {
+	for name, fb := range filterConfigs() {
+		db := Open(Config{
+			MemTableBytes: 2 << 10, BlockSize: 512,
+			L0CompactionTrigger: 3, TargetTableBytes: 4 << 10,
+			BlockCacheBytes: 16 << 10, Filter: fb,
+		})
+		oracle := make(map[string]string)
+		rng := rand.New(rand.NewSource(7))
+		keySpace := make([][]byte, 300)
+		for i := range keySpace {
+			keySpace[i] = keys.Uint64(uint64(rng.Intn(600)) * 40503)
+		}
+		var sorted []string
+		resort := func() {
+			sorted = sorted[:0]
+			for k := range oracle {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+		}
+		for step := 0; step < 8000; step++ {
+			k := keySpace[rng.Intn(len(keySpace))]
+			switch rng.Intn(5) {
+			case 0, 1: // put (insert or overwrite)
+				v := bytes.Repeat([]byte{byte(step)}, 12)
+				v = append(v, byte(step>>8), byte(step>>16))
+				db.Put(k, v)
+				oracle[string(k)] = string(v)
+			case 2, 3: // get
+				want, exists := oracle[string(k)]
+				got, ok := db.Get(k)
+				if ok != exists || (ok && string(got) != want) {
+					t.Fatalf("%s step %d: Get(%x) mismatch (ok=%v exists=%v)", name, step, k, ok, exists)
+				}
+			default: // seek
+				resort()
+				probe := keys.Uint64(uint64(rng.Intn(600)) * 40503)
+				idx := sort.SearchStrings(sorted, string(probe))
+				e, ok := db.Seek(probe, nil)
+				if idx == len(sorted) {
+					if ok {
+						t.Fatalf("%s step %d: seek past end returned %x", name, step, e.Key)
+					}
+				} else if !ok || !bytes.Equal(e.Key, []byte(sorted[idx])) {
+					t.Fatalf("%s step %d: Seek(%x) = %x want %x", name, step, probe, e.Key, sorted[idx])
+				} else if string(e.Value) != oracle[sorted[idx]] {
+					t.Fatalf("%s step %d: seek returned a stale value", name, step)
+				}
+			}
+		}
+		if db.Stats.Flushes == 0 || db.Stats.Compactions == 0 {
+			t.Fatalf("%s: model test did not exercise flush/compaction (%d/%d)",
+				name, db.Stats.Flushes, db.Stats.Compactions)
+		}
+	}
+}
+
+// TestSeekValueFreshness checks overwrites are visible through Seek across
+// all levels.
+func TestSeekValueFreshness(t *testing.T) {
+	db := Open(Config{
+		MemTableBytes: 4 << 10, BlockSize: 512,
+		L0CompactionTrigger: 2, TargetTableBytes: 4 << 10,
+		Filter: SuRFFilterBuilder(surf.RealConfig(4)),
+	})
+	k := keys.Uint64(100)
+	for round := 0; round < 10; round++ {
+		db.Put(k, []byte{byte(round)})
+		// Pad with other keys to force flushes and compactions.
+		for i := 0; i < 200; i++ {
+			db.Put(keys.Uint64(uint64(1000+round*200+i)), bytes.Repeat([]byte{1}, 16))
+		}
+		db.Flush()
+		e, ok := db.Seek(k, nil)
+		if !ok || !bytes.Equal(e.Key, k) || e.Value[0] != byte(round) {
+			t.Fatalf("round %d: seek sees stale value %v", round, e.Value)
+		}
+	}
+}
+
+// TestDeleteTombstones covers delete-shadowing across the memtable, level 0,
+// and deep levels, plus garbage collection at the bottom level.
+func TestDeleteTombstones(t *testing.T) {
+	db := Open(Config{
+		MemTableBytes: 2 << 10, BlockSize: 512,
+		L0CompactionTrigger: 2, TargetTableBytes: 2 << 10,
+		Filter: SuRFFilterBuilder(surf.HashConfig(4)),
+	})
+	pad := func(n int) {
+		for i := 0; i < n; i++ {
+			db.Put(keys.Uint64(uint64(1<<40)+uint64(n*1000+i)), bytes.Repeat([]byte{9}, 24))
+		}
+	}
+	k := keys.Uint64(500)
+	db.Put(k, []byte("alive"))
+	pad(200) // push the version into deep levels
+	db.Flush()
+	if v, ok := db.Get(k); !ok || string(v) != "alive" {
+		t.Fatal("value lost before delete")
+	}
+	db.Delete(k)
+	if _, ok := db.Get(k); ok {
+		t.Fatal("tombstone in memtable not shadowing")
+	}
+	db.Flush()
+	if _, ok := db.Get(k); ok {
+		t.Fatal("tombstone in L0 not shadowing")
+	}
+	// Seek must skip the deleted key and land on the next live one.
+	next := keys.Uint64(501)
+	db.Put(next, []byte("next"))
+	e, ok := db.Seek(k, nil)
+	if !ok || !bytes.Equal(e.Key, next) || string(e.Value) != "next" {
+		t.Fatalf("seek over tombstone = %x %q %v", e.Key, e.Value, ok)
+	}
+	// Re-insert after delete works.
+	db.Put(k, []byte("reborn"))
+	if v, ok := db.Get(k); !ok || string(v) != "reborn" {
+		t.Fatal("reinsert after delete failed")
+	}
+}
+
+// TestModelWithDeletes repeats the random-op model test with deletes mixed
+// in.
+func TestModelWithDeletes(t *testing.T) {
+	db := Open(Config{
+		MemTableBytes: 2 << 10, BlockSize: 512,
+		L0CompactionTrigger: 3, TargetTableBytes: 4 << 10,
+		BlockCacheBytes: 16 << 10, Filter: SuRFFilterBuilder(surf.RealConfig(4)),
+	})
+	oracle := make(map[string]string)
+	rng := rand.New(rand.NewSource(31))
+	keySpace := make([][]byte, 200)
+	for i := range keySpace {
+		keySpace[i] = keys.Uint64(uint64(rng.Intn(400)) * 99991)
+	}
+	for step := 0; step < 6000; step++ {
+		k := keySpace[rng.Intn(len(keySpace))]
+		switch rng.Intn(6) {
+		case 0, 1:
+			v := bytes.Repeat([]byte{byte(step)}, 10)
+			db.Put(k, v)
+			oracle[string(k)] = string(v)
+		case 2:
+			db.Delete(k)
+			delete(oracle, string(k))
+		default:
+			want, exists := oracle[string(k)]
+			got, ok := db.Get(k)
+			if ok != exists || (ok && string(got) != want) {
+				t.Fatalf("step %d: Get mismatch (ok=%v exists=%v)", step, ok, exists)
+			}
+		}
+	}
+	// Full ordered sweep via Seek must enumerate exactly the live keys.
+	var sorted []string
+	for k := range oracle {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	cursor := []byte{}
+	for i := 0; ; i++ {
+		e, ok := db.Seek(cursor, nil)
+		if !ok {
+			if i != len(sorted) {
+				t.Fatalf("sweep ended at %d of %d live keys", i, len(sorted))
+			}
+			break
+		}
+		if i >= len(sorted) || !bytes.Equal(e.Key, []byte(sorted[i])) {
+			t.Fatalf("sweep[%d] = %x, want %x", i, e.Key, sorted[min(i, len(sorted)-1)])
+		}
+		next := keys.Successor(e.Key)
+		if next == nil {
+			break
+		}
+		cursor = next
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+// Package lsm implements a log-structured merge-tree storage engine with
+// the read paths of Fig 4.3: a MemTable over leveled, immutable SSTables cut
+// into fixed-size blocks with fence indexes, a block cache, and pluggable
+// per-table filters (none / Bloom / SuRF). "Disk" is simulated: block
+// fetches that miss the cache are counted (and can be charged a configurable
+// latency), which is the quantity that drives the Chapter 4 system results.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"mets/internal/keys"
+)
+
+// Entry is a key-value record.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Filter is the per-SSTable approximate-membership interface.
+type Filter interface {
+	Lookup(key []byte) bool
+	// LookupRange reports whether a stored key may lie in [lo, hi); a nil
+	// hi means +infinity (open seek).
+	LookupRange(lo, hi []byte) bool
+	// SeekCandidate returns the smallest stored (possibly truncated) key
+	// >= lo, with approx=true when the key may be inexact; ok=false means
+	// no stored key is >= lo. Filters without ordering (Bloom) return
+	// ok=true, approx=true, candidate=lo.
+	SeekCandidate(lo []byte) (candidate []byte, approx, ok bool)
+	// Count approximates the number of stored keys in [lo, hi]; ok=false
+	// means the filter cannot count (Bloom/none).
+	Count(lo, hi []byte) (int, bool)
+	MemoryUsage() int64
+}
+
+// FilterBuilder constructs a filter over an SSTable's sorted keys at
+// compaction time; nil disables filtering.
+type FilterBuilder func(ks [][]byte) (Filter, error)
+
+// SSTable is one immutable sorted run.
+type SSTable struct {
+	id     uint64
+	blocks [][]byte // serialized block payloads ("on disk")
+	fence  [][]byte // first key of each block
+	minKey []byte
+	maxKey []byte
+	filter Filter
+	count  int
+}
+
+// NumEntries returns the number of records.
+func (t *SSTable) NumEntries() int { return t.count }
+
+// buildSSTable serializes sorted entries into blocks of ~blockSize bytes.
+func buildSSTable(id uint64, entries []Entry, blockSize int, fb FilterBuilder) (*SSTable, error) {
+	t := &SSTable{id: id, count: len(entries)}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	t.minKey = entries[0].Key
+	t.maxKey = entries[len(entries)-1].Key
+	var buf []byte
+	blockStart := 0
+	flush := func(end int) {
+		if len(buf) == 0 {
+			return
+		}
+		t.blocks = append(t.blocks, buf)
+		t.fence = append(t.fence, entries[blockStart].Key)
+		buf = nil
+		blockStart = end
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for i, e := range entries {
+		n := binary.PutUvarint(tmp[:], uint64(len(e.Key)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.Key...)
+		n = binary.PutUvarint(tmp[:], uint64(len(e.Value)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, e.Value...)
+		if len(buf) >= blockSize {
+			flush(i + 1)
+		}
+	}
+	flush(len(entries))
+	if fb != nil {
+		ks := make([][]byte, len(entries))
+		for i, e := range entries {
+			ks[i] = e.Key
+		}
+		f, err := fb(ks)
+		if err != nil {
+			return nil, err
+		}
+		t.filter = f
+	}
+	return t, nil
+}
+
+// decodeBlock parses a serialized block.
+func decodeBlock(raw []byte) []Entry {
+	var out []Entry
+	for off := 0; off < len(raw); {
+		kl, n := binary.Uvarint(raw[off:])
+		off += n
+		k := raw[off : off+int(kl)]
+		off += int(kl)
+		vl, n := binary.Uvarint(raw[off:])
+		off += n
+		v := raw[off : off+int(vl)]
+		off += int(vl)
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	return out
+}
+
+// blockFor returns the index of the block that may contain key, or -1.
+func (t *SSTable) blockFor(key []byte) int {
+	if len(t.blocks) == 0 || keys.Compare(key, t.maxKey) > 0 {
+		return -1
+	}
+	i := sort.Search(len(t.fence), func(i int) bool {
+		return keys.Compare(t.fence[i], key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// overlaps reports whether the table's key range intersects [lo, hi]; nil
+// hi means +infinity.
+func (t *SSTable) overlaps(lo, hi []byte) bool {
+	if len(t.blocks) == 0 {
+		return false
+	}
+	if hi != nil && keys.Compare(t.minKey, hi) > 0 {
+		return false
+	}
+	return keys.Compare(t.maxKey, lo) >= 0
+}
+
+// MemoryUsage returns the in-memory footprint attributable to the table's
+// resident metadata: fence keys and the filter ("disk" blocks excluded).
+func (t *SSTable) MemoryUsage() int64 {
+	var m int64
+	for _, f := range t.fence {
+		m += int64(len(f)) + 16
+	}
+	if t.filter != nil {
+		m += t.filter.MemoryUsage()
+	}
+	return m
+}
+
+// DiskUsage returns the total serialized block bytes.
+func (t *SSTable) DiskUsage() int64 {
+	var m int64
+	for _, b := range t.blocks {
+		m += int64(len(b))
+	}
+	return m
+}
+
+// firstGE scans the decoded block for the first entry with key >= lo.
+func firstGE(entries []Entry, lo []byte) int {
+	return sort.Search(len(entries), func(i int) bool {
+		return keys.Compare(entries[i].Key, lo) >= 0
+	})
+}
+
+// get searches the decoded block for an exact key.
+func blockGet(entries []Entry, key []byte) ([]byte, bool) {
+	i := firstGE(entries, key)
+	if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+		return entries[i].Value, true
+	}
+	return nil, false
+}

@@ -1,0 +1,158 @@
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(5000, 1)))
+	l := New()
+	perm := rand.New(rand.NewSource(2)).Perm(len(ks))
+	for _, i := range perm {
+		if !l.Insert(ks[i], uint64(i)) {
+			t.Fatalf("insert failed")
+		}
+	}
+	if l.Insert(ks[0], 99) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if l.Len() != len(ks) {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for i, k := range ks {
+		if v, ok := l.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%x) = %d,%v", k, v, ok)
+		}
+	}
+	for i, k := range ks {
+		if i%2 == 0 && !l.Update(k, uint64(i)+7) {
+			t.Fatal("update failed")
+		}
+		if i%3 == 0 && !l.Delete(k) {
+			t.Fatal("delete failed")
+		}
+	}
+	for i, k := range ks {
+		v, ok := l.Get(k)
+		switch {
+		case i%3 == 0:
+			if ok {
+				t.Fatal("deleted key present")
+			}
+		case i%2 == 0:
+			if !ok || v != uint64(i)+7 {
+				t.Fatal("updated value wrong")
+			}
+		default:
+			if !ok || v != uint64(i) {
+				t.Fatal("value wrong")
+			}
+		}
+	}
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(3000, 3))
+	l := New()
+	perm := rand.New(rand.NewSource(4)).Perm(len(ks))
+	for _, i := range perm {
+		l.Insert(ks[i], uint64(i))
+	}
+	got := index.Snapshot(l)
+	for i := range got {
+		if !bytes.Equal(got[i].Key, ks[i]) {
+			t.Fatalf("scan order broken at %d", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		probe := ks[rng.Intn(len(ks))]
+		idx := sort.Search(len(ks), func(i int) bool { return keys.Compare(ks[i], probe) >= 0 })
+		var first []byte
+		l.Scan(probe, func(k []byte, v uint64) bool { first = k; return false })
+		if !bytes.Equal(first, ks[idx]) {
+			t.Fatalf("scan(%q) starts at %q", probe, first)
+		}
+	}
+}
+
+func TestCompactMatches(t *testing.T) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(30000, 7)))
+	entries := make([]index.Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	c, err := NewCompact(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		if v, ok := c.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("compact Get(%x) = %d,%v", k, v, ok)
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		probe := keys.Uint64(rng.Uint64())
+		idx := sort.Search(len(ks), func(i int) bool { return keys.Compare(ks[i], probe) >= 0 })
+		wantOK := idx < len(ks) && bytes.Equal(ks[idx], probe)
+		if _, ok := c.Get(probe); ok != wantOK {
+			t.Fatalf("compact Get(%x) presence mismatch", probe)
+		}
+		var first []byte
+		c.Scan(probe, func(k []byte, _ uint64) bool { first = k; return false })
+		if idx < len(ks) {
+			if !bytes.Equal(first, ks[idx]) {
+				t.Fatalf("compact Scan(%x) = %x, want %x", probe, first, ks[idx])
+			}
+		} else if first != nil {
+			t.Fatal("compact Scan past end returned a key")
+		}
+	}
+}
+
+func TestCompactSmaller(t *testing.T) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(30000, 9)))
+	l := New()
+	entries := make([]index.Entry, len(ks))
+	for i, k := range ks {
+		l.Insert(k, uint64(i))
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	c, _ := NewCompact(entries)
+	if ratio := float64(c.MemoryUsage()) / float64(l.MemoryUsage()); ratio > 0.7 {
+		t.Fatalf("compact skip list ratio %.2f, want <= 0.7", ratio)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	l := New()
+	if _, ok := l.Get([]byte("x")); ok {
+		t.Fatal("empty Get")
+	}
+	if l.Delete([]byte("x")) {
+		t.Fatal("empty Delete")
+	}
+	c, _ := NewCompact(nil)
+	if _, ok := c.Get([]byte("x")); ok {
+		t.Fatal("empty compact Get")
+	}
+}
+
+func BenchmarkGetRandInt(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	l := New()
+	for i, k := range ks {
+		l.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(ks[i%len(ks)])
+	}
+}

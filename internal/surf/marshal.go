@@ -1,0 +1,104 @@
+package surf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mets/internal/bits"
+	"mets/internal/fst"
+)
+
+const marshalMagic = "SuRF"
+
+// MarshalBinary serializes the filter so it can be stored alongside the
+// data it guards (e.g. in an SSTable footer) and loaded without rebuilding.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	trieBytes, err := f.trie.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	var b [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	w(uint64(f.cfg.HashSuffixLen))
+	w(uint64(f.cfg.RealSuffixLen))
+	w(uint64(f.numKeys))
+	w(uint64(len(trieBytes)))
+	buf.Write(trieBytes)
+	if f.suffixes != nil {
+		w(uint64(f.suffixes.Len()))
+		for _, word := range f.suffixes.Words() {
+			w(word)
+		}
+	} else {
+		w(0)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a filter serialized by MarshalBinary.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 4 || string(data[:4]) != marshalMagic {
+		return nil, fmt.Errorf("surf: bad magic")
+	}
+	r := bytes.NewReader(data[4:])
+	var b [8]byte
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	f := &Filter{}
+	var v uint64
+	var err error
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	f.cfg.HashSuffixLen = int(v)
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	f.cfg.RealSuffixLen = int(v)
+	f.sufBits = f.cfg.HashSuffixLen + f.cfg.RealSuffixLen
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	f.numKeys = int(v)
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	if v > uint64(r.Len()) {
+		return nil, fmt.Errorf("surf: corrupt trie length")
+	}
+	trieBytes := make([]byte, v)
+	if _, err := io.ReadFull(r, trieBytes); err != nil {
+		return nil, err
+	}
+	if f.trie, err = fst.UnmarshalTrie(trieBytes); err != nil {
+		return nil, err
+	}
+	if v, err = u64(); err != nil {
+		return nil, err
+	}
+	if v > 0 {
+		n := int(v)
+		words := make([]uint64, (n+63)/64)
+		for i := range words {
+			if words[i], err = u64(); err != nil {
+				return nil, err
+			}
+		}
+		f.suffixes = bits.FromWords(words, n)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("surf: %d trailing bytes", r.Len())
+	}
+	return f, nil
+}

@@ -1,0 +1,275 @@
+package surf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func variants() map[string]Config {
+	return map[string]Config{
+		"base":  BaseConfig(),
+		"hash4": HashConfig(4),
+		"hash8": HashConfig(8),
+		"real4": RealConfig(4),
+		"real8": RealConfig(8),
+		"mixed": MixedConfig(4, 4),
+	}
+}
+
+func build(t *testing.T, ks [][]byte, cfg Config) *Filter {
+	t.Helper()
+	f, err := Build(ks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNoFalseNegativesPoint(t *testing.T) {
+	for _, ds := range []struct {
+		name string
+		ks   [][]byte
+	}{
+		{"ints", keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(5000, 1)))},
+		{"emails", keys.Dedup(keys.Emails(5000, 2))},
+	} {
+		for name, cfg := range variants() {
+			f := build(t, ds.ks, cfg)
+			for _, k := range ds.ks {
+				if !f.Lookup(k) {
+					t.Fatalf("%s/%s: false negative for %q", ds.name, name, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNoFalseNegativesRange(t *testing.T) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(3000, 7)))
+	for name, cfg := range variants() {
+		f := build(t, ks, cfg)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 2000; i++ {
+			a := rng.Intn(len(ks))
+			lo := keys.ToUint64(ks[a])
+			// A range guaranteed to contain stored key ks[a].
+			loKey := keys.Uint64(lo - uint64(rng.Intn(1000)))
+			hiKey := keys.Uint64(lo + uint64(rng.Intn(1000)))
+			if !f.LookupRange(loKey, hiKey, true) {
+				t.Fatalf("%s: false negative for range [%x, %x] containing %x", name, loKey, hiKey, ks[a])
+			}
+		}
+	}
+}
+
+func TestPointFPRDropsWithSuffixBits(t *testing.T) {
+	// Fig 4.4 trend: FPR halves per hash bit; SuRF-Hash(8) should be near
+	// 1/256 on random probes.
+	all := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(40000, 5)))
+	stored := all[:20000]
+	sort.Slice(stored, func(i, j int) bool { return keys.Compare(stored[i], stored[j]) < 0 })
+	probes := all[20000:]
+
+	fpr := func(cfg Config) float64 {
+		f := build(t, stored, cfg)
+		fp := 0
+		for _, p := range probes {
+			if f.Lookup(p) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(probes))
+	}
+	base := fpr(BaseConfig())
+	h4 := fpr(HashConfig(4))
+	h8 := fpr(HashConfig(8))
+	if !(base >= h4 && h4 >= h8) {
+		t.Fatalf("FPR should fall with hash bits: base=%.4f h4=%.4f h8=%.4f", base, h4, h8)
+	}
+	if h8 > 1.0/256*3+0.002 {
+		t.Fatalf("SuRF-Hash8 FPR %.4f far above 2^-8", h8)
+	}
+}
+
+func TestRealSuffixHelpsRangeFPR(t *testing.T) {
+	all := keys.Dedup(keys.Emails(20000, 9))
+	stored := all[:10000]
+	sort.Slice(stored, func(i, j int) bool { return keys.Compare(stored[i], stored[j]) < 0 })
+	sort.Slice(all, func(i, j int) bool { return keys.Compare(all[i], all[j]) < 0 })
+	present := make(map[string]bool)
+	for _, k := range stored {
+		present[string(k)] = true
+	}
+
+	rangeFPR := func(cfg Config) float64 {
+		f := build(t, stored, cfg)
+		fp, neg := 0, 0
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 5000; i++ {
+			k := all[rng.Intn(len(all))]
+			lo := k
+			hi := keys.Successor(k) // [k, succ) == keys with prefix k
+			// Oracle: does any stored key lie in [lo, hi)?
+			idx := sort.Search(len(stored), func(i int) bool { return keys.Compare(stored[i], lo) >= 0 })
+			truth := idx < len(stored) && (hi == nil || keys.Compare(stored[idx], hi) < 0)
+			got := f.LookupRange(lo, hi, false)
+			if truth && !got {
+				t.Fatalf("range false negative for [%q, %q)", lo, hi)
+			}
+			if !truth {
+				neg++
+				if got {
+					fp++
+				}
+			}
+		}
+		if neg == 0 {
+			return 0
+		}
+		return float64(fp) / float64(neg)
+	}
+	base := rangeFPR(BaseConfig())
+	real8 := rangeFPR(RealConfig(8))
+	if real8 > base {
+		t.Fatalf("real suffix should reduce range FPR: base=%.4f real8=%.4f", base, real8)
+	}
+}
+
+func TestHashBitsDoNotHelpRanges(t *testing.T) {
+	// §4.1.2: hashed suffixes provide no ordering information. Sanity check
+	// that range queries still have one-sided error with hash suffixes.
+	ks := keys.Dedup(keys.Emails(3000, 21))
+	f := build(t, ks, HashConfig(8))
+	for i := 0; i+1 < len(ks); i += 10 {
+		if !f.LookupRange(ks[i], ks[i+1], true) {
+			t.Fatalf("false negative with hash suffix on [%q,%q]", ks[i], ks[i+1])
+		}
+	}
+}
+
+func TestCountApproximation(t *testing.T) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(5000, 11)))
+	f := build(t, ks, RealConfig(8))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a, b := rng.Intn(len(ks)), rng.Intn(len(ks))
+		if a > b {
+			a, b = b, a
+		}
+		got := f.Count(ks[a], ks[b])
+		want := b - a + 1
+		if got < want-2 || got > want+2 {
+			t.Fatalf("Count = %d, want %d (±2)", got, want)
+		}
+	}
+}
+
+func TestBitsPerKey(t *testing.T) {
+	// §4.1.1: SuRF-Base ~10 bits/key on 64-bit random integers, ~14 on
+	// emails. Allow slack for the Go layout but stay in the right regime.
+	ints := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(100000, 3)))
+	f := build(t, ints, BaseConfig())
+	if bpk := f.BitsPerKey(); bpk > 16 {
+		t.Fatalf("SuRF-Base on ints: %.1f bits/key, want ~10", bpk)
+	}
+	emails := keys.Dedup(keys.Emails(50000, 4))
+	fe := build(t, emails, BaseConfig())
+	if bpk := fe.BitsPerKey(); bpk > 24 {
+		t.Fatalf("SuRF-Base on emails: %.1f bits/key, want ~14", bpk)
+	}
+	// Each suffix bit adds one bit per key.
+	f4 := build(t, ints, HashConfig(4))
+	if d := f4.BitsPerKey() - f.BitsPerKey(); d < 3.5 || d > 5.5 {
+		t.Fatalf("4 hash bits should add ~4 bits/key, added %.2f", d)
+	}
+	fmt.Printf("SuRF-Base: ints %.1f bpk, emails %.1f bpk\n", f.BitsPerKey(), fe.BitsPerKey())
+}
+
+func TestMoveToNextOrder(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(2000, 33))
+	f := build(t, ks, RealConfig(8))
+	// Iterating from the smallest key must enumerate a prefix-nondecreasing
+	// sequence covering all keys.
+	it := f.MoveToNext([]byte{})
+	n := 0
+	var prev []byte
+	for it.Valid() {
+		k := it.Key()
+		if prev != nil && keys.Compare(prev, k) > 0 {
+			t.Fatalf("iterator went backwards: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		it.Next()
+	}
+	if n != len(ks) {
+		t.Fatalf("iterated %d leaves, want %d", n, len(ks))
+	}
+}
+
+func TestWorstCaseDataset(t *testing.T) {
+	// Fig 4.10/4.11: 64-byte keys differing only in the last byte blow up
+	// the trie to ~height 64 and large size; the filter must stay correct.
+	ks := keys.Dedup(keys.WorstCase(2000, 3))
+	f := build(t, ks, BaseConfig())
+	if f.Height() < 60 {
+		t.Fatalf("worst-case trie height %d, expected ~64", f.Height())
+	}
+	for _, k := range ks {
+		if !f.Lookup(k) {
+			t.Fatalf("false negative on worst-case key")
+		}
+	}
+	if bpk := f.BitsPerKey(); bpk < 100 {
+		t.Fatalf("worst-case bits/key %.0f suspiciously small; paper reports ~328", bpk)
+	}
+}
+
+func BenchmarkLookupInt(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(1000000, 1)))
+	f, _ := Build(ks, HashConfig(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(ks[i%len(ks)])
+	}
+}
+
+func BenchmarkLookupRangeInt(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(1000000, 1)))
+	f, _ := Build(ks, RealConfig(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys.ToUint64(ks[i%len(ks)])
+		f.LookupRange(keys.Uint64(k+1<<37), keys.Uint64(k+1<<38), true)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	// The filter is immutable after Build; concurrent readers must be safe
+	// (run under -race in CI for the Fig 4.7 claim).
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(20000, 41)))
+	f := build(t, ks, MixedConfig(4, 4))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				k := ks[(off+i)%len(ks)]
+				if !f.Lookup(k) {
+					t.Errorf("concurrent false negative")
+					return
+				}
+				if i%7 == 0 {
+					f.LookupRange(k, keys.Successor(k), false)
+				}
+			}
+		}(w * 5000)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+// Package ycsb generates workloads modelled on the Yahoo! Cloud Serving
+// Benchmark as used throughout the thesis: a bulk-load (insert-only) phase
+// followed by one of workloads A (50/50 read/update), C (read-only), or
+// E (95/5 scan/insert), with Zipfian or uniform request distributions.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind enumerates the request types a workload can emit.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+)
+
+// Op is one generated request. Key indexes into the loaded dataset for
+// reads/updates/scans; for inserts it indexes into the insert pool.
+type Op struct {
+	Kind     OpKind
+	KeyIndex int
+	ScanLen  int
+}
+
+// Workload identifies a YCSB core workload mix.
+type Workload uint8
+
+const (
+	// WorkloadA is 50% reads, 50% updates.
+	WorkloadA Workload = iota
+	// WorkloadB is 95% reads, 5% updates.
+	WorkloadB
+	// WorkloadC is 100% reads.
+	WorkloadC
+	// WorkloadD is 95% reads biased toward recent inserts, 5% inserts.
+	WorkloadD
+	// WorkloadE is 95% short scans, 5% inserts.
+	WorkloadE
+)
+
+// String returns the workload's conventional name.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadA:
+		return "A(read/update)"
+	case WorkloadB:
+		return "B(read-mostly)"
+	case WorkloadC:
+		return "C(read-only)"
+	case WorkloadD:
+		return "D(read-latest)"
+	case WorkloadE:
+		return "E(scan/insert)"
+	}
+	return "?"
+}
+
+// Generator produces request sequences over a dataset of n keys.
+type Generator struct {
+	rng     *rand.Rand
+	zipf    *zipfGen
+	n       int
+	uniform bool
+}
+
+// NewGenerator creates a generator over n loaded keys. If uniform is false,
+// requests follow the YCSB default Zipfian distribution (theta = 0.99).
+func NewGenerator(n int, uniform bool, seed int64) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), n: n, uniform: uniform}
+	if !uniform {
+		g.zipf = newZipf(n, 0.99, g.rng)
+	}
+	return g
+}
+
+// next draws a key index per the configured distribution.
+func (g *Generator) next() int {
+	if g.uniform {
+		return g.rng.Intn(g.n)
+	}
+	return g.zipf.next()
+}
+
+// Ops generates count operations for the given workload. Insert operations
+// carry consecutive KeyIndex values starting at 0 into a caller-provided
+// insert pool.
+func (g *Generator) Ops(w Workload, count int) []Op {
+	ops := make([]Op, count)
+	inserted := 0
+	for i := range ops {
+		switch w {
+		case WorkloadA:
+			if g.rng.Intn(2) == 0 {
+				ops[i] = Op{Kind: OpRead, KeyIndex: g.next()}
+			} else {
+				ops[i] = Op{Kind: OpUpdate, KeyIndex: g.next()}
+			}
+		case WorkloadB:
+			if g.rng.Intn(100) < 5 {
+				ops[i] = Op{Kind: OpUpdate, KeyIndex: g.next()}
+			} else {
+				ops[i] = Op{Kind: OpRead, KeyIndex: g.next()}
+			}
+		case WorkloadC:
+			ops[i] = Op{Kind: OpRead, KeyIndex: g.next()}
+		case WorkloadD:
+			if g.rng.Intn(100) < 5 {
+				ops[i] = Op{Kind: OpInsert, KeyIndex: inserted}
+				inserted++
+			} else {
+				// Reads skew toward the most recently inserted region: the
+				// tail of the loaded key space plus fresh inserts.
+				window := g.n / 10
+				if window == 0 {
+					window = 1
+				}
+				ops[i] = Op{Kind: OpRead, KeyIndex: g.n - 1 - g.rng.Intn(window)}
+			}
+		case WorkloadE:
+			if g.rng.Intn(100) < 5 {
+				ops[i] = Op{Kind: OpInsert, KeyIndex: inserted}
+				inserted++
+			} else {
+				// YCSB-E short scans: 50-100 items, uniform.
+				ops[i] = Op{Kind: OpScan, KeyIndex: g.next(), ScanLen: 50 + g.rng.Intn(51)}
+			}
+		}
+	}
+	return ops
+}
+
+// zipfGen is the standard YCSB Zipfian generator (Gray et al.), which biases
+// toward low ranks; ranks are then scattered over the key space by a
+// multiplicative hash so hot keys are spread out.
+type zipfGen struct {
+	rng            *rand.Rand
+	n              int
+	theta          float64
+	alpha          float64
+	zetan          float64
+	eta            float64
+	zeta2theta     float64
+	scrambleFactor uint64
+}
+
+func newZipf(n int, theta float64, rng *rand.Rand) *zipfGen {
+	z := &zipfGen{rng: rng, n: n, theta: theta, scrambleFactor: 0x9e3779b97f4a7c15}
+	z.zetan = zetaStatic(uint64(n), theta)
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// Scatter ranks across the key space (fmix-style scramble).
+	h := uint64(rank) * z.scrambleFactor
+	h ^= h >> 31
+	return int(h % uint64(z.n))
+}

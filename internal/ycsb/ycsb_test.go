@@ -1,0 +1,148 @@
+package ycsb
+
+import "testing"
+
+func TestWorkloadMixes(t *testing.T) {
+	g := NewGenerator(10000, false, 1)
+	count := 20000
+
+	ops := g.Ops(WorkloadC, count)
+	for _, op := range ops {
+		if op.Kind != OpRead {
+			t.Fatalf("workload C emitted %v", op.Kind)
+		}
+	}
+
+	ops = g.Ops(WorkloadA, count)
+	reads := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+		default:
+			t.Fatalf("workload A emitted %v", op.Kind)
+		}
+	}
+	if frac := float64(reads) / float64(count); frac < 0.45 || frac > 0.55 {
+		t.Fatalf("workload A read fraction %.2f not ~0.5", frac)
+	}
+
+	ops = g.Ops(WorkloadE, count)
+	scans, inserts := 0, 0
+	lastInsert := -1
+	for _, op := range ops {
+		switch op.Kind {
+		case OpScan:
+			scans++
+			if op.ScanLen < 50 || op.ScanLen > 100 {
+				t.Fatalf("scan length %d outside [50,100]", op.ScanLen)
+			}
+		case OpInsert:
+			inserts++
+			if op.KeyIndex != lastInsert+1 {
+				t.Fatalf("insert indexes not consecutive: %d after %d", op.KeyIndex, lastInsert)
+			}
+			lastInsert = op.KeyIndex
+		default:
+			t.Fatalf("workload E emitted %v", op.Kind)
+		}
+	}
+	if frac := float64(inserts) / float64(count); frac < 0.03 || frac > 0.08 {
+		t.Fatalf("workload E insert fraction %.3f not ~0.05", frac)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	n := 10000
+	g := NewGenerator(n, false, 7)
+	counts := make(map[int]int)
+	draws := 200000
+	for i := 0; i < draws; i++ {
+		counts[g.next()]++
+	}
+	// The hottest key under Zipf(0.99) should take a few percent of traffic;
+	// under uniform it would take ~1/n = 0.01%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / float64(draws); frac < 0.01 {
+		t.Fatalf("hottest key fraction %.4f too low for Zipfian", frac)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	n := 1000
+	g := NewGenerator(n, true, 7)
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		idx := g.next()
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn in 100k uniform draws", i)
+		}
+	}
+}
+
+func TestIndexesInRange(t *testing.T) {
+	n := 500
+	g := NewGenerator(n, false, 3)
+	for _, op := range g.Ops(WorkloadA, 5000) {
+		if op.KeyIndex < 0 || op.KeyIndex >= n {
+			t.Fatalf("key index %d out of range", op.KeyIndex)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(1000, false, 42).Ops(WorkloadA, 1000)
+	b := NewGenerator(1000, false, 42).Ops(WorkloadA, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at op %d", i)
+		}
+	}
+}
+
+func TestWorkloadBMix(t *testing.T) {
+	g := NewGenerator(1000, false, 9)
+	updates := 0
+	for _, op := range g.Ops(WorkloadB, 20000) {
+		switch op.Kind {
+		case OpUpdate:
+			updates++
+		case OpRead:
+		default:
+			t.Fatalf("workload B emitted %v", op.Kind)
+		}
+	}
+	if frac := float64(updates) / 20000; frac < 0.03 || frac > 0.08 {
+		t.Fatalf("workload B update fraction %.3f not ~0.05", frac)
+	}
+}
+
+func TestWorkloadDRecency(t *testing.T) {
+	n := 10000
+	g := NewGenerator(n, false, 11)
+	reads, recent := 0, 0
+	for _, op := range g.Ops(WorkloadD, 20000) {
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.KeyIndex >= n-n/10 {
+			recent++
+		}
+	}
+	if reads == 0 || recent != reads {
+		t.Fatalf("workload D reads not confined to the recent window: %d/%d", recent, reads)
+	}
+}

@@ -1,0 +1,153 @@
+// Package mets (Memory-Efficient Trees) is the public API of this
+// reproduction of "Memory-Efficient Search Trees for Database Management
+// Systems" (Zhang, 2020/SIGMOD 2021). It re-exports the user-facing types:
+//
+//   - FST — the Fast Succinct Trie (Chapter 3): a static ordered key-value
+//     index within ~10 bits/node of the information-theoretic minimum.
+//   - SuRF — the Succinct Range Filter (Chapter 4): approximate membership
+//     tests for points and ranges with one-sided errors.
+//   - HybridIndex — the dual-stage architecture (Chapter 5) that makes the
+//     compact static trees writable with amortized merge cost, available
+//     over B+tree, ART, Skip List and Masstree substrates.
+//   - HOPE — the High-speed Order-Preserving Encoder (Chapter 6): compress
+//     keys before inserting them into any ordered structure.
+//   - LSM — a log-structured storage engine with pluggable filters, the
+//     Chapter 4 example application.
+//
+// See the examples directory for runnable end-to-end usage and DESIGN.md for
+// the system inventory and experiment map.
+package mets
+
+import (
+	"mets/internal/fst"
+	"mets/internal/hope"
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/lsm"
+	"mets/internal/surf"
+)
+
+// Entry is one key-value pair (values are 64-bit "tuple pointers").
+type Entry = index.Entry
+
+// --- FST -------------------------------------------------------------------
+
+// FST is the Fast Succinct Trie.
+type FST = fst.Trie
+
+// FSTConfig tunes trie construction.
+type FSTConfig = fst.Config
+
+// FSTIterator walks an FST in key order.
+type FSTIterator = fst.Iterator
+
+// NewFST builds a Fast Succinct Trie over sorted unique keys with parallel
+// values, using the thesis defaults (complete keys, dense/sparse ratio 64).
+func NewFST(ks [][]byte, values []uint64) (*FST, error) {
+	return fst.Build(ks, values, fst.DefaultConfig())
+}
+
+// NewFSTWithConfig builds an FST with explicit tuning.
+func NewFSTWithConfig(ks [][]byte, values []uint64, cfg FSTConfig) (*FST, error) {
+	return fst.Build(ks, values, cfg)
+}
+
+// --- SuRF ------------------------------------------------------------------
+
+// SuRF is the Succinct Range Filter.
+type SuRF = surf.Filter
+
+// SuRFConfig selects the filter variant.
+type SuRFConfig = surf.Config
+
+// SuRF variant constructors (Fig 4.1).
+var (
+	SuRFBase  = surf.BaseConfig
+	SuRFHash  = surf.HashConfig
+	SuRFReal  = surf.RealConfig
+	SuRFMixed = surf.MixedConfig
+)
+
+// NewSuRF builds a filter over sorted unique keys.
+func NewSuRF(ks [][]byte, cfg SuRFConfig) (*SuRF, error) {
+	return surf.Build(ks, cfg)
+}
+
+// UnmarshalSuRF loads a filter serialized with SuRF.MarshalBinary (e.g.
+// from an SSTable footer).
+func UnmarshalSuRF(data []byte) (*SuRF, error) { return surf.Unmarshal(data) }
+
+// UnmarshalFST loads a trie serialized with FST.MarshalBinary.
+func UnmarshalFST(data []byte) (*FST, error) { return fst.UnmarshalTrie(data) }
+
+// --- Hybrid index ----------------------------------------------------------
+
+// HybridIndex is the dual-stage index of Chapter 5.
+type HybridIndex = hybrid.Index
+
+// HybridConfig tunes the merge trigger and auxiliary structures.
+type HybridConfig = hybrid.Config
+
+// Hybrid index constructors over the four substrates.
+var (
+	NewHybridBTree           = hybrid.NewBTree
+	NewHybridCompressedBTree = hybrid.NewCompressedBTree
+	NewHybridART             = hybrid.NewART
+	NewHybridSkipList        = hybrid.NewSkipList
+	NewHybridMasstree        = hybrid.NewMasstree
+	NewHybridSecondary       = hybrid.NewSecondary
+	DefaultHybridConfig      = hybrid.DefaultConfig
+)
+
+// --- HOPE ------------------------------------------------------------------
+
+// KeyEncoder is a trained order-preserving key compressor.
+type KeyEncoder = hope.Encoder
+
+// HOPEScheme selects one of the six compression schemes.
+type HOPEScheme = hope.Scheme
+
+// The six schemes of Table 6.1.
+const (
+	HOPESingleChar  = hope.SingleChar
+	HOPEDoubleChar  = hope.DoubleChar
+	HOPEALM         = hope.ALM
+	HOPE3Grams      = hope.ThreeGrams
+	HOPE4Grams      = hope.FourGrams
+	HOPEALMImproved = hope.ALMImproved
+)
+
+// TrainHOPE builds a key encoder from a sample of keys.
+func TrainHOPE(sample [][]byte, scheme HOPEScheme, dictLimit int) (*KeyEncoder, error) {
+	return hope.Train(sample, scheme, dictLimit)
+}
+
+// --- LSM engine ------------------------------------------------------------
+
+// LSM is the log-structured storage engine of the Chapter 4 application.
+type LSM = lsm.DB
+
+// LSMConfig tunes the engine.
+type LSMConfig = lsm.Config
+
+// OpenLSM creates an empty engine; use lsm filter builders via
+// NewBloomSSTFilter / NewSuRFSSTFilter.
+func OpenLSM(cfg LSMConfig) *LSM { return lsm.Open(cfg) }
+
+// Per-SSTable filter builders.
+var (
+	NewBloomSSTFilter = lsm.BloomFilterBuilder
+	NewSuRFSSTFilter  = lsm.SuRFFilterBuilder
+)
+
+// --- Key helpers -----------------------------------------------------------
+
+// Uint64Key encodes an integer as an order-preserving 8-byte key.
+func Uint64Key(v uint64) []byte { return keys.Uint64(v) }
+
+// CompareKeys compares byte keys lexicographically.
+func CompareKeys(a, b []byte) int { return keys.Compare(a, b) }
+
+// SortKeys sorts and deduplicates keys in place.
+func SortKeys(ks [][]byte) [][]byte { return keys.Dedup(ks) }

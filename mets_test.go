@@ -1,0 +1,53 @@
+package mets
+
+import (
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	ks := SortKeys(keys.Emails(2000, 1))
+	values := make([]uint64, len(ks))
+	for i := range values {
+		values[i] = uint64(i)
+	}
+
+	trie, err := NewFST(ks, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := trie.Get(ks[10]); !ok || v != 10 {
+		t.Fatal("FST lookup failed")
+	}
+
+	filter, err := NewSuRF(ks, SuRFReal(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filter.Lookup(ks[0]) {
+		t.Fatal("SuRF false negative")
+	}
+
+	h := NewHybridBTree(DefaultHybridConfig())
+	for i, k := range ks {
+		h.Insert(k, uint64(i))
+	}
+	if v, ok := h.Get(ks[42]); !ok || v != 42 {
+		t.Fatal("hybrid lookup failed")
+	}
+
+	enc, err := TrainHOPE(ks, HOPE3Grams, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.CompressionRate(ks) <= 1 {
+		t.Fatal("HOPE failed to compress emails")
+	}
+
+	db := OpenLSM(LSMConfig{Filter: NewSuRFSSTFilter(SuRFReal(4))})
+	db.Put(Uint64Key(7), []byte("seven"))
+	if v, ok := db.Get(Uint64Key(7)); !ok || string(v) != "seven" {
+		t.Fatal("LSM get failed")
+	}
+}
