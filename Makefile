@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the merge gate: everything must build, vet clean, and pass the
+# full test suite (including the concurrency stress tests) under the race
+# detector.
+tier1: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -6,7 +6,11 @@ package mets
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mets/internal/arf"
 	"mets/internal/art"
@@ -529,4 +533,115 @@ func BenchmarkFig621_PrefixBTreeWithHOPE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p.Get(enc[i%len(enc)])
 	}
+}
+
+// --- Concurrent read path: throughput and max pause during background
+// maintenance (the tentpole property: rebuilds must not stall readers). ---
+
+// updateMax folds v into m, keeping the maximum.
+func updateMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// BenchmarkConcurrent_HybridGetDuringMerge measures parallel point-read
+// throughput while a background merge rebuilds the static stage, reporting
+// the worst single-read stall (max-pause-ns) next to it. Compare max-pause-ns
+// against merge-ns: a foreground merge would have stalled one read for the
+// entire merge.
+func BenchmarkConcurrent_HybridGetDuringMerge(b *testing.B) {
+	ks := intKeys(b)
+	h := hybrid.NewBTree(hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10})
+	for i, k := range ks {
+		h.Insert(k, uint64(i))
+	}
+	h.Merge()
+	extra := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(benchKeys/4, 99)))
+	for i, k := range extra {
+		h.Insert(k, uint64(i))
+	}
+	var maxPause atomic.Int64
+	h.MergeAsync()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(42))
+		for pb.Next() {
+			k := ks[rng.Intn(len(ks))]
+			t0 := time.Now()
+			h.Get(k)
+			updateMax(&maxPause, int64(time.Since(t0)))
+		}
+	})
+	b.StopTimer()
+	h.WaitMerges()
+	_, last, _ := h.MergeStats()
+	b.ReportMetric(float64(maxPause.Load()), "max-pause-ns")
+	b.ReportMetric(float64(last.Nanoseconds()), "merge-ns")
+}
+
+// BenchmarkConcurrent_LSMGetDuringCompaction measures parallel Gets while a
+// churn writer keeps background flushes and compactions running.
+func BenchmarkConcurrent_LSMGetDuringCompaction(b *testing.B) {
+	db := lsm.Open(lsm.Config{
+		MemTableBytes: 256 << 10, TargetTableBytes: 256 << 10,
+		BlockCacheBytes: 512 << 10, BackgroundCompaction: true,
+	})
+	val := make([]byte, 128)
+	events := keys.SensorEvents(100, 100000, 20000000, 3)
+	for _, e := range events {
+		db.Put(e.Key(), val)
+	}
+	db.WaitIdle()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn writer: overwrites keep maintenance busy
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Put(events[rng.Intn(len(events))].Key(), val)
+			runtime.Gosched()
+		}
+	}()
+	var maxPause atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(4))
+		for pb.Next() {
+			k := keys.Uint128(uint64(rng.Int63n(20000000)), uint64(rng.Intn(100)))
+			t0 := time.Now()
+			db.Get(k)
+			updateMax(&maxPause, int64(time.Since(t0)))
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	db.WaitIdle()
+	b.ReportMetric(float64(maxPause.Load()), "max-pause-ns")
+}
+
+// BenchmarkConcurrent_OLTPTransactions measures serialized transaction
+// throughput under concurrent client submission (H-Store-style execution).
+func BenchmarkConcurrent_OLTPTransactions(b *testing.B) {
+	e := oltp.New(oltp.Config{IndexType: oltp.HybridIndex})
+	w := oltp.NewTPCC(1, 2000)
+	w.Load(e)
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(7 + seed.Add(1)))
+		for pb.Next() {
+			w.Tx(e, rng)
+		}
+	})
 }

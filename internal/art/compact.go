@@ -3,9 +3,12 @@ package art
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mets/internal/index"
 	"mets/internal/keys"
+	"mets/internal/par"
 )
 
 // layout1Max is the largest fanout for which the exact-size Layout 1 (key
@@ -37,61 +40,41 @@ type cnode struct {
 
 const noChild = int32(-1 << 31)
 
-// NewCompact builds a Compact ART from sorted unique entries.
+// parallelBuildMin is the entry count below which the subtree fan-out is not
+// worth its arena-stitching overhead and NewCompact builds serially.
+const parallelBuildMin = 1 << 14
+
+// NewCompact builds a Compact ART from sorted unique entries. Large inputs
+// are packed and trie-built in parallel across GOMAXPROCS workers; node
+// numbering is byte-identical to a serial build for any worker count.
 func NewCompact(entries []index.Entry) (*Compact, error) {
-	c := &Compact{keyOffs: make([]uint32, 1, len(entries)+1)}
-	for i, e := range entries {
-		if i > 0 && keys.Compare(entries[i-1].Key, e.Key) >= 0 {
-			return nil, fmt.Errorf("art: entries must be sorted and unique (index %d)", i)
-		}
-		c.keyData = append(c.keyData, e.Key...)
-		c.keyOffs = append(c.keyOffs, uint32(len(c.keyData)))
-		c.values = append(c.values, e.Value)
+	keyData, keyOffs, values, err := index.PackEntries(entries, 0)
+	if err != nil {
+		return nil, fmt.Errorf("art: %w", err)
 	}
-	if len(entries) > 0 {
-		c.build(0, len(entries), 0)
+	c := &Compact{keyData: keyData, keyOffs: keyOffs, values: values}
+	n := len(entries)
+	if n == 0 {
+		return c, nil
+	}
+	if w := par.Workers(0); w > 1 && n >= parallelBuildMin {
+		c.buildParallel(w)
+	} else {
+		c.buildInto(&c.nodes, 0, n, 0)
 	}
 	return c, nil
 }
 
 func (c *Compact) key(i int) []byte { return c.keyData[c.keyOffs[i]:c.keyOffs[i+1]] }
 
-// build constructs the subtree over entries [lo, hi) that share the first
-// depth key bytes, returning the child reference (node index or leaf code).
-func (c *Compact) build(lo, hi, depth int) int32 {
-	if hi-lo == 1 {
-		return ^int32(lo) // lazy expansion: a single key is a leaf
-	}
-	// Path compression: extend depth while all keys share the next byte and
-	// none ends.
-	start := depth
-	for {
-		first := c.key(lo)
-		if len(first) == depth || len(c.key(hi-1)) == depth {
-			break
-		}
-		b := first[depth]
-		if c.key(hi - 1)[depth] != b {
-			break
-		}
-		// Sorted input: equal first and last byte at depth implies all equal.
-		depth++
-	}
-	nodeIdx := int32(len(c.nodes))
-	c.nodes = append(c.nodes, cnode{
-		prefixOff:  c.keyOffs[lo] + uint32(start),
-		prefixLen:  uint16(depth - start),
-		prefixLeaf: -1,
-	})
-	i := lo
-	if len(c.key(i)) == depth {
-		c.nodes[nodeIdx].prefixLeaf = int32(i)
-		i++
-	}
-	type group struct {
-		b      byte
-		lo, hi int
-	}
+// splitGroups partitions entries [i, hi) by their byte at depth; every entry
+// must be at least depth+1 bytes long.
+type group struct {
+	b      byte
+	lo, hi int
+}
+
+func (c *Compact) splitGroups(i, hi, depth int) []group {
 	var groups []group
 	for i < hi {
 		b := c.key(i)[depth]
@@ -102,26 +85,155 @@ func (c *Compact) build(lo, hi, depth int) int32 {
 		groups = append(groups, group{b, i, j})
 		i = j
 	}
+	return groups
+}
+
+// compressPath extends depth while all keys in [lo, hi) share the next byte
+// and none ends, returning the new depth.
+func (c *Compact) compressPath(lo, hi, depth int) int {
+	for {
+		first := c.key(lo)
+		if len(first) == depth || len(c.key(hi-1)) == depth {
+			break
+		}
+		if c.key(hi - 1)[depth] != first[depth] {
+			break
+		}
+		// Sorted input: equal first and last byte at depth implies all equal.
+		depth++
+	}
+	return depth
+}
+
+// buildInto constructs the subtree over entries [lo, hi) that share the first
+// depth key bytes, appending nodes to *nodes and returning the child
+// reference (node index within that arena, or leaf code).
+func (c *Compact) buildInto(nodes *[]cnode, lo, hi, depth int) int32 {
+	if hi-lo == 1 {
+		return ^int32(lo) // lazy expansion: a single key is a leaf
+	}
+	start := depth
+	depth = c.compressPath(lo, hi, depth)
+	nodeIdx := int32(len(*nodes))
+	*nodes = append(*nodes, cnode{
+		prefixOff:  c.keyOffs[lo] + uint32(start),
+		prefixLen:  uint16(depth - start),
+		prefixLeaf: -1,
+	})
+	i := lo
+	if len(c.key(i)) == depth {
+		(*nodes)[nodeIdx].prefixLeaf = int32(i)
+		i++
+	}
+	groups := c.splitGroups(i, hi, depth)
 	if len(groups) <= layout1Max {
 		labels := make([]byte, len(groups))
 		children := make([]int32, len(groups))
 		for g, grp := range groups {
 			labels[g] = grp.b
-			children[g] = c.build(grp.lo, grp.hi, depth+1)
+			children[g] = c.buildInto(nodes, grp.lo, grp.hi, depth+1)
 		}
-		c.nodes[nodeIdx].labels = labels
-		c.nodes[nodeIdx].children = children
+		(*nodes)[nodeIdx].labels = labels
+		(*nodes)[nodeIdx].children = children
 	} else {
 		slots := make([]int32, 256)
 		for s := range slots {
 			slots[s] = noChild
 		}
 		for _, grp := range groups {
-			slots[grp.b] = c.build(grp.lo, grp.hi, depth+1)
+			slots[grp.b] = c.buildInto(nodes, grp.lo, grp.hi, depth+1)
 		}
-		c.nodes[nodeIdx].layout3 = slots
+		(*nodes)[nodeIdx].layout3 = slots
 	}
 	return nodeIdx
+}
+
+// buildParallel performs the root step of buildInto inline, then builds each
+// root child subtree into its own arena on a pool of workers. Arenas are
+// concatenated in group order after rebasing internal node references, which
+// reproduces the serial DFS numbering exactly (leaf codes and prefixLeaf are
+// global entry indexes and need no fixup).
+func (c *Compact) buildParallel(workers int) {
+	n := len(c.values)
+	depth := c.compressPath(0, n, 0)
+	root := cnode{prefixOff: c.keyOffs[0], prefixLen: uint16(depth), prefixLeaf: -1}
+	i := 0
+	if len(c.key(0)) == depth {
+		root.prefixLeaf = 0
+		i = 1
+	}
+	groups := c.splitGroups(i, n, depth)
+
+	arenas := make([][]cnode, len(groups))
+	refs := make([]int32, len(groups))
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(cursor.Add(1))
+				if g >= len(groups) {
+					return
+				}
+				refs[g] = c.buildInto(&arenas[g], groups[g].lo, groups[g].hi, depth+1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 1
+	bases := make([]int32, len(groups))
+	for g := range arenas {
+		bases[g] = int32(total)
+		total += len(arenas[g])
+	}
+	if len(groups) <= layout1Max {
+		root.labels = make([]byte, len(groups))
+		root.children = make([]int32, len(groups))
+		for g, grp := range groups {
+			root.labels[g] = grp.b
+			root.children[g] = rebase(refs[g], bases[g])
+		}
+	} else {
+		root.layout3 = make([]int32, 256)
+		for s := range root.layout3 {
+			root.layout3[s] = noChild
+		}
+		for g, grp := range groups {
+			root.layout3[grp.b] = rebase(refs[g], bases[g])
+		}
+	}
+	nodes := make([]cnode, 1, total)
+	nodes[0] = root
+	for g, arena := range arenas {
+		base := bases[g]
+		for j := range arena {
+			nd := &arena[j]
+			for k, ch := range nd.children {
+				nd.children[k] = rebase(ch, base)
+			}
+			for k, ch := range nd.layout3 {
+				nd.layout3[k] = rebase(ch, base)
+			}
+		}
+		nodes = append(nodes, arena...)
+	}
+	c.nodes = nodes
+}
+
+// rebase shifts an arena-local node index by base; leaf codes and noChild are
+// negative and pass through untouched.
+func rebase(ref, base int32) int32 {
+	if ref >= 0 {
+		return ref + base
+	}
+	return ref
 }
 
 func (c *Compact) prefix(n *cnode) []byte {

@@ -1,0 +1,36 @@
+package art
+
+import (
+	"reflect"
+	"testing"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// TestParallelCompactMatchesSerial checks that the fan-out build in
+// NewCompact reproduces the serial DFS node numbering exactly.
+func TestParallelCompactMatchesSerial(t *testing.T) {
+	for name, ks := range map[string][][]byte{
+		"ints":   keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(parallelBuildMin*3, 5))),
+		"emails": keys.Dedup(keys.Emails(parallelBuildMin*2, 9)),
+	} {
+		entries := make([]index.Entry, len(ks))
+		for i, k := range ks {
+			entries[i] = index.Entry{Key: k, Value: uint64(i) * 7}
+		}
+		got, err := NewCompact(entries)
+		if err != nil {
+			t.Fatalf("%s: NewCompact: %v", name, err)
+		}
+		keyData, keyOffs, values, err := index.PackEntries(entries, -1)
+		if err != nil {
+			t.Fatalf("%s: pack: %v", name, err)
+		}
+		want := &Compact{keyData: keyData, keyOffs: keyOffs, values: values}
+		want.buildInto(&want.nodes, 0, len(entries), 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: parallel compact ART differs from serial build", name)
+		}
+	}
+}

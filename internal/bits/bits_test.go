@@ -206,3 +206,22 @@ func BenchmarkSelect1(b *testing.B) {
 		s.Select1(i%ones + 1)
 	}
 }
+
+// TestRankLUTCapacityGuard covers the 2^32-set-bit limit of the 32-bit rank
+// LUT: counts within range pass, anything past the limit panics with a clear
+// message. (Materializing a real 2^32-bit vector would need 512 MB, so the
+// guard is exercised directly.)
+func TestRankLUTCapacityGuard(t *testing.T) {
+	checkLUTCapacity(0)
+	checkLUTCapacity(1<<32 - 1) // largest representable rank
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("checkLUTCapacity(2^32) did not panic")
+		}
+		if s, ok := r.(string); !ok || s == "" {
+			t.Fatalf("panic value should be a descriptive string, got %v", r)
+		}
+	}()
+	checkLUTCapacity(1 << 32)
+}

@@ -1,12 +1,20 @@
 package bits
 
-import mathbits "math/bits"
+import (
+	"fmt"
+	mathbits "math/bits"
+)
 
 // RankVector augments a bit vector with a single-level rank lookup table
 // (one 32-bit precomputed rank per basic block). With blockSize = 64 at most
 // one popcount is needed per query (the LOUDS-Dense configuration); with
 // blockSize = 512 a block fits a cache line's worth of payload and the LUT
 // adds only 6.25% space (the LOUDS-Sparse configuration).
+//
+// Capacity limit: because LUT entries are 32-bit, a RankVector supports at
+// most 2^32 - 1 set bits (~4.3 billion — a multi-hundred-GB trie, far beyond
+// a single static stage). NewRankVector panics past that rather than silently
+// truncating ranks; see checkLUTCapacity.
 type RankVector struct {
 	Vector
 	blockSize  int
@@ -28,20 +36,31 @@ func NewRankVector(v *Vector, blockSize int) *RankVector {
 	numBlocks := (v.n + blockSize - 1) / blockSize
 	r.lut = make([]uint32, numBlocks+1)
 	wordsPerBlock := blockSize / 64
-	cum := uint32(0)
+	cum := uint64(0)
 	for b := 0; b < numBlocks; b++ {
-		r.lut[b] = cum
+		checkLUTCapacity(cum)
+		r.lut[b] = uint32(cum)
 		start := b * wordsPerBlock
 		end := start + wordsPerBlock
 		if end > len(v.words) {
 			end = len(v.words)
 		}
 		for _, w := range v.words[start:end] {
-			cum += uint32(mathbits.OnesCount64(w))
+			cum += uint64(mathbits.OnesCount64(w))
 		}
 	}
-	r.lut[numBlocks] = cum
+	checkLUTCapacity(cum)
+	r.lut[numBlocks] = uint32(cum)
 	return r
+}
+
+// checkLUTCapacity panics when a cumulative rank no longer fits the 32-bit
+// LUT entries. Without this guard a vector with >= 2^32 set bits would wrap
+// the stored ranks and return silently-corrupt Rank1 results.
+func checkLUTCapacity(ones uint64) {
+	if ones > 1<<32-1 {
+		panic(fmt.Sprintf("bits: rank vector holds %d set bits, exceeding the 2^32-1 supported by the 32-bit rank LUT", ones))
+	}
 }
 
 // Rank1 returns the number of set bits in positions [0, i] inclusive.

@@ -23,20 +23,15 @@ type Compact struct {
 	seps [][]uint32
 }
 
-// NewCompact builds a Compact B+tree from sorted unique entries.
+// NewCompact builds a Compact B+tree from sorted unique entries. The packed
+// arena is assembled in parallel across GOMAXPROCS workers (large inputs
+// only); the result is identical to a serial build.
 func NewCompact(entries []index.Entry) (*Compact, error) {
-	c := &Compact{
-		keyOffs: make([]uint32, 1, len(entries)+1),
-		values:  make([]uint64, 0, len(entries)),
+	keyData, keyOffs, values, err := index.PackEntries(entries, 0)
+	if err != nil {
+		return nil, fmt.Errorf("btree: %w", err)
 	}
-	for i, e := range entries {
-		if i > 0 && keys.Compare(entries[i-1].Key, e.Key) >= 0 {
-			return nil, fmt.Errorf("btree: entries must be sorted and unique (index %d)", i)
-		}
-		c.keyData = append(c.keyData, e.Key...)
-		c.keyOffs = append(c.keyOffs, uint32(len(c.keyData)))
-		c.values = append(c.values, e.Value)
-	}
+	c := &Compact{keyData: keyData, keyOffs: keyOffs, values: values}
 	// Build separator levels bottom-up: one entry per group of fanout.
 	cur := make([]uint32, 0, (len(entries)+fanout-1)/fanout)
 	for i := 0; i < len(entries); i += fanout {

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"mets/internal/index"
 	"mets/internal/keys"
@@ -29,9 +30,14 @@ type Compressed struct {
 	blocks    [][]byte // compressed payloads
 	blockLens []int32  // entries per block
 	length    int
-	cache     *clockCache
-	reader    flate.Resetter // reused inflater (single-threaded use)
-	// Stats for the evaluation harness.
+	// mu serializes the stateful read path: the CLOCK cache, the reused
+	// inflater and the Decompressions counter all mutate on lookups, so
+	// concurrent readers funnel through it. Decoded blocks themselves are
+	// immutable once cached.
+	mu     sync.Mutex
+	cache  *clockCache
+	reader flate.Resetter // reused inflater (guarded by mu)
+	// Stats for the evaluation harness (guarded by mu; read when quiescent).
 	Decompressions int64
 }
 
@@ -95,6 +101,8 @@ type decodedBlock struct {
 
 // block returns the decoded form of block b, consulting the cache first.
 func (c *Compressed) block(b int) (*decodedBlock, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if d := c.cache.get(b); d != nil {
 		return d, nil
 	}
@@ -189,7 +197,9 @@ func (c *Compressed) MemoryUsage() int64 {
 	for i, b := range c.blocks {
 		m += int64(len(b)) + int64(len(c.minKeys[i])) + 32
 	}
+	c.mu.Lock()
 	m += c.cache.memoryUsage()
+	c.mu.Unlock()
 	return m + 64
 }
 

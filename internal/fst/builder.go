@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"mets/internal/keys"
+	"mets/internal/par"
 )
 
 // Config controls trie construction.
@@ -38,6 +39,10 @@ type Config struct {
 	RankSparseBlock int
 	RankDenseBlock  int
 	SelectSample    int
+	// Workers bounds the goroutines used by Build for the per-level node
+	// construction and the rank/select encoding. 0 means GOMAXPROCS, negative
+	// forces a serial build. The resulting trie is identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the thesis: full keys,
@@ -69,51 +74,95 @@ type buildRange struct {
 }
 
 // buildLevels constructs the neutral level-ordered node lists from sorted,
-// unique keys.
-func buildLevels(ks [][]byte, truncate bool) ([][]bNode, error) {
-	for i := 1; i < len(ks); i++ {
-		if keys.Compare(ks[i-1], ks[i]) >= 0 {
-			return nil, fmt.Errorf("fst: keys must be sorted and unique (violated at index %d)", i)
+// unique keys. The sortedness check and each level's node construction fan
+// out across `workers` goroutines (already normalized by par.Workers); chunk
+// results are reassembled in order, so the levels match a serial build.
+func buildLevels(ks [][]byte, truncate bool, workers int) ([][]bNode, error) {
+	nc := par.NumChunks(workers, len(ks))
+	chunkErr := make([]error, nc+1)
+	par.Chunks(workers, len(ks), func(chunk, lo, hi int) {
+		if lo == 0 {
+			lo = 1
+		}
+		for i := lo; i < hi; i++ {
+			if keys.Compare(ks[i-1], ks[i]) >= 0 {
+				chunkErr[chunk] = fmt.Errorf("fst: keys must be sorted and unique (violated at index %d)", i)
+				return
+			}
+		}
+	})
+	for _, e := range chunkErr {
+		if e != nil {
+			return nil, e
 		}
 	}
 	var levels [][]bNode
 	cur := []buildRange{{0, len(ks), 0}}
 	for len(cur) > 0 {
-		var next []buildRange
-		nodes := make([]bNode, 0, len(cur))
-		for _, r := range cur {
-			var n bNode
-			i := r.lo
-			if len(ks[i]) == r.depth {
-				n.prefixKey = true
-				n.pkLeaf = LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth)}
-				i++
-			}
-			for i < r.hi {
-				b := ks[i][r.depth]
-				j := i + 1
-				for j < r.hi && ks[j][r.depth] == b {
-					j++
-				}
-				switch {
-				case j-i == 1 && (truncate || len(ks[i]) == r.depth+1):
-					n.labels = append(n.labels, b)
-					n.hasChild = append(n.hasChild, false)
-					n.leaves = append(n.leaves, LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth + 1)})
-				default:
-					n.labels = append(n.labels, b)
-					n.hasChild = append(n.hasChild, true)
-					n.leaves = append(n.leaves, LeafRef{})
-					next = append(next, buildRange{i, j, r.depth + 1})
-				}
-				i = j
-			}
-			nodes = append(nodes, n)
+		ncl := par.NumChunks(workers, len(cur))
+		if ncl <= 1 {
+			nodes, next := buildLevelRange(ks, truncate, cur, 0, len(cur))
+			levels = append(levels, nodes)
+			cur = next
+			continue
+		}
+		nodeChunks := make([][]bNode, ncl)
+		nextChunks := make([][]buildRange, ncl)
+		par.Chunks(workers, len(cur), func(chunk, lo, hi int) {
+			nodeChunks[chunk], nextChunks[chunk] = buildLevelRange(ks, truncate, cur, lo, hi)
+		})
+		totalNodes, totalNext := 0, 0
+		for c := 0; c < ncl; c++ {
+			totalNodes += len(nodeChunks[c])
+			totalNext += len(nextChunks[c])
+		}
+		nodes := make([]bNode, 0, totalNodes)
+		next := make([]buildRange, 0, totalNext)
+		for c := 0; c < ncl; c++ {
+			nodes = append(nodes, nodeChunks[c]...)
+			next = append(next, nextChunks[c]...)
 		}
 		levels = append(levels, nodes)
 		cur = next
 	}
 	return levels, nil
+}
+
+// buildLevelRange expands the BFS work items cur[lo:hi) into their nodes and
+// the next level's work items.
+func buildLevelRange(ks [][]byte, truncate bool, cur []buildRange, lo, hi int) ([]bNode, []buildRange) {
+	nodes := make([]bNode, 0, hi-lo)
+	var next []buildRange
+	for _, r := range cur[lo:hi] {
+		var n bNode
+		i := r.lo
+		if len(ks[i]) == r.depth {
+			n.prefixKey = true
+			n.pkLeaf = LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth)}
+			i++
+		}
+		for i < r.hi {
+			b := ks[i][r.depth]
+			j := i + 1
+			for j < r.hi && ks[j][r.depth] == b {
+				j++
+			}
+			switch {
+			case j-i == 1 && (truncate || len(ks[i]) == r.depth+1):
+				n.labels = append(n.labels, b)
+				n.hasChild = append(n.hasChild, false)
+				n.leaves = append(n.leaves, LeafRef{KeyIndex: int32(i), SuffixStart: int32(r.depth + 1)})
+			default:
+				n.labels = append(n.labels, b)
+				n.hasChild = append(n.hasChild, true)
+				n.leaves = append(n.leaves, LeafRef{})
+				next = append(next, buildRange{i, j, r.depth + 1})
+			}
+			i = j
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, next
 }
 
 // levelSizes returns, per level, the encoded size in bits under LOUDS-Dense
@@ -167,7 +216,7 @@ func Build(ks [][]byte, values []uint64, cfg Config) (*Trie, error) {
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("fst: empty key set")
 	}
-	levels, err := buildLevels(ks, cfg.Truncate)
+	levels, err := buildLevels(ks, cfg.Truncate, par.Workers(cfg.Workers))
 	if err != nil {
 		return nil, err
 	}

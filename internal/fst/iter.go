@@ -257,21 +257,34 @@ func (it *Iterator) PathLen() int {
 }
 
 // Key reconstructs the stored path of the current leaf (the full key for
-// complete tries, the retained prefix for truncated ones).
+// complete tries, the retained prefix for truncated ones). It allocates;
+// iteration loops should use AppendKey with a reused buffer instead.
 func (it *Iterator) Key() []byte {
-	out := make([]byte, 0, len(it.cursors))
+	return it.AppendKey(nil)
+}
+
+// AppendKey appends the current leaf's stored path to dst and returns the
+// extended slice, allocating only when dst lacks capacity. Scan loops call it
+// as `buf = it.AppendKey(buf[:0])` to reconstruct keys with zero steady-state
+// allocations.
+func (it *Iterator) AppendKey(dst []byte) []byte {
+	if n := len(dst) + len(it.cursors); cap(dst) < n {
+		grown := make([]byte, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := range it.cursors {
 		c := &it.cursors[i]
 		if it.isTermCursor(c) {
 			continue // the prefix-key entry contributes no byte
 		}
 		if c.dense {
-			out = append(out, byte(c.pos&255))
+			dst = append(dst, byte(c.pos&255))
 		} else {
-			out = append(out, it.t.sLabels[c.pos])
+			dst = append(dst, it.t.sLabels[c.pos])
 		}
 	}
-	return out
+	return dst
 }
 
 // AtPrefixKey reports whether the current leaf is a prefix-key entry.

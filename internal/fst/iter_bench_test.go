@@ -21,3 +21,65 @@ func BenchmarkScanNext(b *testing.B) {
 		it.Next()
 	}
 }
+
+// BenchmarkScanKey materializes each visited key with Key(), which allocates
+// per step; BenchmarkScanAppendKey is the reuse pattern that amortizes the
+// buffer to zero steady-state allocations. Run with -benchmem to compare.
+func BenchmarkScanKey(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	values := make([]uint64, len(ks))
+	trie, _ := Build(ks, values, DefaultConfig())
+	it := trie.NewIterator()
+	it.First()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !it.Valid() {
+			it.First()
+		}
+		_ = it.Key()
+		it.Next()
+	}
+}
+
+func BenchmarkScanAppendKey(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	values := make([]uint64, len(ks))
+	trie, _ := Build(ks, values, DefaultConfig())
+	it := trie.NewIterator()
+	it.First()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !it.Valid() {
+			it.First()
+		}
+		buf = it.AppendKey(buf[:0])
+		it.Next()
+	}
+	_ = buf
+}
+
+// BenchmarkLowerBoundAlloc allocates a fresh Iterator per seek;
+// BenchmarkSeekLowerBoundReuse reuses one via SeekLowerBound, the
+// recommended pattern for read loops.
+func BenchmarkLowerBoundAlloc(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	values := make([]uint64, len(ks))
+	trie, _ := Build(ks, values, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := trie.LowerBound(ks[i%len(ks)])
+		_ = it.Valid()
+	}
+}
+
+func BenchmarkSeekLowerBoundReuse(b *testing.B) {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(200000, 1)))
+	values := make([]uint64, len(ks))
+	trie, _ := Build(ks, values, DefaultConfig())
+	it := trie.NewIterator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.SeekLowerBound(ks[i%len(ks)])
+	}
+}

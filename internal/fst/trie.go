@@ -2,6 +2,7 @@ package fst
 
 import (
 	"mets/internal/bits"
+	"mets/internal/par"
 )
 
 // Trie is an immutable LOUDS-DS encoded trie (the Fast Succinct Trie).
@@ -41,6 +42,10 @@ const (
 )
 
 // encode turns the neutral level lists into the final LOUDS-DS structure.
+// The dense and sparse regions touch disjoint Trie fields, so they are
+// encoded concurrently, and the five rank/select constructions over the raw
+// bit vectors likewise fan out (cfg.Workers permitting). The result is
+// identical to a serial encode.
 func encode(levels [][]bNode, ks [][]byte, values []uint64, cutoff int, cfg Config) *Trie {
 	t := &Trie{cfg: cfg, height: len(levels), denseHeight: cutoff}
 
@@ -57,71 +62,86 @@ func encode(levels [][]bNode, ks [][]byte, values []uint64, cutoff int, cfg Conf
 		sample = 64
 	}
 
-	// Dense region.
 	for l := 0; l < cutoff; l++ {
 		t.denseNodeCount += len(levels[l])
 	}
 	dLabels := bits.NewVector(t.denseNodeCount * 256)
 	dHasChild := bits.NewVector(t.denseNodeCount * 256)
 	dIsPrefix := bits.NewVector(t.denseNodeCount)
-	nodeNum := 0
-	for l := 0; l < cutoff; l++ {
-		t.dLevelValueStart = append(t.dLevelValueStart, len(t.dLeaves))
-		for _, n := range levels[l] {
-			base := nodeNum * 256
-			if n.prefixKey {
-				dIsPrefix.Set(nodeNum)
-				t.appendDenseLeaf(n.pkLeaf, ks, values)
+	var sHasChild, sLouds bits.Vector
+
+	encodeDense := func() {
+		nodeNum := 0
+		for l := 0; l < cutoff; l++ {
+			t.dLevelValueStart = append(t.dLevelValueStart, len(t.dLeaves))
+			for _, n := range levels[l] {
+				base := nodeNum * 256
+				if n.prefixKey {
+					dIsPrefix.Set(nodeNum)
+					t.appendDenseLeaf(n.pkLeaf, ks, values)
+				}
+				for i, b := range n.labels {
+					dLabels.Set(base + int(b))
+					if n.hasChild[i] {
+						dHasChild.Set(base + int(b))
+						t.denseChildCount++
+					} else {
+						t.appendDenseLeaf(n.leaves[i], ks, values)
+					}
+				}
+				nodeNum++
 			}
-			for i, b := range n.labels {
-				dLabels.Set(base + int(b))
-				if n.hasChild[i] {
-					dHasChild.Set(base + int(b))
-					t.denseChildCount++
-				} else {
-					t.appendDenseLeaf(n.leaves[i], ks, values)
+		}
+		t.dLevelValueStart = append(t.dLevelValueStart, len(t.dLeaves))
+	}
+	encodeSparse := func() {
+		for l := cutoff; l < len(levels); l++ {
+			t.sLevelPosStart = append(t.sLevelPosStart, len(t.sLabels))
+			t.sLevelValueStart = append(t.sLevelValueStart, len(t.sLeaves))
+			for _, n := range levels[l] {
+				first := true
+				if n.prefixKey {
+					t.sLabels = append(t.sLabels, terminator)
+					sHasChild.Append(false)
+					sLouds.Append(true)
+					first = false
+					t.appendSparseLeaf(n.pkLeaf, ks, values)
+				}
+				for i, b := range n.labels {
+					t.sLabels = append(t.sLabels, b)
+					sHasChild.Append(n.hasChild[i])
+					sLouds.Append(first)
+					first = false
+					if !n.hasChild[i] {
+						t.appendSparseLeaf(n.leaves[i], ks, values)
+					}
 				}
 			}
-			nodeNum++
 		}
-	}
-	t.dLabels = bits.NewRankVector(dLabels, denseBlock)
-	t.dHasChild = bits.NewRankVector(dHasChild, denseBlock)
-	t.dIsPrefix = bits.NewRankVector(dIsPrefix, denseBlock)
-
-	t.dLevelValueStart = append(t.dLevelValueStart, len(t.dLeaves))
-
-	// Sparse region.
-	var sHasChild, sLouds bits.Vector
-	for l := cutoff; l < len(levels); l++ {
 		t.sLevelPosStart = append(t.sLevelPosStart, len(t.sLabels))
 		t.sLevelValueStart = append(t.sLevelValueStart, len(t.sLeaves))
-		for _, n := range levels[l] {
-			first := true
-			if n.prefixKey {
-				t.sLabels = append(t.sLabels, terminator)
-				sHasChild.Append(false)
-				sLouds.Append(true)
-				first = false
-				t.appendSparseLeaf(n.pkLeaf, ks, values)
-			}
-			for i, b := range n.labels {
-				t.sLabels = append(t.sLabels, b)
-				sHasChild.Append(n.hasChild[i])
-				sLouds.Append(first)
-				first = false
-				if !n.hasChild[i] {
-					t.appendSparseLeaf(n.leaves[i], ks, values)
-				}
-			}
+	}
+
+	workers := par.Workers(cfg.Workers)
+	runAll := func(fns ...func()) {
+		if workers > 1 {
+			par.Run(fns...)
+			return
+		}
+		for _, fn := range fns {
+			fn()
 		}
 	}
-	t.sLevelPosStart = append(t.sLevelPosStart, len(t.sLabels))
-	t.sLevelValueStart = append(t.sLevelValueStart, len(t.sLeaves))
+	runAll(encodeDense, encodeSparse)
 	t.numDenseLeaves = len(t.dLeaves)
 	t.numSparseLeaves = len(t.sLeaves)
-	t.sHasChild = bits.NewRankVector(&sHasChild, sparseBlock)
-	t.sLouds = bits.NewSelectVector(&sLouds, sparseBlock, sample)
+	runAll(
+		func() { t.dLabels = bits.NewRankVector(dLabels, denseBlock) },
+		func() { t.dHasChild = bits.NewRankVector(dHasChild, denseBlock) },
+		func() { t.dIsPrefix = bits.NewRankVector(dIsPrefix, denseBlock) },
+		func() { t.sHasChild = bits.NewRankVector(&sHasChild, sparseBlock) },
+		func() { t.sLouds = bits.NewSelectVector(&sLouds, sparseBlock, sample) },
+	)
 	return t
 }
 

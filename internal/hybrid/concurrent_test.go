@@ -1,0 +1,228 @@
+package hybrid
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mets/internal/keys"
+)
+
+// valOf derives the two values any writer may store under k, so lock-free
+// readers can validate whatever snapshot they observe.
+func valOf(k []byte, updated bool) uint64 {
+	h := fnv.New64a()
+	h.Write(k)
+	v := h.Sum64()
+	if updated {
+		v ^= 0xA5A5A5A5A5A5A5A5
+	}
+	return v
+}
+
+// TestConcurrentStress hammers a background-merging hybrid index with
+// several writer goroutines (serialized against a shared oracle map) and
+// several lock-free reader goroutines, then checks the final state against
+// the oracle. Run under -race this exercises the full locking protocol:
+// seals, swaps, frozen-stage reads, tombstones and shadow accounting.
+func TestConcurrentStress(t *testing.T) {
+	cfg := Config{MergeRatio: 4, MinDynamic: 256, BloomBitsPerKey: 10, BackgroundMerge: true}
+	for name, h := range allVariants(cfg) {
+		t.Run(name, func(t *testing.T) {
+			keySpace := make([][]byte, 2000)
+			for i := range keySpace {
+				keySpace[i] = keys.Uint64(uint64(i) * 2654435761)
+			}
+			oracle := make(map[string]uint64)
+			var modelMu sync.Mutex // makes (index op, oracle op) atomic
+
+			const writers, readers = 4, 4
+			opsPerWriter := 12000
+			if raceEnabled {
+				opsPerWriter = 1500
+			}
+			var writerWg, readerWg sync.WaitGroup
+			done := make(chan struct{})
+			for w := 0; w < writers; w++ {
+				writerWg.Add(1)
+				go func(seed int64) {
+					defer writerWg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsPerWriter; i++ {
+						k := keySpace[rng.Intn(len(keySpace))]
+						modelMu.Lock()
+						switch rng.Intn(10) {
+						case 0, 1, 2, 3:
+							if h.Insert(k, valOf(k, false)) {
+								oracle[string(k)] = valOf(k, false)
+							}
+						case 4, 5, 6:
+							if h.Update(k, valOf(k, true)) {
+								oracle[string(k)] = valOf(k, true)
+							}
+						default:
+							if h.Delete(k) {
+								delete(oracle, string(k))
+							}
+						}
+						modelMu.Unlock()
+					}
+				}(int64(w) + 7)
+			}
+			var reads atomic.Int64
+			for r := 0; r < readers; r++ {
+				readerWg.Add(1)
+				go func(seed int64) {
+					defer readerWg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						runtime.Gosched() // don't starve writers on small GOMAXPROCS
+						k := keySpace[rng.Intn(len(keySpace))]
+						if v, ok := h.Get(k); ok {
+							if v != valOf(k, false) && v != valOf(k, true) {
+								t.Errorf("Get(%x) returned %d, not a value any writer stored", k, v)
+								return
+							}
+						}
+						reads.Add(1)
+						if rng.Intn(64) == 0 {
+							var prev []byte
+							steps := 0
+							h.Scan(k, func(sk []byte, v uint64) bool {
+								if prev != nil && keys.Compare(prev, sk) >= 0 {
+									t.Errorf("scan out of order: %x then %x", prev, sk)
+									return false
+								}
+								if v != valOf(sk, false) && v != valOf(sk, true) {
+									t.Errorf("scan value for %x not writer-stored", sk)
+									return false
+								}
+								prev = append(prev[:0], sk...)
+								steps++
+								return steps < 20
+							})
+						}
+					}
+				}(int64(r) + 101)
+			}
+			writerWg.Wait()
+			close(done) // writers are done; release the readers
+			readerWg.Wait()
+			h.WaitMerges()
+
+			if h.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", h.Len(), len(oracle))
+			}
+			for kk, want := range oracle {
+				if got, ok := h.Get([]byte(kk)); !ok || got != want {
+					t.Fatalf("final Get(%x) = (%d,%v), want %d", kk, got, ok, want)
+				}
+			}
+			var sorted [][]byte
+			for kk := range oracle {
+				sorted = append(sorted, []byte(kk))
+			}
+			sort.Slice(sorted, func(i, j int) bool { return keys.Compare(sorted[i], sorted[j]) < 0 })
+			i := 0
+			h.Scan(nil, func(k []byte, _ uint64) bool {
+				if i >= len(sorted) || !bytes.Equal(k, sorted[i]) {
+					t.Fatalf("final scan[%d] mismatch", i)
+				}
+				i++
+				return true
+			})
+			if i != len(sorted) {
+				t.Fatalf("final scan visited %d of %d", i, len(sorted))
+			}
+			if h.Merges == 0 {
+				t.Fatalf("expected background merges to have run")
+			}
+		})
+	}
+}
+
+// TestBackgroundMergeDoesNotBlockReaders checks the headline property of the
+// concurrent read path: while a background merge rebuilds a large static
+// stage, point reads keep completing with pauses far below the merge's own
+// wall time (which is what a foreground merge would have imposed on them).
+func TestBackgroundMergeDoesNotBlockReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cfg := Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10}
+	h := NewBTree(cfg)
+	base, refill := 400000, 80000
+	if raceEnabled {
+		base, refill = 80000, 20000
+	}
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(base, 5)))
+	for i, k := range ks {
+		h.Insert(k, uint64(i))
+	}
+	h.Merge() // foreground baseline over the full data set
+	foreground := h.LastMergeTime
+	// Refill the dynamic stage so the background merge has real work.
+	extra := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(refill, 6)))
+	for i, k := range extra {
+		h.Insert(k, uint64(i))
+	}
+
+	var maxPause atomic.Int64
+	var during atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				runtime.Gosched()
+				k := ks[rng.Intn(len(ks))]
+				t0 := time.Now()
+				h.Get(k)
+				if d := int64(time.Since(t0)); d > maxPause.Load() {
+					maxPause.Store(d)
+				}
+				during.Add(1)
+			}
+		}(int64(r) + 11)
+	}
+	if !h.MergeAsync() {
+		close(stop)
+		wg.Wait()
+		t.Fatal("MergeAsync did not start")
+	}
+	h.WaitMerges()
+	close(stop)
+	wg.Wait()
+
+	if during.Load() == 0 {
+		t.Fatal("no reads completed during the background merge")
+	}
+	background := h.LastMergeTime
+	pause := time.Duration(maxPause.Load())
+	t.Logf("foreground merge %v, background merge %v, %d reads during, max read pause %v",
+		foreground, background, during.Load(), pause)
+	// Generous bound to stay robust on loaded CI machines: a blocked reader
+	// would have stalled for the whole merge.
+	if pause > foreground/2 {
+		t.Fatalf("max read pause %v is not well below foreground merge time %v", pause, foreground)
+	}
+}

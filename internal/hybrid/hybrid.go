@@ -4,9 +4,22 @@
 // trigger periodically merges the dynamic stage into the static stage
 // (merge-all strategy, §5.2.2), and a Bloom filter in front of the dynamic
 // stage lets most point reads touch a single stage (§5.1).
+//
+// # Concurrency
+//
+// Index supports any number of concurrent readers (Get, Scan, Len,
+// MemoryUsage) plus one writer at a time (Insert, Update, Delete) behind a
+// readers-writer lock. With Config.BackgroundMerge set, ratio-triggered
+// merges no longer stop the world: the dynamic stage is sealed into an
+// immutable "frozen" stage under a short write lock, the new static stage is
+// built from frozen+static on a background goroutine while reads and writes
+// continue (writes land in a fresh dynamic stage), and the finished static
+// stage is swapped in under another short write lock. Scan callbacks run
+// with the read lock held and must not call back into the same Index.
 package hybrid
 
 import (
+	"sync"
 	"time"
 
 	"mets/internal/bloom"
@@ -26,6 +39,12 @@ type Config struct {
 	DisableBloom bool
 	// BloomBitsPerKey sizes the filter (default 10).
 	BloomBitsPerKey float64
+	// BackgroundMerge makes ratio-triggered merges run on a background
+	// goroutine instead of blocking the triggering writer: writes are sealed
+	// into a frozen stage and replayed logically via the stage order while
+	// the rebuild happens off the critical path. Merge() remains synchronous
+	// either way.
+	BackgroundMerge bool
 }
 
 // DefaultConfig returns the thesis defaults.
@@ -36,21 +55,37 @@ func DefaultConfig() Config {
 // StaticBuilder constructs a static-stage structure from sorted entries.
 type StaticBuilder func(entries []index.Entry) (index.Static, error)
 
-// Index is a single logical index made of two physical stages.
+// Index is a single logical index made of two physical stages (three while a
+// background merge is in flight).
 type Index struct {
 	cfg        Config
 	newDynamic func() index.Dynamic
 	build      StaticBuilder
 
+	mu        sync.RWMutex
+	mergeDone *sync.Cond // signalled (with mu held) when a background merge lands
+
 	dynamic    index.Dynamic
 	static     index.Static
 	filter     *bloom.Filter
 	tombstones map[string]struct{}
-	// shadows counts keys present in both stages (a dynamic-stage update or
-	// re-insert shadowing a static entry), so Len stays exact.
+	// shadows counts keys present both in the dynamic stage and in a lower
+	// stage (an update or re-insert shadowing an older copy), so Len stays
+	// exact.
 	shadows int
 
-	// Merge telemetry for the Chapter 5 experiments.
+	// Frozen stage: the sealed former dynamic stage while a background merge
+	// is rebuilding the static stage from it. All four fields are immutable
+	// for the duration of the merge and nil/zero otherwise.
+	merging       bool
+	frozen        index.Dynamic
+	frozenFilter  *bloom.Filter
+	frozenTombs   map[string]struct{}
+	frozenShadows int
+
+	// Merge telemetry for the Chapter 5 experiments. The exported fields are
+	// written under the write lock; read them only via MergeStats or when no
+	// merge can be in flight (single-threaded use, or after WaitMerges).
 	Merges         int
 	LastMergeTime  time.Duration
 	TotalMergeTime time.Duration
@@ -72,6 +107,7 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 		dynamic:    newDynamic(),
 		tombstones: make(map[string]struct{}),
 	}
+	h.mergeDone = sync.NewCond(&h.mu)
 	h.resetFilter(0)
 	return h
 }
@@ -88,82 +124,123 @@ func (h *Index) resetFilter(expected int) {
 
 // Len returns the total number of live entries.
 func (h *Index) Len() int {
-	n := h.dynamic.Len() - h.shadows
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := h.dynamic.Len() - h.shadows - len(h.tombstones)
+	if h.frozen != nil {
+		n += h.frozen.Len() - h.frozenShadows - len(h.frozenTombs)
+	}
 	if h.static != nil {
-		n += h.static.Len() - len(h.tombstones)
+		n += h.static.Len()
 	}
 	return n
 }
 
-// DynamicLen and StaticLen expose the per-stage sizes.
-func (h *Index) DynamicLen() int { return h.dynamic.Len() }
+// DynamicLen and StaticLen expose the per-stage sizes (the frozen stage, if
+// any, counts as dynamic).
+func (h *Index) DynamicLen() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := h.dynamic.Len()
+	if h.frozen != nil {
+		n += h.frozen.Len()
+	}
+	return n
+}
+
 func (h *Index) StaticLen() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if h.static == nil {
 		return 0
 	}
 	return h.static.Len()
 }
 
-// inDynamic reports whether key may be in the dynamic stage, consulting the
-// Bloom filter first.
+// mayBeDynamic reports whether key may be in the dynamic stage, consulting
+// the Bloom filter first.
 func (h *Index) mayBeDynamic(key []byte) bool {
 	return h.filter == nil || h.filter.Contains(key)
 }
 
-// Get returns the value stored under key, searching the stages in order.
-func (h *Index) Get(key []byte) (uint64, bool) {
+// mayBeFrozen is the frozen-stage filter check (the filter sealed together
+// with the stage it covers).
+func (h *Index) mayBeFrozen(key []byte) bool {
+	return h.frozenFilter == nil || h.frozenFilter.Contains(key)
+}
+
+// visibleInLowerLocked resolves key against everything below the dynamic
+// stage — frozen stage, then static stage — honouring both tombstone sets.
+// Callers hold at least the read lock.
+func (h *Index) visibleInLowerLocked(key []byte) (uint64, bool) {
+	if _, dead := h.tombstones[string(key)]; dead {
+		return 0, false
+	}
+	if h.frozen != nil && h.mayBeFrozen(key) {
+		if v, ok := h.frozen.Get(key); ok {
+			return v, true
+		}
+	}
+	if _, dead := h.frozenTombs[string(key)]; dead {
+		return 0, false
+	}
+	if h.static != nil {
+		return h.static.Get(key)
+	}
+	return 0, false
+}
+
+func (h *Index) getLocked(key []byte) (uint64, bool) {
 	if h.mayBeDynamic(key) {
 		if v, ok := h.dynamic.Get(key); ok {
 			return v, true
 		}
 	}
-	if h.static != nil {
-		if v, ok := h.static.Get(key); ok {
-			if _, dead := h.tombstones[string(key)]; !dead {
-				return v, true
-			}
-		}
-	}
-	return 0, false
+	return h.visibleInLowerLocked(key)
+}
+
+// Get returns the value stored under key, searching the stages in order.
+func (h *Index) Get(key []byte) (uint64, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.getLocked(key)
 }
 
 // Insert adds a new entry (primary-index semantics: duplicate keys are
-// rejected after checking both stages). It may trigger a merge.
+// rejected after checking all stages). It may trigger a merge.
 func (h *Index) Insert(key []byte, value uint64) bool {
-	if _, ok := h.Get(key); ok {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.getLocked(key); ok {
 		return false
 	}
 	if !h.dynamic.Insert(key, value) {
 		return false
 	}
 	if _, dead := h.tombstones[string(key)]; dead {
-		// The stale static entry becomes shadowed instead of tombstoned.
+		// The stale lower-stage entry becomes shadowed instead of tombstoned.
 		delete(h.tombstones, string(key))
 		h.shadows++
 	}
 	if h.filter != nil {
 		h.filter.Add(key)
 	}
-	h.maybeMerge()
+	h.maybeMergeLocked()
 	return true
 }
 
 // Update overwrites the value of an existing key. Following §5.1, an update
-// whose target lives in the static stage inserts a fresh entry into the
-// dynamic stage, which shadows the static one until the next merge.
+// whose target lives below the dynamic stage inserts a fresh entry into the
+// dynamic stage, which shadows the older copy until the next merge.
 func (h *Index) Update(key []byte, value uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.mayBeDynamic(key) {
 		if h.dynamic.Update(key, value) {
 			return true
 		}
 	}
-	if h.static == nil {
-		return false
-	}
-	if _, ok := h.static.Get(key); !ok {
-		return false
-	}
-	if _, dead := h.tombstones[string(key)]; dead {
+	if _, ok := h.visibleInLowerLocked(key); !ok {
 		return false
 	}
 	h.dynamic.Insert(key, value)
@@ -171,44 +248,47 @@ func (h *Index) Update(key []byte, value uint64) bool {
 	if h.filter != nil {
 		h.filter.Add(key)
 	}
-	h.maybeMerge()
+	h.maybeMergeLocked()
 	return true
 }
 
 // Delete removes key: directly from the dynamic stage, and via a tombstone
-// for static-stage entries (garbage-collected at the next merge). A key that
-// was updated after a merge lives in both stages — the dynamic copy shadows
-// the static one — so both must be taken out.
+// for lower-stage entries (garbage-collected at the next merge). A key that
+// was updated after a merge lives in two stages — the dynamic copy shadows
+// the lower one — so both must be taken out.
 func (h *Index) Delete(key []byte) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	deleted := h.mayBeDynamic(key) && h.dynamic.Delete(key)
-	if h.static != nil {
-		if _, ok := h.static.Get(key); ok {
-			if _, dead := h.tombstones[string(key)]; !dead {
-				h.tombstones[string(key)] = struct{}{}
-				if deleted {
-					h.shadows-- // the removed dynamic copy was a shadow
-				}
-				deleted = true
-			}
+	if _, ok := h.visibleInLowerLocked(key); ok {
+		h.tombstones[string(key)] = struct{}{}
+		if deleted {
+			h.shadows-- // the removed dynamic copy was a shadow
 		}
+		deleted = true
 	}
 	return deleted
 }
 
-// dynChunk is how many dynamic-stage entries a Scan buffers at a time; short
-// scans (the YCSB-E common case) then touch only O(scan length) entries.
+// dynChunk is how many entries a Scan cursor buffers at a time; short scans
+// (the YCSB-E common case) then touch only O(scan length) entries.
 const dynChunk = 64
 
-// dynCursor pulls sorted dynamic-stage entries lazily in chunks.
+// scanner is any stage a Scan cursor can pull from.
+type scanner interface {
+	Scan(start []byte, fn func(key []byte, value uint64) bool) int
+}
+
+// dynCursor pulls sorted stage entries lazily in chunks.
 type dynCursor struct {
-	d       index.Dynamic
+	d       scanner
 	buf     []index.Entry
 	i       int
 	nextKey []byte // resume point; nil when exhausted
 	done    bool
 }
 
-func newDynCursor(d index.Dynamic, start []byte) *dynCursor {
+func newDynCursor(d scanner, start []byte) *dynCursor {
 	c := &dynCursor{d: d, nextKey: start}
 	if start == nil {
 		c.nextKey = []byte{}
@@ -255,53 +335,71 @@ func (c *dynCursor) peek() *index.Entry {
 
 func (c *dynCursor) advance() { c.i++ }
 
-// Scan visits live entries in key order from the smallest key >= start,
-// merging the two stages on the fly. Dynamic-stage entries shadow
-// static-stage entries with equal keys.
-func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
-	dyn := newDynCursor(h.dynamic, start)
-	count := 0
-	emit := func(k []byte, v uint64) bool {
-		count++
-		return fn(k, v)
-	}
-	cont := true
-	if h.static != nil {
-		h.static.Scan(start, func(k []byte, v uint64) bool {
-			for {
-				e := dyn.peek()
-				if e == nil || keys.Compare(e.Key, k) > 0 {
-					break
-				}
-				shadowing := keys.Compare(e.Key, k) == 0
-				if cont = emit(e.Key, e.Value); !cont {
-					return false
-				}
-				dyn.advance()
-				if shadowing {
-					return true // the dynamic entry replaced this static one
-				}
-			}
-			if _, dead := h.tombstones[string(k)]; dead {
-				return true
-			}
-			cont = emit(k, v)
-			return cont
-		})
-	}
-	for cont {
-		e := dyn.peek()
-		if e == nil {
-			break
-		}
-		cont = emit(e.Key, e.Value)
-		dyn.advance()
-	}
-	return count
+// scanSrc pairs a stage cursor with its tier: 0 dynamic, 1 frozen, 2 static.
+// Lower tiers shadow higher ones on equal keys.
+type scanSrc struct {
+	cur  *dynCursor
+	tier int
 }
 
-// maybeMerge fires the ratio-based merge trigger.
-func (h *Index) maybeMerge() {
+// Scan visits live entries in key order from the smallest key >= start,
+// merging the stages on the fly. Upper-stage entries shadow lower-stage
+// entries with equal keys; tombstones suppress lower-stage entries. The read
+// lock is held for the whole scan, so fn must not call back into h.
+func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	srcs := make([]scanSrc, 0, 3)
+	srcs = append(srcs, scanSrc{newDynCursor(h.dynamic, start), 0})
+	if h.frozen != nil {
+		srcs = append(srcs, scanSrc{newDynCursor(h.frozen, start), 1})
+	}
+	if h.static != nil {
+		srcs = append(srcs, scanSrc{newDynCursor(h.static, start), 2})
+	}
+	count := 0
+	for {
+		// Pick the smallest head key; on ties the lowest tier wins.
+		var best *index.Entry
+		bestTier := -1
+		for _, s := range srcs {
+			e := s.cur.peek()
+			if e == nil {
+				continue
+			}
+			if best == nil || keys.Compare(e.Key, best.Key) < 0 {
+				best, bestTier = e, s.tier
+			}
+		}
+		if best == nil {
+			return count
+		}
+		key, value := best.Key, best.Value
+		// Consume the winner and every shadowed copy of the same key.
+		for _, s := range srcs {
+			if e := s.cur.peek(); e != nil && keys.Compare(e.Key, key) == 0 {
+				s.cur.advance()
+			}
+		}
+		if bestTier > 0 {
+			if _, dead := h.tombstones[string(key)]; dead {
+				continue
+			}
+		}
+		if bestTier > 1 {
+			if _, dead := h.frozenTombs[string(key)]; dead {
+				continue
+			}
+		}
+		count++
+		if !fn(key, value) {
+			return count
+		}
+	}
+}
+
+// maybeMergeLocked fires the ratio-based merge trigger.
+func (h *Index) maybeMergeLocked() {
 	d := h.dynamic.Len()
 	if d < h.cfg.MinDynamic {
 		return
@@ -309,39 +407,58 @@ func (h *Index) maybeMerge() {
 	if h.static != nil && d*h.cfg.MergeRatio < h.static.Len() {
 		return
 	}
-	h.Merge()
+	if h.cfg.BackgroundMerge {
+		h.sealAndSpawnLocked()
+		return
+	}
+	h.mergeLocked()
 }
 
-// Merge migrates every dynamic-stage entry into a rebuilt static stage
-// (merge-all, §5.2.2), applying shadowing updates and tombstones.
+// mergeEntries produces the sorted live entries of dyn layered over static,
+// applying tombs to the static entries. Dynamic entries shadow static ones
+// with equal keys.
+func mergeEntries(dyn []index.Entry, static index.Static, tombs map[string]struct{}) []index.Entry {
+	if static == nil {
+		return dyn
+	}
+	merged := make([]index.Entry, 0, len(dyn)+static.Len())
+	di := 0
+	static.Scan(nil, func(k []byte, v uint64) bool {
+		for di < len(dyn) && keys.Compare(dyn[di].Key, k) < 0 {
+			merged = append(merged, dyn[di])
+			di++
+		}
+		if di < len(dyn) && keys.Compare(dyn[di].Key, k) == 0 {
+			merged = append(merged, dyn[di]) // dynamic shadows static
+			di++
+			return true
+		}
+		if _, dead := tombs[string(k)]; !dead {
+			kk := make([]byte, len(k))
+			copy(kk, k)
+			merged = append(merged, index.Entry{Key: kk, Value: v})
+		}
+		return true
+	})
+	return append(merged, dyn[di:]...)
+}
+
+// Merge synchronously migrates every dynamic-stage entry into a rebuilt
+// static stage (merge-all, §5.2.2), applying shadowing updates and
+// tombstones. An in-flight background merge is waited out first.
 func (h *Index) Merge() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.merging {
+		h.mergeDone.Wait()
+	}
+	h.mergeLocked()
+}
+
+func (h *Index) mergeLocked() {
 	startT := time.Now()
 	dyn := index.Snapshot(h.dynamic)
-	var merged []index.Entry
-	if h.static == nil {
-		merged = dyn
-	} else {
-		merged = make([]index.Entry, 0, len(dyn)+h.static.Len())
-		di := 0
-		h.static.Scan(nil, func(k []byte, v uint64) bool {
-			for di < len(dyn) && keys.Compare(dyn[di].Key, k) < 0 {
-				merged = append(merged, dyn[di])
-				di++
-			}
-			if di < len(dyn) && keys.Compare(dyn[di].Key, k) == 0 {
-				merged = append(merged, dyn[di]) // dynamic shadows static
-				di++
-				return true
-			}
-			if _, dead := h.tombstones[string(k)]; !dead {
-				kk := make([]byte, len(k))
-				copy(kk, k)
-				merged = append(merged, index.Entry{Key: kk, Value: v})
-			}
-			return true
-		})
-		merged = append(merged, dyn[di:]...)
-	}
+	merged := mergeEntries(dyn, h.static, h.tombstones)
 	st, err := h.build(merged)
 	if err != nil {
 		panic("hybrid: static build failed: " + err.Error())
@@ -356,16 +473,112 @@ func (h *Index) Merge() {
 	h.Merges++
 }
 
-// MemoryUsage sums both stages, the Bloom filter, and tombstones.
+// MergeAsync seals the current dynamic stage and starts a background merge,
+// returning false when one is already running or there is nothing to merge.
+// Readers and the writer proceed concurrently while the rebuild runs; call
+// WaitMerges to block until the new static stage has been swapped in.
+func (h *Index) MergeAsync() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sealAndSpawnLocked()
+}
+
+// sealAndSpawnLocked freezes the dynamic stage (with its filter, tombstones
+// and shadow count), installs a fresh dynamic stage, and hands the immutable
+// snapshot to a background goroutine that builds and swaps in the new static
+// stage. Requires the write lock.
+func (h *Index) sealAndSpawnLocked() bool {
+	if h.merging || h.dynamic.Len() == 0 {
+		return false
+	}
+	h.merging = true
+	h.frozen = h.dynamic
+	h.frozenFilter = h.filter
+	h.frozenTombs = h.tombstones
+	h.frozenShadows = h.shadows
+	h.dynamic = h.newDynamic()
+	h.tombstones = make(map[string]struct{})
+	h.shadows = 0
+	expected := h.frozen.Len()
+	if h.static != nil {
+		expected += h.static.Len()
+	}
+	h.resetFilter(expected / h.cfg.MergeRatio)
+	go h.backgroundMerge(h.frozen, h.static, h.frozenTombs, time.Now())
+	return true
+}
+
+// backgroundMerge rebuilds the static stage from the sealed inputs — all
+// immutable, so no lock is needed during the build — then swaps it in under
+// a short write lock. Writes that arrived during the build live in the new
+// dynamic stage and logically replay over the fresh static stage through the
+// usual stage order (current tombstones keep suppressing keys deleted during
+// the build).
+func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs map[string]struct{}, startT time.Time) {
+	merged := mergeEntries(index.Snapshot(frozen), static, tombs)
+	st, err := h.build(merged)
+	if err != nil {
+		panic("hybrid: static build failed: " + err.Error())
+	}
+	h.mu.Lock()
+	h.static = st
+	h.frozen = nil
+	h.frozenFilter = nil
+	h.frozenTombs = nil
+	h.frozenShadows = 0
+	h.merging = false
+	h.LastMergeTime = time.Since(startT)
+	h.TotalMergeTime += h.LastMergeTime
+	h.Merges++
+	h.mergeDone.Broadcast()
+	h.mu.Unlock()
+}
+
+// WaitMerges blocks until no background merge is in flight.
+func (h *Index) WaitMerges() {
+	h.mu.Lock()
+	for h.merging {
+		h.mergeDone.Wait()
+	}
+	h.mu.Unlock()
+}
+
+// Merging reports whether a background merge is currently running.
+func (h *Index) Merging() bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.merging
+}
+
+// MergeStats returns the merge telemetry under the lock, safe to call
+// concurrently with merges.
+func (h *Index) MergeStats() (merges int, last, total time.Duration) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.Merges, h.LastMergeTime, h.TotalMergeTime
+}
+
+// MemoryUsage sums all stages, the Bloom filters, and tombstones.
 func (h *Index) MemoryUsage() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	m := h.dynamic.MemoryUsage()
+	if h.frozen != nil {
+		m += h.frozen.MemoryUsage()
+	}
 	if h.static != nil {
 		m += h.static.MemoryUsage()
 	}
 	if h.filter != nil {
 		m += h.filter.MemoryUsage()
 	}
+	if h.frozenFilter != nil {
+		m += h.frozenFilter.MemoryUsage()
+	}
 	for k := range h.tombstones {
+		m += int64(len(k)) + 16
+	}
+	for k := range h.frozenTombs {
 		m += int64(len(k)) + 16
 	}
 	return m

@@ -15,6 +15,24 @@ import (
 // updates, tombstones, merges, bloom filter staleness).
 func TestModelBasedRandomOps(t *testing.T) {
 	for name, h := range allVariants(Config{MergeRatio: 4, MinDynamic: 64, BloomBitsPerKey: 10}) {
+		runModelBasedRandomOps(t, name, h)
+	}
+}
+
+// TestModelBasedRandomOpsBackgroundMerge runs the same oracle check with
+// merges happening on background goroutines: every operation interleaves
+// with seals and static-stage swaps, exercising the frozen-stage read path
+// and the write-replay semantics.
+func TestModelBasedRandomOpsBackgroundMerge(t *testing.T) {
+	cfg := Config{MergeRatio: 4, MinDynamic: 64, BloomBitsPerKey: 10, BackgroundMerge: true}
+	for name, h := range allVariants(cfg) {
+		runModelBasedRandomOps(t, name, h)
+		h.WaitMerges()
+	}
+}
+
+func runModelBasedRandomOps(t *testing.T, name string, h *Index) {
+	{
 		rng := rand.New(rand.NewSource(99))
 		oracle := make(map[string]uint64)
 		keySpace := make([][]byte, 400)

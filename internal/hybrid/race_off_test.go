@@ -1,0 +1,5 @@
+//go:build !race
+
+package hybrid
+
+const raceEnabled = false

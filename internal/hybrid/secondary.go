@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"sync"
 	"time"
 
 	"mets/internal/bloom"
@@ -14,12 +15,20 @@ import (
 // key once with a packed value list. Value updates are applied in place in
 // whichever stage holds the entry, so a key's values never straddle both
 // stages' semantics.
+//
+// Like Index, Secondary supports concurrent readers plus a single writer
+// behind a readers-writer lock; merges run in the foreground (the secondary
+// experiments of §5.3.5 are merge-time-insensitive). Scan holds the read
+// lock for its whole duration, so the callback must not call back into s.
 type Secondary struct {
-	cfg     Config
+	cfg Config
+
+	mu      sync.RWMutex
 	dynamic *btree.Tree
 	static  *btree.CompactMulti
 	filter  *bloom.Filter
 
+	// Written under the write lock; read them only when no writer is active.
 	Merges         int
 	LastMergeTime  time.Duration
 	TotalMergeTime time.Duration
@@ -50,6 +59,8 @@ func (s *Secondary) resetFilter(expected int) {
 
 // Len returns the number of stored (key, value) pairs.
 func (s *Secondary) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := s.dynamic.Len()
 	if s.static != nil {
 		n += s.static.Len()
@@ -59,16 +70,20 @@ func (s *Secondary) Len() int {
 
 // Insert adds one (key, value) pair; duplicates are expected.
 func (s *Secondary) Insert(key []byte, value uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.dynamic.Insert(key, value)
 	if s.filter != nil {
 		s.filter.Add(key)
 	}
-	s.maybeMerge()
+	s.maybeMergeLocked()
 	return true
 }
 
 // GetAll returns every value stored under key across both stages.
 func (s *Secondary) GetAll(key []byte) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []uint64
 	if s.filter == nil || s.filter.Contains(key) {
 		out = append(out, s.dynamic.GetAll(key)...)
@@ -92,6 +107,8 @@ func (s *Secondary) Get(key []byte) (uint64, bool) {
 // stage holds it (§5.1: secondary indexes update in place to keep a key's
 // value list in one stage).
 func (s *Secondary) Update(key []byte, old, new uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.filter == nil || s.filter.Contains(key) {
 		if s.dynamic.DeleteValue(key, old) {
 			s.dynamic.Insert(key, new)
@@ -112,6 +129,8 @@ func (s *Secondary) Update(key []byte, old, new uint64) bool {
 
 // Scan visits (key, value) pairs in key order from the smallest key >= start.
 func (s *Secondary) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	dyn := index.Snapshot2(s.dynamic, start)
 	di := 0
 	count := 0
@@ -139,7 +158,7 @@ func (s *Secondary) Scan(start []byte, fn func(key []byte, value uint64) bool) i
 	return count
 }
 
-func (s *Secondary) maybeMerge() {
+func (s *Secondary) maybeMergeLocked() {
 	d := s.dynamic.Len()
 	if d < s.cfg.MinDynamic {
 		return
@@ -147,11 +166,17 @@ func (s *Secondary) maybeMerge() {
 	if s.static != nil && d*s.cfg.MergeRatio < s.static.Len() {
 		return
 	}
-	s.Merge()
+	s.mergeLocked()
 }
 
 // Merge migrates all dynamic pairs into a rebuilt static stage.
 func (s *Secondary) Merge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked()
+}
+
+func (s *Secondary) mergeLocked() {
 	startT := time.Now()
 	dyn := index.Snapshot(s.dynamic)
 	var merged []index.Entry
@@ -186,6 +211,8 @@ func (s *Secondary) Merge() {
 
 // MemoryUsage sums both stages and the Bloom filter.
 func (s *Secondary) MemoryUsage() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	m := s.dynamic.MemoryUsage()
 	if s.static != nil {
 		m += s.static.MemoryUsage()

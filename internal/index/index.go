@@ -1,6 +1,17 @@
 // Package index defines the common contracts shared by the in-memory search
 // trees of Chapter 2 (B+tree, Masstree, Skip List, ART), their compact
 // static variants, and the dual-stage hybrid indexes of Chapter 5.
+//
+// # Thread safety
+//
+// Dynamic implementations are NOT internally synchronized: concurrent reads
+// are safe only while no writer is active, and any mutation requires
+// exclusive access. Static implementations are immutable after construction
+// and therefore safe for unlimited concurrent readers. Concurrency is
+// provided one layer up: hybrid.Index and lsm.DB wrap these structures with
+// a readers-writer lock and support any number of concurrent readers plus a
+// single writer, moving rebuild work (merge, flush, compaction) off the
+// critical path onto background goroutines.
 package index
 
 // Entry is one key-value pair. Values are 64-bit tuple pointers throughout,

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"fmt"
+
+	"mets/internal/keys"
+	"mets/internal/par"
+)
+
+// PackEntries flattens sorted unique entries into the packed arena layout
+// shared by the compact static structures: concatenated key bytes, one
+// uint32 end-offset per key (keyOffs[0] = 0, len = n+1), and the value
+// array. It validates strict key ordering and returns an error naming the
+// first violation.
+//
+// The packing fans out across `workers` goroutines (0 = GOMAXPROCS): each
+// chunk validates its range and measures its key bytes, chunk base offsets
+// are prefix-summed, and the copies land at computed positions — so the
+// output is byte-identical to the serial build for any worker count.
+func PackEntries(entries []Entry, workers int) (keyData []byte, keyOffs []uint32, values []uint64, err error) {
+	n := len(entries)
+	w := par.Workers(workers)
+	nc := par.NumChunks(w, n)
+
+	chunkBytes := make([]int64, nc+1)
+	chunkErr := make([]error, nc+1)
+	par.Chunks(w, n, func(chunk, lo, hi int) {
+		var total int64
+		for i := lo; i < hi; i++ {
+			if i > 0 && keys.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+				chunkErr[chunk] = fmt.Errorf("entries must be sorted and unique (index %d)", i)
+				return
+			}
+			total += int64(len(entries[i].Key))
+		}
+		chunkBytes[chunk] = total
+	})
+	for _, e := range chunkErr {
+		if e != nil {
+			return nil, nil, nil, e
+		}
+	}
+	var totalBytes int64
+	for c := 0; c < nc; c++ {
+		b := chunkBytes[c]
+		chunkBytes[c] = totalBytes // becomes the chunk's base offset
+		totalBytes += b
+	}
+	if totalBytes > 1<<32-1 {
+		return nil, nil, nil, fmt.Errorf("packed key bytes (%d) exceed the 32-bit offset space", totalBytes)
+	}
+
+	keyData = make([]byte, totalBytes)
+	keyOffs = make([]uint32, n+1)
+	values = make([]uint64, n)
+	par.Chunks(w, n, func(chunk, lo, hi int) {
+		off := uint32(chunkBytes[chunk])
+		for i := lo; i < hi; i++ {
+			e := &entries[i]
+			keyOffs[i] = off
+			copy(keyData[off:], e.Key)
+			off += uint32(len(e.Key))
+			values[i] = e.Value
+		}
+	})
+	keyOffs[n] = uint32(totalBytes)
+	return keyData, keyOffs, values, nil
+}

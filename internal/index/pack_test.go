@@ -1,0 +1,64 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+func packInput(n int, seed int64) []Entry {
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(n, seed)))
+	entries := make([]Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = Entry{Key: k, Value: uint64(i)}
+	}
+	return entries
+}
+
+// TestPackEntriesDeterministic checks that the parallel packer emits the same
+// arenas for any worker count.
+func TestPackEntriesDeterministic(t *testing.T) {
+	entries := packInput(30000, 3)
+	kd1, ko1, v1, err := PackEntries(entries, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 7} {
+		kd, ko, v, err := PackEntries(entries, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(kd, kd1) || !reflect.DeepEqual(ko, ko1) || !reflect.DeepEqual(v, v1) {
+			t.Fatalf("workers=%d: packed arenas differ from serial pack", w)
+		}
+	}
+	for i := range entries {
+		if got := kd1[ko1[i]:ko1[i+1]]; !reflect.DeepEqual(got, entries[i].Key) {
+			t.Fatalf("key %d: packed %q, want %q", i, got, entries[i].Key)
+		}
+	}
+}
+
+// TestPackEntriesRejectsUnsorted checks validation across chunk boundaries.
+func TestPackEntriesRejectsUnsorted(t *testing.T) {
+	entries := packInput(30000, 4)
+	for _, corrupt := range []int{1, 14999, len(entries) - 1} {
+		bad := make([]Entry, len(entries))
+		copy(bad, entries)
+		bad[corrupt] = bad[corrupt-1] // duplicate key
+		if _, _, _, err := PackEntries(bad, 0); err == nil {
+			t.Fatalf("pack accepted duplicate at %d", corrupt)
+		}
+	}
+}
+
+func TestPackEntriesEmpty(t *testing.T) {
+	kd, ko, v, err := PackEntries(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kd) != 0 || len(ko) != 1 || ko[0] != 0 || len(v) != 0 {
+		t.Fatalf("empty pack: kd=%v ko=%v v=%v", kd, ko, v)
+	}
+}

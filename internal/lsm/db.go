@@ -3,6 +3,8 @@ package lsm
 import (
 	"bytes"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mets/internal/keys"
@@ -29,6 +31,14 @@ type Config struct {
 	// IOLatency is charged per block fetch that misses the cache,
 	// simulating the SSD of §4.4 (default 0: count only).
 	IOLatency time.Duration
+	// BackgroundCompaction moves flushes and compactions off the write path:
+	// a full MemTable is sealed into an immutable sibling (at most one, with
+	// cond-var backpressure) and flushed by a background goroutine, which in
+	// turn hands level maintenance to a single background compactor. Reads
+	// and writes proceed concurrently; call WaitIdle for a barrier. Off by
+	// default, which keeps flush/compaction inline and deterministic for the
+	// I/O-counting experiments.
+	BackgroundCompaction bool
 }
 
 // DefaultConfig returns the §4.4-style configuration.
@@ -43,7 +53,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts simulated I/O.
+// Stats counts simulated I/O. The counters are incremented atomically (reads
+// happen under the shared read lock); read them when the DB is quiescent —
+// single-threaded use, or after WaitIdle with no readers active.
 type Stats struct {
 	BlockReads      int64 // block fetches that missed the cache ("I/O")
 	CacheHits       int64
@@ -52,12 +64,28 @@ type Stats struct {
 	Compactions     int64
 }
 
-// DB is the storage engine.
+// DB is the storage engine. It supports any number of concurrent readers
+// (Get, Seek, Count and the size accessors) plus a single writer at a time
+// (Put, Delete, Flush) behind a readers-writer lock; see
+// Config.BackgroundCompaction for the non-blocking maintenance path.
 type DB struct {
-	cfg    Config
-	mem    *memTable
-	levels [][]*SSTable // levels[0] newest-last; levels >= 1 sorted by minKey, disjoint
-	nextID uint64
+	cfg Config
+
+	mu sync.RWMutex
+	// bgCond (on the write side of mu) is broadcast whenever background
+	// state changes: the immutable MemTable slot clears or the compactor
+	// goes idle.
+	bgCond *sync.Cond
+
+	mem *memTable
+	// imm is the sealed MemTable currently being flushed by a background
+	// goroutine; nil when no flush is in flight. Immutable while set.
+	imm        *memTable
+	levels     [][]*SSTable // levels[0] newest-last; levels >= 1 sorted by minKey, disjoint
+	compacting bool         // a background compactor is running
+	bg         sync.WaitGroup
+
+	nextID atomic.Uint64
 	cache  *blockCache
 	Stats  Stats
 }
@@ -83,19 +111,21 @@ func Open(cfg Config) *DB {
 	if cfg.BlockCacheBytes == 0 {
 		cfg.BlockCacheBytes = def.BlockCacheBytes
 	}
-	return &DB{
+	db := &DB{
 		cfg:   cfg,
 		mem:   newMemTable(),
 		cache: newBlockCache(cfg.BlockCacheBytes),
 	}
+	db.bgCond = sync.NewCond(&db.mu)
+	return db
 }
 
 // Put inserts or overwrites a record.
 func (db *DB) Put(key, value []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.mem.put(key, value)
-	if db.mem.bytes >= db.cfg.MemTableBytes {
-		db.flush()
-	}
+	db.maybeFlushLocked()
 }
 
 // tombstoneMarker is the value stored for deleted keys until compaction
@@ -113,41 +143,127 @@ func userValue(stored []byte) []byte { return stored[1:] }
 // Delete removes key by writing a tombstone; the space is reclaimed when a
 // compaction merges the tombstone past the key's last live version.
 func (db *DB) Delete(key []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.mem.putRaw(key, tombstoneMarker)
-	if db.mem.bytes >= db.cfg.MemTableBytes {
-		db.flush()
-	}
+	db.maybeFlushLocked()
 }
 
-// Flush forces the MemTable to level 0.
-func (db *DB) Flush() { db.flush() }
+// maybeFlushLocked checks the MemTable size trigger after a write.
+func (db *DB) maybeFlushLocked() {
+	if db.mem.bytes < db.cfg.MemTableBytes {
+		return
+	}
+	if !db.cfg.BackgroundCompaction {
+		db.flushLocked()
+		return
+	}
+	// Backpressure: with an immutable MemTable already in flight, wait for
+	// the flusher rather than stacking sealed tables. Wait releases the
+	// lock, so another writer may seal (or drain) the MemTable meanwhile.
+	for db.imm != nil {
+		if db.mem.bytes < db.cfg.MemTableBytes {
+			return
+		}
+		db.bgCond.Wait()
+	}
+	db.sealLocked()
+}
 
-func (db *DB) flush() {
+// sealLocked moves the MemTable into the immutable slot (which must be free)
+// and hands it to a background flusher.
+func (db *DB) sealLocked() {
+	if db.mem.bytes == 0 {
+		return
+	}
+	db.imm = db.mem
+	db.mem = newMemTable()
+	db.bg.Add(1)
+	go db.flushWorker(db.imm)
+}
+
+// Flush forces the MemTable to level 0. With background compaction enabled
+// it is a full barrier: it returns once the flush and any triggered
+// compactions have settled.
+func (db *DB) Flush() {
+	if !db.cfg.BackgroundCompaction {
+		db.mu.Lock()
+		db.flushLocked()
+		db.mu.Unlock()
+		return
+	}
+	db.mu.Lock()
+	for db.imm != nil {
+		db.bgCond.Wait()
+	}
+	db.sealLocked()
+	db.mu.Unlock()
+	db.WaitIdle()
+}
+
+// WaitIdle blocks until no background flush or compaction is in flight. The
+// level shape and Stats are stable afterwards (until the next write).
+func (db *DB) WaitIdle() {
+	db.mu.Lock()
+	for db.imm != nil || db.compacting {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+}
+
+// flushLocked is the inline (foreground) flush + compaction path.
+func (db *DB) flushLocked() {
 	entries := db.mem.sorted()
 	if len(entries) == 0 {
 		return
 	}
-	t, err := buildSSTable(db.nextID, entries, db.cfg.BlockSize, db.cfg.Filter)
+	db.mem = newMemTable()
+	t := db.buildTable(entries)
+	db.installFlushedLocked(t)
+	db.maybeCompactLocked()
+}
+
+// flushWorker builds the SSTable from the sealed MemTable off-lock, installs
+// it under a short write lock, and kicks the compactor if needed.
+func (db *DB) flushWorker(imm *memTable) {
+	defer db.bg.Done()
+	t := db.buildTable(imm.sorted())
+	db.mu.Lock()
+	db.installFlushedLocked(t)
+	db.imm = nil
+	if !db.compacting && db.hasCompactionWorkLocked() {
+		db.compacting = true
+		db.bg.Add(1)
+		go db.compactWorker()
+	}
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+func (db *DB) buildTable(entries []Entry) *SSTable {
+	t, err := buildSSTable(db.nextID.Add(1)-1, entries, db.cfg.BlockSize, db.cfg.Filter)
 	if err != nil {
 		panic("lsm: filter build failed: " + err.Error())
 	}
-	db.nextID++
+	return t
+}
+
+func (db *DB) installFlushedLocked(t *SSTable) {
 	if len(db.levels) == 0 {
 		db.levels = append(db.levels, nil)
 	}
 	db.levels[0] = append(db.levels[0], t)
-	db.mem = newMemTable()
-	db.Stats.Flushes++
-	db.maybeCompact()
+	atomic.AddInt64(&db.Stats.Flushes, 1)
 }
 
-// readBlock fetches (and decodes) one block, consulting the cache.
+// readBlock fetches (and decodes) one block, consulting the cache. Callers
+// hold at least the read lock; the cache has its own mutex.
 func (db *DB) readBlock(t *SSTable, idx int) []Entry {
 	if e := db.cache.get(t.id, idx); e != nil {
-		db.Stats.CacheHits++
+		atomic.AddInt64(&db.Stats.CacheHits, 1)
 		return e
 	}
-	db.Stats.BlockReads++
+	atomic.AddInt64(&db.Stats.BlockReads, 1)
 	if db.cfg.IOLatency > 0 {
 		time.Sleep(db.cfg.IOLatency)
 	}
@@ -156,10 +272,23 @@ func (db *DB) readBlock(t *SSTable, idx int) []Entry {
 	return e
 }
 
+// memGet resolves key against the mutable then the immutable MemTable.
+func (db *DB) memGet(key []byte) ([]byte, bool) {
+	if v, ok := db.mem.get(key); ok {
+		return v, true
+	}
+	if db.imm != nil {
+		return db.imm.get(key)
+	}
+	return nil, false
+}
+
 // Get returns the value stored under key (Fig 4.3 left path). Tombstones
 // shadow older versions across all levels.
 func (db *DB) Get(key []byte) ([]byte, bool) {
-	if v, ok := db.mem.get(key); ok {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if v, ok := db.memGet(key); ok {
 		if isTombstone(v) {
 			return nil, false
 		}
@@ -170,7 +299,7 @@ func (db *DB) Get(key []byte) ([]byte, bool) {
 			return nil, false, false
 		}
 		if t.filter != nil && !t.filter.Lookup(key) {
-			db.Stats.FilterNegatives++
+			atomic.AddInt64(&db.Stats.FilterNegatives, 1)
 			return nil, false, false
 		}
 		b := t.blockFor(key)
@@ -235,9 +364,31 @@ func candLess(a, b *seekCandidate) bool {
 // keys come from the filters and only the winning table's block is fetched;
 // a closed seek whose candidates all fall past hi costs no I/O.
 func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// A seek that lands on a tombstone restarts past it; iterate instead of
+	// recursing so the read lock is taken once.
+	for lo != nil {
+		e, ok, next := db.seekOnceLocked(lo, hi)
+		if next == nil {
+			return e, ok
+		}
+		lo = next
+	}
+	return Entry{}, false
+}
+
+// seekOnceLocked performs one candidate-resolution pass. A non-nil next
+// means the winner was a tombstone and the search must restart at next.
+func (db *DB) seekOnceLocked(lo, hi []byte) (Entry, bool, []byte) {
 	var cands []seekCandidate
 	if k, v, ok := db.mem.seek(lo); ok {
 		cands = append(cands, seekCandidate{key: k, value: v, exact: true, prio: 1 << 30})
+	}
+	if db.imm != nil {
+		if k, v, ok := db.imm.seek(lo); ok {
+			cands = append(cands, seekCandidate{key: k, value: v, exact: true, prio: 1<<30 - 1})
+		}
 	}
 	addTable := func(t *SSTable, prio int) {
 		if !t.overlaps(lo, nil) {
@@ -246,7 +397,7 @@ func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
 		if t.filter != nil {
 			c, _, ok := t.filter.SeekCandidate(lo)
 			if !ok {
-				db.Stats.FilterNegatives++
+				atomic.AddInt64(&db.Stats.FilterNegatives, 1)
 				return
 			}
 			cands = append(cands, seekCandidate{key: c, table: t, prio: prio})
@@ -283,18 +434,14 @@ func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
 		c := cands[best]
 		if c.exact {
 			if hi != nil && keys.Compare(c.key, hi) >= 0 {
-				return Entry{}, false
+				return Entry{}, false, nil
 			}
 			if isTombstone(c.value) {
 				// The newest version of this key is a delete: restart past
 				// it, suppressing older versions in other tables.
-				next := keys.Successor(c.key)
-				if next == nil {
-					return Entry{}, false
-				}
-				return db.Seek(next, hi)
+				return Entry{}, false, keys.Successor(c.key)
 			}
-			return Entry{Key: c.key, Value: userValue(c.value)}, true
+			return Entry{Key: c.key, Value: userValue(c.value)}, true, nil
 		}
 		// Candidate keys from filters are truncated: when the candidate
 		// already sorts at or past hi, only a prefix of hi can still hide a
@@ -311,7 +458,7 @@ func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
 		}
 		cands[best] = seekCandidate{key: e.Key, value: e.Value, exact: true, prio: c.prio}
 	}
-	return Entry{}, false
+	return Entry{}, false, nil
 }
 
 // tableSeek reads the first record with key >= lo from t.
@@ -337,7 +484,12 @@ func (db *DB) tableSeek(t *SSTable, lo []byte) (Entry, bool) {
 // filters it is pure in-memory work (plus the MemTable); otherwise blocks
 // are scanned (Fig 4.3 right path).
 func (db *DB) Count(lo, hi []byte) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	total := db.mem.count(lo, hi)
+	if db.imm != nil {
+		total += db.imm.count(lo, hi)
+	}
 	each := func(t *SSTable) {
 		if !t.overlaps(lo, hi) {
 			return
@@ -378,24 +530,132 @@ func (db *DB) Count(lo, hi []byte) int {
 	return total
 }
 
-// maybeCompact runs compactions until the shape invariants hold.
-func (db *DB) maybeCompact() {
-	for {
-		if len(db.levels) > 0 && len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
-			db.compactL0()
-			continue
+// compactJob is one unit of level maintenance, picked under the lock and
+// executed (merge + table build) without it: every input table is immutable,
+// and the target level is only ever mutated by the single compactor.
+type compactJob struct {
+	srcLevel int
+	inputs   []*SSTable // tables leaving srcLevel (for L0: the whole level at pick time)
+	merge    []*SSTable // overlapping tables at srcLevel+1 folded into the merge
+	keep     []*SSTable // srcLevel+1 tables carried over untouched
+	bottom   bool       // output is the bottom level: drop tombstones
+}
+
+// hasCompactionWorkLocked reports whether any shape invariant is violated.
+func (db *DB) hasCompactionWorkLocked() bool {
+	if len(db.levels) > 0 && len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+		return true
+	}
+	for l := 1; l < len(db.levels); l++ {
+		if db.levelBytes(l) > db.levelTarget(l) {
+			return true
 		}
-		changed := false
-		for l := 1; l < len(db.levels); l++ {
-			if db.levelBytes(l) > db.levelTarget(l) {
-				db.compactLevel(l)
-				changed = true
-				break
+	}
+	return false
+}
+
+// pickCompactionLocked selects the next compaction: level 0 first, then the
+// first oversized level. Returns nil when the shape invariants hold.
+func (db *DB) pickCompactionLocked() *compactJob {
+	if len(db.levels) > 0 && len(db.levels[0]) >= db.cfg.L0CompactionTrigger {
+		job := &compactJob{srcLevel: 0, inputs: append([]*SSTable(nil), db.levels[0]...)}
+		var lo, hi []byte
+		for _, t := range job.inputs {
+			if lo == nil || keys.Compare(t.minKey, lo) < 0 {
+				lo = t.minKey
+			}
+			if hi == nil || keys.Compare(t.maxKey, hi) > 0 {
+				hi = t.maxKey
 			}
 		}
-		if !changed {
+		if len(db.levels) > 1 {
+			for _, t := range db.levels[1] {
+				if t.overlaps(lo, hi) {
+					job.merge = append(job.merge, t)
+				} else {
+					job.keep = append(job.keep, t)
+				}
+			}
+		}
+		job.bottom = len(db.levels) <= 2 || len(db.levels[2]) == 0
+		atomic.AddInt64(&db.Stats.Compactions, 1)
+		return job
+	}
+	for l := 1; l < len(db.levels); l++ {
+		if db.levelBytes(l) <= db.levelTarget(l) {
+			continue
+		}
+		t := db.levels[l][0]
+		job := &compactJob{srcLevel: l, inputs: []*SSTable{t}}
+		if l+1 < len(db.levels) {
+			for _, u := range db.levels[l+1] {
+				if u.overlaps(t.minKey, t.maxKey) {
+					job.merge = append(job.merge, u)
+				} else {
+					job.keep = append(job.keep, u)
+				}
+			}
+		}
+		job.bottom = l+2 >= len(db.levels) || len(db.levels[l+2]) == 0
+		atomic.AddInt64(&db.Stats.Compactions, 1)
+		return job
+	}
+	return nil
+}
+
+// executeJob merges the job's inputs and builds the output tables. L0 inputs
+// are newest-last, so later tables correctly win on duplicate keys.
+func (db *DB) executeJob(job *compactJob) []*SSTable {
+	merged := db.mergeTables(append(append([]*SSTable(nil), job.merge...), job.inputs...), job.bottom)
+	return db.splitIntoTables(merged)
+}
+
+// installLocked swaps the job's output into the level structure. Tables
+// flushed to L0 while an L0 job was merging sit after the consumed prefix
+// and survive the swap.
+func (db *DB) installLocked(job *compactJob, out []*SSTable) {
+	if job.srcLevel == 0 {
+		db.levels[0] = append([]*SSTable(nil), db.levels[0][len(job.inputs):]...)
+	} else {
+		db.levels[job.srcLevel] = db.levels[job.srcLevel][1:]
+	}
+	for len(db.levels) <= job.srcLevel+1 {
+		db.levels = append(db.levels, nil)
+	}
+	db.levels[job.srcLevel+1] = sortTables(append(append([]*SSTable(nil), job.keep...), out...))
+}
+
+// maybeCompactLocked runs compactions inline until the shape invariants
+// hold (the foreground path).
+func (db *DB) maybeCompactLocked() {
+	for {
+		job := db.pickCompactionLocked()
+		if job == nil {
 			return
 		}
+		db.installLocked(job, db.executeJob(job))
+	}
+}
+
+// compactWorker is the single background compactor: it picks a job under
+// the lock, merges off-lock while readers and the writer proceed, installs
+// the result under a short lock, and repeats until the shape is clean.
+func (db *DB) compactWorker() {
+	defer db.bg.Done()
+	for {
+		db.mu.Lock()
+		job := db.pickCompactionLocked()
+		if job == nil {
+			db.compacting = false
+			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+		out := db.executeJob(job)
+		db.mu.Lock()
+		db.installLocked(job, out)
+		db.mu.Unlock()
 	}
 }
 
@@ -413,62 +673,6 @@ func (db *DB) levelTarget(l int) int64 {
 		t *= int64(db.cfg.LevelSizeMultiplier)
 	}
 	return t
-}
-
-// compactL0 merges every level-0 table plus the overlapping level-1 tables.
-func (db *DB) compactL0() {
-	db.Stats.Compactions++
-	inputs := append([]*SSTable(nil), db.levels[0]...)
-	var lo, hi []byte
-	for _, t := range inputs {
-		if lo == nil || keys.Compare(t.minKey, lo) < 0 {
-			lo = t.minKey
-		}
-		if hi == nil || keys.Compare(t.maxKey, hi) > 0 {
-			hi = t.maxKey
-		}
-	}
-	var keep, merge []*SSTable
-	if len(db.levels) > 1 {
-		for _, t := range db.levels[1] {
-			if t.overlaps(lo, hi) {
-				merge = append(merge, t)
-			} else {
-				keep = append(keep, t)
-			}
-		}
-	}
-	// L0 tables may overlap each other: newest (last) wins on duplicates.
-	bottom := len(db.levels) <= 2 || len(db.levels[2]) == 0
-	merged := db.mergeTables(append(merge, inputs...), bottom)
-	out := db.splitIntoTables(merged)
-	db.levels[0] = nil
-	if len(db.levels) == 1 {
-		db.levels = append(db.levels, nil)
-	}
-	db.levels[1] = sortTables(append(keep, out...))
-}
-
-// compactLevel pushes one table from level l into level l+1.
-func (db *DB) compactLevel(l int) {
-	db.Stats.Compactions++
-	t := db.levels[l][0]
-	db.levels[l] = db.levels[l][1:]
-	if len(db.levels) == l+1 {
-		db.levels = append(db.levels, nil)
-	}
-	var keep, merge []*SSTable
-	for _, u := range db.levels[l+1] {
-		if u.overlaps(t.minKey, t.maxKey) {
-			merge = append(merge, u)
-		} else {
-			keep = append(keep, u)
-		}
-	}
-	bottom := l+2 >= len(db.levels) || len(db.levels[l+2]) == 0
-	merged := db.mergeTables(append(merge, t), bottom)
-	out := db.splitIntoTables(merged)
-	db.levels[l+1] = sortTables(append(keep, out...))
 }
 
 // mergeTables merges tables (later tables win on equal keys) without
@@ -510,12 +714,7 @@ func (db *DB) splitIntoTables(entries []Entry) []*SSTable {
 	for i, e := range entries {
 		size += int64(len(e.Key) + len(e.Value))
 		if size >= db.cfg.TargetTableBytes || i == len(entries)-1 {
-			t, err := buildSSTable(db.nextID, entries[start:i+1], db.cfg.BlockSize, db.cfg.Filter)
-			if err != nil {
-				panic("lsm: filter build failed: " + err.Error())
-			}
-			db.nextID++
-			out = append(out, t)
+			out = append(out, db.buildTable(entries[start:i+1]))
 			start = i + 1
 			size = 0
 		}
@@ -529,10 +728,16 @@ func sortTables(ts []*SSTable) []*SSTable {
 }
 
 // NumLevels returns the number of levels currently in use.
-func (db *DB) NumLevels() int { return len(db.levels) }
+func (db *DB) NumLevels() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.levels)
+}
 
 // TablesAt returns the number of tables at level l.
 func (db *DB) TablesAt(l int) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if l >= len(db.levels) {
 		return 0
 	}
@@ -541,6 +746,8 @@ func (db *DB) TablesAt(l int) int {
 
 // FilterMemory totals the resident filter bytes.
 func (db *DB) FilterMemory() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var m int64
 	for _, level := range db.levels {
 		for _, t := range level {
@@ -554,6 +761,8 @@ func (db *DB) FilterMemory() int64 {
 
 // DiskUsage totals serialized table bytes.
 func (db *DB) DiskUsage() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var m int64
 	for _, level := range db.levels {
 		for _, t := range level {
@@ -563,5 +772,9 @@ func (db *DB) DiskUsage() int64 {
 	return m
 }
 
-// ResetStats clears the I/O counters.
-func (db *DB) ResetStats() { db.Stats = Stats{} }
+// ResetStats clears the I/O counters; call it only on a quiescent DB.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	db.Stats = Stats{}
+	db.mu.Unlock()
+}

@@ -1,6 +1,8 @@
 package lsm
 
 import (
+	"sync"
+
 	"mets/internal/btree"
 	"mets/internal/keys"
 )
@@ -82,8 +84,12 @@ func (m *memTable) sorted() []Entry {
 }
 
 // blockCache is a CLOCK cache of decoded blocks keyed by (table, block),
-// capped by total serialized bytes.
+// capped by total serialized bytes. It has its own mutex (lookups set ref
+// bits, so even the read path mutates) and is safe for concurrent use by
+// readers holding only the DB's shared read lock. Cached entry slices are
+// immutable once published.
 type blockCache struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	hand     int
@@ -109,6 +115,8 @@ func newBlockCache(capacity int64) *blockCache {
 }
 
 func (c *blockCache) get(table uint64, block int) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if i, ok := c.where[cacheKey{table, block}]; ok {
 		c.slots[i].ref = true
 		return c.slots[i].entries
@@ -117,6 +125,8 @@ func (c *blockCache) get(table uint64, block int) []Entry {
 }
 
 func (c *blockCache) put(table uint64, block int, entries []Entry, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for c.used+bytes > c.capacity && c.evictOne() {
 	}
 	if c.used+bytes > c.capacity {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lsm
+
+const raceEnabled = false

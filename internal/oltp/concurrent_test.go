@@ -1,0 +1,87 @@
+package oltp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentTransactions submits transactions from many client
+// goroutines at once. The engine must serialize them (H-Store style), so a
+// read-modify-write balance transfer keeps its conserved-sum invariant even
+// though clients race. Run under -race this also checks the engine-internal
+// merge machinery of the hybrid indexes against concurrent submission.
+func TestConcurrentTransactions(t *testing.T) {
+	for _, it := range []IndexType{BTreeIndex, HybridIndex, HybridCompressedIndex} {
+		t.Run(it.String(), func(t *testing.T) {
+			e := New(Config{IndexType: it})
+			tb := e.CreateTable("accounts")
+			const accounts = 500
+			const initial = 1000
+			buf := make([]byte, 8)
+			for i := 0; i < accounts; i++ {
+				binary.LittleEndian.PutUint64(buf, initial)
+				tb.Insert(ck(uint64(i)), buf, nil)
+			}
+
+			const clients, txPerClient = 8, 2000
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < txPerClient; i++ {
+						from := uint64(rng.Intn(accounts))
+						to := uint64(rng.Intn(accounts))
+						amount := uint64(rng.Intn(10))
+						err := e.ExecuteTx(func() error {
+							fp, ok1 := tb.Get(ck(from))
+							tp, ok2 := tb.Get(ck(to))
+							if !ok1 || !ok2 {
+								return fmt.Errorf("account missing")
+							}
+							fb := binary.LittleEndian.Uint64(fp)
+							if fb < amount {
+								return nil // insufficient funds: no-op transaction
+							}
+							tbal := binary.LittleEndian.Uint64(tp)
+							var nb [8]byte
+							binary.LittleEndian.PutUint64(nb[:], fb-amount)
+							tb.Update(ck(from), nb[:])
+							binary.LittleEndian.PutUint64(nb[:], tbal+amount)
+							// from == to must still conserve: re-read, not stale tbal.
+							if from == to {
+								binary.LittleEndian.PutUint64(nb[:], tbal)
+							}
+							tb.Update(ck(to), nb[:])
+							return nil
+						})
+						if err != nil {
+							t.Errorf("tx failed: %v", err)
+							return
+						}
+					}
+				}(int64(c) + 3)
+			}
+			wg.Wait()
+
+			var total uint64
+			for i := 0; i < accounts; i++ {
+				p, ok := tb.Get(ck(uint64(i)))
+				if !ok {
+					t.Fatalf("account %d lost", i)
+				}
+				total += binary.LittleEndian.Uint64(p)
+			}
+			if want := uint64(accounts * initial); total != want {
+				t.Fatalf("%v: balance sum %d, want %d — transactions interleaved", it, total, want)
+			}
+			if got := e.Stats.Transactions; got != clients*txPerClient {
+				t.Fatalf("%v: Transactions = %d, want %d", it, got, clients*txPerClient)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package oltp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mets/internal/btree"
@@ -70,9 +71,15 @@ type secondaryIndex interface {
 	MemoryUsage() int64
 }
 
-// Engine is one partition's execution engine.
+// Engine is one partition's execution engine. Transactions submitted through
+// ExecuteTx from any number of goroutines execute serially, exactly as
+// H-Store runs one partition on one thread; direct Table method calls bypass
+// that serialization and are only safe single-threaded (setup/measurement
+// code).
 type Engine struct {
-	cfg        Config
+	cfg Config
+	// mu is the partition's execution lock: one transaction at a time.
+	mu         sync.Mutex
 	tables     map[string]*Table
 	order      []string
 	evictCheck int // insert countdown until the next eviction check
@@ -352,8 +359,13 @@ func (t *Table) evictCold(n int) int {
 	return evicted
 }
 
-// ExecuteTx runs one stored procedure, counting it in the stats.
+// ExecuteTx runs one stored procedure under the partition's execution lock,
+// counting it in the stats. Safe to call from concurrent client goroutines:
+// transactions queue on the lock and run one at a time (serial execution,
+// §5.4). The procedure must touch tables only through this engine.
 func (e *Engine) ExecuteTx(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	err := fn()
 	if err == nil {
 		e.Stats.Transactions++
