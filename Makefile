@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 bench
+.PHONY: all build vet test race tier1 bench fuzz-smoke
 
 all: tier1
 
@@ -23,3 +24,11 @@ tier1: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# fuzz-smoke gives each fuzz target a short budget of new inputs on top of
+# its checked-in seed corpus. Go allows one -fuzz target per invocation, so
+# each runs separately.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTrieOps$$' -fuzztime $(FUZZTIME) ./internal/fst
+	$(GO) test -run '^$$' -fuzz '^FuzzFSTBuildLookup$$' -fuzztime $(FUZZTIME) ./internal/fst
+	$(GO) test -run '^$$' -fuzz '^FuzzSuRFNoFalseNegatives$$' -fuzztime $(FUZZTIME) ./internal/surf

@@ -24,6 +24,7 @@ import (
 	"mets/internal/lsm"
 	"mets/internal/masstree"
 	"mets/internal/oltp"
+	"mets/internal/sharded"
 	"mets/internal/skiplist"
 	"mets/internal/surf"
 )
@@ -581,6 +582,89 @@ func BenchmarkConcurrent_HybridGetDuringMerge(b *testing.B) {
 	_, last, _ := h.MergeStats()
 	b.ReportMetric(float64(maxPause.Load()), "max-pause-ns")
 	b.ReportMetric(float64(last.Nanoseconds()), "merge-ns")
+}
+
+// BenchmarkConcurrent_ShardedGetDuringMerges is the sharded counterpart of
+// BenchmarkConcurrent_HybridGetDuringMerge: parallel point reads while the
+// shards rebuild their static stages in the background, staggered one shard
+// at a time (the maintenance policy for CPU-constrained machines — all-at-
+// once MergeAsync works too but then eight CPU-bound builders compete with
+// the readers for cores, which measures the scheduler, not the index). Each
+// shard's merge is ~1/8 the single-index rebuild and blocks only its own
+// range's readers, so merge-ns (worst single-shard rebuild) should sit well
+// below the single-index number at a comparable max-pause-ns.
+func BenchmarkConcurrent_ShardedGetDuringMerges(b *testing.B) {
+	ks := intKeys(b)
+	s := sharded.NewBTree(sharded.Config{
+		Router: sharded.RouterFromSample(ks, 8),
+		Hybrid: hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10},
+	})
+	for i, k := range ks {
+		s.Insert(k, uint64(i))
+	}
+	s.Merge()
+	extra := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(benchKeys/4, 99)))
+	for i, k := range extra {
+		s.Insert(k, uint64(i))
+	}
+	var maxPause atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // staggered maintenance: one shard's background merge at a time
+		defer wg.Done()
+		for i := 0; i < s.NumShards(); i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.MergeShardAsync(i)
+			s.WaitMerges()
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(42))
+		for pb.Next() {
+			k := ks[rng.Intn(len(ks))]
+			t0 := time.Now()
+			s.Get(k)
+			updateMax(&maxPause, int64(time.Since(t0)))
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	s.WaitMerges()
+	_, worstLast, _ := s.MergeStats()
+	b.ReportMetric(float64(maxPause.Load()), "max-pause-ns")
+	b.ReportMetric(float64(worstLast.Nanoseconds()), "merge-ns")
+}
+
+// BenchmarkConcurrent_ShardedScan measures parallel short range scans (the
+// YCSB-E shape) against the sharded index's lazy per-shard iterators.
+func BenchmarkConcurrent_ShardedScan(b *testing.B) {
+	ks := intKeys(b)
+	s := sharded.NewBTree(sharded.Config{
+		Router: sharded.RouterFromSample(ks, 8),
+		Hybrid: hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10},
+	})
+	for i, k := range ks {
+		s.Insert(k, uint64(i))
+	}
+	s.Merge()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(7))
+		for pb.Next() {
+			n := 0
+			s.Scan(ks[rng.Intn(len(ks))], func([]byte, uint64) bool {
+				n++
+				return n < 100
+			})
+		}
+	})
 }
 
 // BenchmarkConcurrent_LSMGetDuringCompaction measures parallel Gets while a

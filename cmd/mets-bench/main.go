@@ -37,6 +37,8 @@ func register(id, title string, run func(*benchContext)) {
 type benchContext struct {
 	scale   int // dataset multiplier
 	queries int // queries per measurement
+	shards  int // shard count for the sharded-index experiments
+	threads int // client goroutines for the concurrent driver (0 = GOMAXPROCS)
 }
 
 // keysAtScale returns the base dataset size for tree experiments.
@@ -45,6 +47,8 @@ func (c *benchContext) numKeys() int { return 200000 * c.scale }
 func main() {
 	scale := flag.Int("scale", 1, "dataset scale multiplier (1 = ~200k keys)")
 	queries := flag.Int("queries", 200000, "queries per measurement")
+	shards := flag.Int("shards", 8, "shard count for the sharded-index experiments")
+	threads := flag.Int("threads", 0, "concurrent driver client count (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -60,7 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mets-bench [-scale N] <experiment-id>... | -list | all")
 		os.Exit(2)
 	}
-	ctx := &benchContext{scale: *scale, queries: *queries}
+	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads}
 	runAll := len(args) == 1 && args[0] == "all"
 	for _, e := range registry {
 		selected := runAll

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mets/internal/hybrid"
+	"mets/internal/sharded"
+	"mets/internal/ycsb"
+)
+
+func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
+
+func init() {
+	register("shard.ycsb", "Range-sharded hybrid index: concurrent YCSB scaling vs single shard", runShardedYCSB)
+	register("shard.pause", "Per-shard merge pauses: N short pauses vs one global pause", runShardedPause)
+}
+
+// bgMergeCfg is the per-shard hybrid configuration used by the sharding
+// experiments: background merges on, thesis defaults otherwise.
+func bgMergeCfg() hybrid.Config {
+	cfg := hybrid.DefaultConfig()
+	cfg.BackgroundMerge = true
+	return cfg
+}
+
+// shardedAt builds an N-shard hybrid B+tree with boundaries learned from the
+// loaded key sample and bulk-loads it.
+func shardedAt(n int, ks [][]byte) *sharded.Index {
+	s := sharded.NewBTree(sharded.Config{
+		Router: sharded.RouterFromSample(ks, n),
+		Hybrid: bgMergeCfg(),
+	})
+	if err := s.BulkLoad(loadEntries(ks)); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// runShardedYCSB compares single-shard hybrid against the sharded index
+// under the concurrent driver for YCSB A (write-heavy: parallel writers and
+// merges), C (read-only: lock contention), and E (scans: fan-out + k-way
+// merge), reporting aggregate throughput and worst read pause.
+func runShardedYCSB(ctx *benchContext) {
+	ks := dataset(randInt, ctx.numKeys(), 1)
+	opsPerThread := ctx.queries / 4
+	for _, w := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadC, ycsb.WorkloadE} {
+		ops := opsPerThread
+		if w == ycsb.WorkloadE {
+			ops /= 10
+		}
+		fmt.Printf("-- workload %v (%d keys, %d threads) --\n", w, len(ks), threadCount(ctx))
+		row("variant", "Mops", "max read pause us", "merges")
+		for _, n := range shardCounts(ctx) {
+			var kv ycsb.KV
+			var mergesOf func() int
+			if n == 1 {
+				h := hybrid.NewBTree(bgMergeCfg())
+				if err := h.BulkLoad(loadEntries(ks)); err != nil {
+					panic(err)
+				}
+				kv = h
+				mergesOf = func() int { m, _, _ := h.MergeStats(); return m }
+			} else {
+				s := shardedAt(n, ks)
+				kv = s
+				mergesOf = func() int { m, _, _ := s.MergeStats(); return m }
+			}
+			res := ycsb.RunConcurrent(kv, ks, ycsb.DriverConfig{
+				Workload: w, Threads: ctx.threads, OpsPerThread: ops, Seed: 11,
+			})
+			row(fmt.Sprintf("%d-shard", n), res.Mops(),
+				float64(res.MaxReadPause.Microseconds()), mergesOf())
+		}
+	}
+	fmt.Println("expect: reads scale with shards (per-shard RWMutex), writes/merges parallelize, max pause shrinks")
+}
+
+// runShardedPause loads every variant and forces a full merge, printing each
+// shard's merge time — the pause budget argument for sharding: N small
+// rebuilds instead of one big one, and readers only ever wait on their own
+// shard. Shards are merged one at a time (MergeShard) so each measured
+// duration is the lock-hold time that shard's readers actually see, not
+// inflated by timeslicing against the other rebuilds on a small machine.
+func runShardedPause(ctx *benchContext) {
+	ks := dataset(randInt, ctx.numKeys(), 1)
+	row("variant", "merge wall ms", "worst shard ms", "sum shard ms")
+	for _, n := range shardCounts(ctx) {
+		if n == 1 {
+			h := hybrid.NewBTree(hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30})
+			measureLoad(h, ks, 2)
+			start := time.Now()
+			h.Merge()
+			wall := time.Since(start)
+			row("1-shard", float64(wall.Milliseconds()), float64(h.LastMergeTime.Milliseconds()),
+				float64(h.LastMergeTime.Milliseconds()))
+			continue
+		}
+		cfg := sharded.Config{Router: sharded.RouterFromSample(ks, n)}
+		cfg.Hybrid = hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10}
+		s := sharded.NewBTree(cfg)
+		measureLoad(s, ks, 2)
+		start := time.Now()
+		for i := 0; i < s.NumShards(); i++ {
+			s.MergeShard(i)
+		}
+		wall := time.Since(start)
+		var worst, sum time.Duration
+		for _, st := range s.ShardStats() {
+			if st.LastMerge > worst {
+				worst = st.LastMerge
+			}
+			sum += st.LastMerge
+		}
+		row(fmt.Sprintf("%d-shard", n), float64(wall.Milliseconds()),
+			float64(worst.Milliseconds()), float64(sum.Milliseconds()))
+	}
+	fmt.Println("expect: worst per-shard pause ~1/N of the single-shard merge pause")
+}
+
+func shardCounts(ctx *benchContext) []int {
+	n := ctx.shards
+	if n <= 1 {
+		n = 8
+	}
+	return []int{1, n}
+}
+
+func threadCount(ctx *benchContext) int {
+	if ctx.threads > 0 {
+		return ctx.threads
+	}
+	return runtimeGOMAXPROCS()
+}

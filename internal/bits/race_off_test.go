@@ -1,0 +1,5 @@
+//go:build !race
+
+package bits
+
+const raceEnabled = false

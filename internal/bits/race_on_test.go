@@ -1,0 +1,8 @@
+//go:build race
+
+package bits
+
+// raceEnabled trims the exhaustive sweeps under the race detector, whose
+// instrumentation makes the tight rank/select loops an order of magnitude
+// slower (the bit patterns are what matter, not the repetition count).
+const raceEnabled = true

@@ -1,0 +1,13 @@
+package btree
+
+import (
+	"testing"
+
+	"mets/internal/dstest"
+)
+
+// TestDifferential runs the shared oracle harness against the dynamic
+// B+tree — the baseline dynamic structure every hybrid variant builds on.
+func TestDifferential(t *testing.T) {
+	dstest.Run(t, New(), dstest.Config{Ops: 8000, KeySpace: 800, Seed: 3})
+}

@@ -313,10 +313,9 @@ func (c *dynCursor) fill() {
 		c.done = true
 		return
 	}
-	c.nextKey = keys.Successor(c.buf[len(c.buf)-1].Key)
-	if c.nextKey == nil {
-		c.done = true
-	}
+	// Resume at the immediate successor of the last buffered key; Successor
+	// would skip keys extending it (e.g. "aba" after a chunk ending at "ab").
+	c.nextKey = keys.Next(c.buf[len(c.buf)-1].Key)
 }
 
 // peek returns the current entry, or nil when exhausted.

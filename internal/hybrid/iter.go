@@ -1,0 +1,142 @@
+package hybrid
+
+import (
+	"mets/internal/index"
+	"mets/internal/keys"
+)
+
+// This file exports the stage-snapshot hooks that layered consumers (the
+// range-sharded index in internal/sharded, bulk loaders) build on: a chunked
+// Iterator that never holds the index lock across user code, a bounded
+// ScanN collector, direct frozen-stage introspection, and BulkLoad.
+
+// ScanN collects up to n live entries in key order starting at the smallest
+// key >= start. The read lock is held for the duration of one call only, and
+// the returned entries are fresh copies the caller may retain.
+func (h *Index) ScanN(start []byte, n int) []index.Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]index.Entry, 0, minInt(n, 1024))
+	// Scan hands out keys freshly allocated per cursor refill; they are never
+	// reused afterwards, so retaining them without another copy is safe.
+	h.Scan(start, func(k []byte, v uint64) bool {
+		out = append(out, index.Entry{Key: k, Value: v})
+		return len(out) < n
+	})
+	return out
+}
+
+// Iterator chunk sizing: each refill restarts a cursor seek on the static
+// and dynamic stages, so the first fill is sized to satisfy a typical short
+// range scan (YCSB-E draws 50-100 entries) in a single lock acquisition,
+// then doubles up to the cap so long scans amortize further refills.
+const (
+	iterFirstChunk = 128
+	iterChunk      = 512
+)
+
+// Iterator walks the live entries of the index in key order, pulling one
+// chunk of entries per read-lock acquisition. Unlike Scan — which holds the
+// read lock for its whole duration — an Iterator holds no lock between
+// chunks, so arbitrarily long iterations never block writers for long and
+// the consumer may freely call back into the index. The trade-off is chunk
+// granularity consistency: each chunk is an atomic snapshot, but entries
+// inserted behind the cursor after a refill are not revisited.
+type Iterator struct {
+	h     *Index
+	buf   []index.Entry
+	i     int
+	next  []byte // resume key for the next refill
+	chunk int    // next refill size (doubles up to iterChunk)
+	done  bool   // no more refills
+}
+
+// NewIterator returns an iterator positioned at the smallest key >= start
+// (nil starts at the beginning).
+func (h *Index) NewIterator(start []byte) *Iterator {
+	it := &Iterator{h: h, next: start, chunk: iterFirstChunk}
+	if it.next == nil {
+		it.next = []byte{}
+	}
+	it.fill()
+	return it
+}
+
+func (it *Iterator) fill() {
+	it.i = 0
+	if it.done {
+		it.buf = nil
+		return
+	}
+	it.buf = it.h.ScanN(it.next, it.chunk)
+	if len(it.buf) < it.chunk {
+		it.done = true
+		return
+	}
+	it.next = keys.Next(it.buf[len(it.buf)-1].Key)
+	if it.chunk < iterChunk {
+		it.chunk *= 2
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.i < len(it.buf) }
+
+// Entry returns the current entry; the key is owned by the caller.
+func (it *Iterator) Entry() index.Entry { return it.buf[it.i] }
+
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.buf[it.i].Key }
+
+// Value returns the current value.
+func (it *Iterator) Value() uint64 { return it.buf[it.i].Value }
+
+// Next advances to the next entry, refilling from the index as needed.
+func (it *Iterator) Next() {
+	it.i++
+	if it.i >= len(it.buf) && !it.done {
+		it.fill()
+	}
+}
+
+// FrozenLen returns the entry count of the sealed frozen stage, or 0 when no
+// background merge is in flight.
+func (h *Index) FrozenLen() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.frozen == nil {
+		return 0
+	}
+	return h.frozen.Len()
+}
+
+// BulkLoad replaces the index contents with the given sorted unique entries,
+// building the static stage directly instead of funnelling every entry
+// through the dynamic stage and a merge. An in-flight background merge is
+// waited out first. The entries slice is handed to the static builder and
+// must not be modified afterwards.
+func (h *Index) BulkLoad(entries []index.Entry) error {
+	st, err := h.build(entries)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.merging {
+		h.mergeDone.Wait()
+	}
+	h.static = st
+	h.dynamic = h.newDynamic()
+	h.tombstones = make(map[string]struct{})
+	h.shadows = 0
+	h.resetFilter(len(entries) / h.cfg.MergeRatio)
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -75,6 +75,16 @@ func Successor(k []byte) []byte {
 	return nil
 }
 
+// Next returns the immediate lexicographic successor of k — k followed by a
+// zero byte, the smallest key strictly greater than k. Use this (not
+// Successor) to resume an iteration after k: Successor additionally skips
+// every key having k as a proper prefix.
+func Next(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	return out
+}
+
 // Dedup sorts ks in place and removes duplicates, returning the compacted
 // slice.
 func Dedup(ks [][]byte) [][]byte {

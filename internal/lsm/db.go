@@ -437,9 +437,11 @@ func (db *DB) seekOnceLocked(lo, hi []byte) (Entry, bool, []byte) {
 				return Entry{}, false, nil
 			}
 			if isTombstone(c.value) {
-				// The newest version of this key is a delete: restart past
-				// it, suppressing older versions in other tables.
-				return Entry{}, false, keys.Successor(c.key)
+				// The newest version of this key is a delete: restart at its
+				// immediate successor, suppressing older versions in other
+				// tables (Successor would also skip live keys that extend
+				// the deleted one).
+				return Entry{}, false, keys.Next(c.key)
 			}
 			return Entry{Key: c.key, Value: userValue(c.value)}, true, nil
 		}

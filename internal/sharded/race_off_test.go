@@ -1,0 +1,5 @@
+//go:build !race
+
+package sharded
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sharded
+
+// raceEnabled scales concurrency-test workloads down under the race
+// detector, whose instrumentation makes lock handoffs an order of magnitude
+// slower (the interleavings are what matter, not the op count).
+const raceEnabled = true

@@ -1,0 +1,273 @@
+// Package sharded implements a range-partitioned sharded hybrid index: keys
+// fan out across N disjoint key ranges, each backed by its own
+// hybrid.Index — its own dynamic stage, readers-writer lock, Bloom filter,
+// and independent background-merge schedule. Writers touching different
+// shards proceed in parallel, and a merge pause on one shard never stalls
+// readers or writers on the other N-1, so the worst-case pause shrinks with
+// the shard count instead of growing with the total index size.
+//
+// Partitioning is boundary-based (internal/sharded.Router): boundaries are
+// either learned from a key sample (RouterFromSample, quantile split) or
+// spaced uniformly (UniformRouter). Range scans fan out across the shards
+// and re-merge through an ordered k-way merge of per-shard chunked
+// iterators; because shard ranges are disjoint and ordered, the merged
+// stream is globally sorted with no cross-shard deduplication.
+package sharded
+
+import (
+	"time"
+
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/par"
+)
+
+// Config tunes the sharded index.
+type Config struct {
+	// Shards is the shard count used when Router is nil (a UniformRouter is
+	// built); default 8.
+	Shards int
+	// Router overrides the partitioning (e.g. RouterFromSample). The shard
+	// count is then Router.NumShards().
+	Router *Router
+	// Hybrid is the per-shard dual-stage configuration. MinDynamic applies
+	// per shard, so an N-shard index merges after roughly N*MinDynamic total
+	// inserts spread evenly.
+	Hybrid hybrid.Config
+}
+
+// DefaultConfig returns 8 uniform shards with background merges enabled.
+func DefaultConfig() Config {
+	hc := hybrid.DefaultConfig()
+	hc.BackgroundMerge = true
+	return Config{Shards: 8, Hybrid: hc}
+}
+
+// Index is a range-partitioned collection of hybrid indexes. All methods are
+// safe for concurrent use; per-key operations take only the owning shard's
+// lock, and aggregate accessors visit shards one at a time (they are
+// monotonic snapshots, not point-in-time cuts across shards).
+type Index struct {
+	router *Router
+	shards []*hybrid.Index
+}
+
+// New builds a sharded index; newShard creates one hybrid index per range
+// (hybrid.NewBTree et al. match the signature).
+func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
+	r := cfg.Router
+	if r == nil {
+		n := cfg.Shards
+		if n <= 0 {
+			n = 8
+		}
+		r = UniformRouter(n)
+	}
+	s := &Index{router: r, shards: make([]*hybrid.Index, r.NumShards())}
+	for i := range s.shards {
+		s.shards[i] = newShard(cfg.Hybrid)
+	}
+	return s
+}
+
+// NewBTree returns a sharded Hybrid B+tree.
+func NewBTree(cfg Config) *Index { return New(cfg, hybrid.NewBTree) }
+
+// NewART returns a sharded Hybrid ART.
+func NewART(cfg Config) *Index { return New(cfg, hybrid.NewART) }
+
+// NewSkipList returns a sharded Hybrid Skip List.
+func NewSkipList(cfg Config) *Index { return New(cfg, hybrid.NewSkipList) }
+
+// NewMasstree returns a sharded Hybrid Masstree.
+func NewMasstree(cfg Config) *Index { return New(cfg, hybrid.NewMasstree) }
+
+// NumShards returns the shard count.
+func (s *Index) NumShards() int { return len(s.shards) }
+
+// Router returns the boundary router.
+func (s *Index) Router() *Router { return s.router }
+
+// ShardFor returns the shard index owning key (exposed for tests and
+// placement-aware callers).
+func (s *Index) ShardFor(key []byte) int { return s.router.Shard(key) }
+
+func (s *Index) shard(key []byte) *hybrid.Index { return s.shards[s.router.Shard(key)] }
+
+// Get returns the value stored under key.
+func (s *Index) Get(key []byte) (uint64, bool) { return s.shard(key).Get(key) }
+
+// Insert adds a new entry (primary-index semantics: duplicates rejected).
+func (s *Index) Insert(key []byte, value uint64) bool { return s.shard(key).Insert(key, value) }
+
+// Update overwrites the value of an existing key.
+func (s *Index) Update(key []byte, value uint64) bool { return s.shard(key).Update(key, value) }
+
+// Delete removes key.
+func (s *Index) Delete(key []byte) bool { return s.shard(key).Delete(key) }
+
+// Len returns the total number of live entries across shards.
+func (s *Index) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// DynamicLen sums the per-shard dynamic (plus frozen) stage sizes.
+func (s *Index) DynamicLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.DynamicLen()
+	}
+	return n
+}
+
+// StaticLen sums the per-shard static stage sizes.
+func (s *Index) StaticLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.StaticLen()
+	}
+	return n
+}
+
+// MemoryUsage sums all shards.
+func (s *Index) MemoryUsage() int64 {
+	var m int64
+	for _, sh := range s.shards {
+		m += sh.MemoryUsage()
+	}
+	return m
+}
+
+// Merge synchronously merges every shard's dynamic stage into its static
+// stage, fanning the per-shard rebuilds out across GOMAXPROCS workers.
+func (s *Index) Merge() {
+	fns := make([]func(), len(s.shards))
+	for i := range s.shards {
+		sh := s.shards[i]
+		fns[i] = func() { sh.Merge() }
+	}
+	par.Run(fns...)
+}
+
+// MergeShard synchronously merges shard i only. Callers that want to spread
+// maintenance over time (or measure one shard's pause in isolation) can walk
+// the shards themselves instead of using Merge's all-at-once fan-out.
+func (s *Index) MergeShard(i int) { s.shards[i].Merge() }
+
+// MergeShardAsync starts a background merge on shard i only, reporting
+// whether one was started. Together with WaitMerges this lets a maintenance
+// loop stagger the rebuilds — one shard at a time — so that on machines with
+// few spare cores the merges don't all compete with foreground readers at
+// once (the same rationale as the LSM's single background compactor).
+func (s *Index) MergeShardAsync(i int) bool { return s.shards[i].MergeAsync() }
+
+// MergeAsync starts a background merge on every shard that has dynamic
+// entries and no merge already in flight, returning how many were started.
+// Each shard merges on its own goroutine, so the rebuilds proceed in
+// parallel and each shard's readers only ever wait on their own shard's
+// short seal/swap critical sections.
+func (s *Index) MergeAsync() int {
+	started := 0
+	for _, sh := range s.shards {
+		if sh.MergeAsync() {
+			started++
+		}
+	}
+	return started
+}
+
+// WaitMerges blocks until no shard has a background merge in flight.
+func (s *Index) WaitMerges() {
+	for _, sh := range s.shards {
+		sh.WaitMerges()
+	}
+}
+
+// Merging reports whether any shard has a background merge running.
+func (s *Index) Merging() bool {
+	for _, sh := range s.shards {
+		if sh.Merging() {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStat is one shard's size and merge telemetry.
+type ShardStat struct {
+	Len        int
+	DynamicLen int
+	Merges     int
+	LastMerge  time.Duration
+	TotalMerge time.Duration
+}
+
+// ShardStats returns per-shard telemetry (the per-shard merge pauses the
+// YCSB driver reports).
+func (s *Index) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		merges, last, total := sh.MergeStats()
+		out[i] = ShardStat{
+			Len: sh.Len(), DynamicLen: sh.DynamicLen(),
+			Merges: merges, LastMerge: last, TotalMerge: total,
+		}
+	}
+	return out
+}
+
+// MergeStats aggregates across shards: total merge count, the longest
+// single-shard last-merge time (the worst pause any one shard imposed), and
+// summed merge work.
+func (s *Index) MergeStats() (merges int, worstLast, total time.Duration) {
+	for _, sh := range s.shards {
+		m, last, t := sh.MergeStats()
+		merges += m
+		if last > worstLast {
+			worstLast = last
+		}
+		total += t
+	}
+	return merges, worstLast, total
+}
+
+// BulkLoad replaces the index contents with the given sorted unique entries:
+// the slice is partitioned by the router (cheap binary searches at the
+// boundaries) and each shard's static stage is built directly, with the
+// per-shard builds fanned out across GOMAXPROCS workers (internal/par).
+func (s *Index) BulkLoad(entries []index.Entry) error {
+	parts := s.partition(entries)
+	errs := make([]error, len(s.shards))
+	fns := make([]func(), len(s.shards))
+	for i := range s.shards {
+		i := i
+		fns[i] = func() { errs[i] = s.shards[i].BulkLoad(parts[i]) }
+	}
+	par.Run(fns...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partition splits sorted entries into per-shard sub-slices (no copying).
+func (s *Index) partition(entries []index.Entry) [][]index.Entry {
+	parts := make([][]index.Entry, len(s.shards))
+	lo := 0
+	for i := 0; i < len(s.shards); i++ {
+		hi := len(entries)
+		if i+1 < len(s.shards) {
+			b := s.router.LowerBound(i + 1)
+			hi = lo + sortSearchEntries(entries[lo:], b)
+		}
+		parts[i] = entries[lo:hi]
+		lo = hi
+	}
+	return parts
+}

@@ -1,0 +1,54 @@
+package surf
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// FuzzSuRFNoFalseNegatives pins the filter's one hard guarantee across every
+// suffix mode: a key that was built into the filter is always reported
+// present, both by point Lookup and by any range that contains it. False
+// positives are allowed (and expected); a single false negative is a bug.
+func FuzzSuRFNoFalseNegatives(f *testing.F) {
+	f.Add([]byte("a\x00ab\x00abc\x00b"), uint8(4), uint8(4))
+	f.Add([]byte("k1\x00k2\x00k3"), uint8(0), uint8(8))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0xFE}, uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, keyBlob []byte, hashBits, realBits uint8) {
+		var ks [][]byte
+		for _, part := range bytes.Split(keyBlob, []byte{0}) {
+			if len(part) > 0 && len(part) < 64 {
+				ks = append(ks, part)
+			}
+		}
+		if len(ks) == 0 {
+			return
+		}
+		ks = keys.Dedup(ks)
+		cfgs := []Config{
+			BaseConfig(),
+			HashConfig(int(hashBits)%9 + 1),
+			RealConfig(int(realBits)%9 + 1),
+			MixedConfig(int(hashBits)%5+1, int(realBits)%5+1),
+		}
+		for _, cfg := range cfgs {
+			filter, err := Build(ks, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range ks {
+				if !filter.Lookup(k) {
+					t.Fatalf("cfg %+v: false negative Lookup(%x)", cfg, k)
+				}
+				if !filter.LookupRange(k, k, true) {
+					t.Fatalf("cfg %+v: false negative LookupRange[%x,%x]", cfg, k, k)
+				}
+				// A half-open range ending just past k must also cover it.
+				if !filter.LookupRange(k, keys.Next(k), false) {
+					t.Fatalf("cfg %+v: false negative LookupRange[%x,Next)", cfg, k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package surf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// TestMetamorphicSuffixFPR sweeps the three suffix families (Hash, Real,
+// Mixed) at total suffix lengths of 4 and 8 bits and checks the metamorphic
+// relations that hold regardless of implementation detail:
+//
+//  1. adding suffix bits never makes the filter worse than Base,
+//  2. within a family, point FPR decreases monotonically with suffix length,
+//  3. point FPR stays under the theoretical ~2^-len plus sampling slack
+//     (each suffix bit must match for a false positive to survive).
+//
+// Everything is seeded, so a failure is a deterministic regression.
+func TestMetamorphicSuffixFPR(t *testing.T) {
+	// A probe only exercises the suffix check if it reaches a truncated leaf
+	// with fresh randomness in every bit *after* the truncation point. Most
+	// of 20k random uint64s are told apart by their top 2 bytes (the leaf
+	// then stores just that prefix, and the real suffix starts at byte 2),
+	// so probes keep a member's top 2 bytes and rerandomize the low 48 bits.
+	// (Independent random probes never reach a leaf and every config reads
+	// FPR 0.0; dense keys are never truncated and membership is exact — both
+	// make the sweep vacuous.)
+	vals := keys.RandomUint64(20000, 17)
+	member := make(map[uint64]struct{}, len(vals))
+	for _, v := range vals {
+		member[v] = struct{}{}
+	}
+	stored := keys.Dedup(keys.EncodeUint64s(vals))
+	rng := rand.New(rand.NewSource(18))
+	probes := make([][]byte, 0, 20000)
+	for len(probes) < 20000 {
+		v := vals[rng.Intn(len(vals))]
+		p := v&^((uint64(1)<<48)-1) | rng.Uint64()>>16
+		if _, ok := member[p]; ok {
+			continue
+		}
+		probes = append(probes, keys.Uint64(p))
+	}
+
+	fpr := func(cfg Config) float64 {
+		f := build(t, stored, cfg)
+		// The stored keys must all still be found — FPR comparisons are
+		// meaningless for a filter that drops members.
+		for _, k := range stored[:1000] {
+			if !f.Lookup(k) {
+				t.Fatalf("%+v: false negative during FPR sweep", cfg)
+			}
+		}
+		fp := 0
+		for _, p := range probes {
+			if f.Lookup(p) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(probes))
+	}
+
+	base := fpr(BaseConfig())
+	families := []struct {
+		name   string
+		at     func(bits int) Config
+		halves []int // how the total splits for the family's 4/8-bit points
+	}{
+		{"hash", func(b int) Config { return HashConfig(b) }, nil},
+		{"real", func(b int) Config { return RealConfig(b) }, nil},
+		{"mixed", func(b int) Config { return MixedConfig(b/2, b/2) }, nil},
+	}
+	const (
+		noise = 0.01 // sampling epsilon for 20k probes
+		mult  = 3    // same generosity as the Fig 4.4 regression test
+	)
+	for _, fam := range families {
+		f4 := fpr(fam.at(4))
+		f8 := fpr(fam.at(8))
+		t.Logf("%s: base=%.4f len4=%.4f len8=%.4f", fam.name, base, f4, f8)
+		if f4 > base+noise || f8 > base+noise {
+			t.Errorf("%s: suffix bits made FPR worse than Base (%.4f/%.4f vs %.4f)",
+				fam.name, f4, f8, base)
+		}
+		if f8 > f4+noise {
+			t.Errorf("%s: FPR not monotone in suffix length: len4=%.4f len8=%.4f",
+				fam.name, f4, f8)
+		}
+		for _, pt := range []struct {
+			bits int
+			got  float64
+		}{{4, f4}, {8, f8}} {
+			bound := mult*math.Pow(2, -float64(pt.bits)) + 0.004
+			if pt.got > bound {
+				t.Errorf("%s len%d: FPR %.4f above bound %.4f (~2^-%d + slack)",
+					fam.name, pt.bits, pt.got, bound, pt.bits)
+			}
+		}
+	}
+}

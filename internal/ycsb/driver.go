@@ -1,0 +1,146 @@
+package ycsb
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/keys"
+)
+
+// defaultThreads is the client count when DriverConfig.Threads is 0.
+func defaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// KV is the index surface the concurrent driver drives — satisfied by
+// hybrid.Index, sharded.Index, and any index.Dynamic implementation.
+type KV interface {
+	Get(key []byte) (uint64, bool)
+	Insert(key []byte, value uint64) bool
+	Update(key []byte, value uint64) bool
+	Scan(start []byte, fn func(key []byte, value uint64) bool) int
+}
+
+// DriverConfig parameterizes one concurrent run.
+type DriverConfig struct {
+	Workload Workload
+	// Threads is the number of client goroutines (0 = GOMAXPROCS).
+	Threads int
+	// OpsPerThread is how many operations each client executes.
+	OpsPerThread int
+	// Uniform selects the uniform request distribution instead of Zipfian.
+	Uniform bool
+	// Seed derives the per-thread generator seeds.
+	Seed int64
+}
+
+// DriverResult is the aggregate outcome of a concurrent run.
+type DriverResult struct {
+	Threads int
+	Ops     int
+	Elapsed time.Duration
+	// MaxReadPause is the worst single Get/Scan latency any client observed
+	// — the figure that exposes a stop-the-world merge on the read path.
+	MaxReadPause                   time.Duration
+	Reads, Updates, Inserts, Scans int
+}
+
+// Mops returns aggregate throughput in million operations per second.
+func (r DriverResult) Mops() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// updateMaxInt64 folds v into m, keeping the maximum.
+func updateMaxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RunConcurrent executes the workload against kv from cfg.Threads client
+// goroutines over the loaded key set ks. Operation sequences and insert keys
+// are pre-generated outside the timed region (each thread draws from a
+// disjoint slice of the insert pool so inserts do not collide), so the
+// measurement covers index work only. Read pauses are tracked per operation
+// so a blocking structure rebuild anywhere in the index surfaces as
+// MaxReadPause rather than vanishing into the mean.
+func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	if cfg.OpsPerThread <= 0 {
+		cfg.OpsPerThread = 100000
+	}
+	// Per-thread op streams and insert pools, generated up front.
+	ops := make([][]Op, threads)
+	inserts := make([][][]byte, threads)
+	for t := 0; t < threads; t++ {
+		gen := NewGenerator(len(ks), cfg.Uniform, cfg.Seed+int64(t)*7919)
+		ops[t] = gen.Ops(cfg.Workload, cfg.OpsPerThread)
+		need := 0
+		for _, op := range ops[t] {
+			if op.Kind == OpInsert {
+				need++
+			}
+		}
+		pool := keys.RandomUint64(need+1, cfg.Seed+int64(t)*104729+13)
+		inserts[t] = keys.EncodeUint64s(pool)
+	}
+
+	var maxPause atomic.Int64
+	counts := make([]DriverResult, threads) // per-thread op tallies, no sharing
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			res := &counts[t]
+			for _, op := range ops[t] {
+				switch op.Kind {
+				case OpRead:
+					t0 := time.Now()
+					kv.Get(ks[op.KeyIndex])
+					updateMaxInt64(&maxPause, int64(time.Since(t0)))
+					res.Reads++
+				case OpUpdate:
+					kv.Update(ks[op.KeyIndex], uint64(op.KeyIndex)+1)
+					res.Updates++
+				case OpInsert:
+					kv.Insert(inserts[t][op.KeyIndex%len(inserts[t])], 1)
+					res.Inserts++
+				case OpScan:
+					n := 0
+					t0 := time.Now()
+					kv.Scan(ks[op.KeyIndex], func([]byte, uint64) bool {
+						n++
+						return n < op.ScanLen
+					})
+					updateMaxInt64(&maxPause, int64(time.Since(t0)))
+					res.Scans++
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	out := DriverResult{
+		Threads:      threads,
+		Elapsed:      time.Since(start),
+		MaxReadPause: time.Duration(maxPause.Load()),
+	}
+	for _, c := range counts {
+		out.Reads += c.Reads
+		out.Updates += c.Updates
+		out.Inserts += c.Inserts
+		out.Scans += c.Scans
+	}
+	out.Ops = out.Reads + out.Updates + out.Inserts + out.Scans
+	return out
+}

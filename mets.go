@@ -25,6 +25,7 @@ import (
 	"mets/internal/index"
 	"mets/internal/keys"
 	"mets/internal/lsm"
+	"mets/internal/sharded"
 	"mets/internal/surf"
 )
 
@@ -98,6 +99,29 @@ var (
 	NewHybridMasstree        = hybrid.NewMasstree
 	NewHybridSecondary       = hybrid.NewSecondary
 	DefaultHybridConfig      = hybrid.DefaultConfig
+)
+
+// --- Range-sharded hybrid index --------------------------------------------
+
+// ShardedIndex fans keys across N hybrid indexes over disjoint key ranges,
+// each with its own lock and merge schedule; scans re-merge in order.
+type ShardedIndex = sharded.Index
+
+// ShardedConfig selects the shard router and the per-shard hybrid tuning.
+type ShardedConfig = sharded.Config
+
+// ShardRouter maps keys to shards via sorted boundary keys.
+type ShardRouter = sharded.Router
+
+// Sharded constructors and routers.
+var (
+	NewShardedBTree      = sharded.NewBTree
+	NewShardedART        = sharded.NewART
+	NewShardedSkipList   = sharded.NewSkipList
+	NewShardedMasstree   = sharded.NewMasstree
+	DefaultShardedConfig = sharded.DefaultConfig
+	UniformRouter        = sharded.UniformRouter
+	RouterFromSample     = sharded.RouterFromSample
 )
 
 // --- HOPE ------------------------------------------------------------------
