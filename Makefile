@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
+BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-json obs-overhead fuzz-smoke
 
 all: tier1
 
@@ -17,13 +18,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# tier1 is the merge gate: everything must build, vet clean, and pass the
-# full test suite (including the concurrency stress tests) under the race
-# detector.
+# tier1 is the merge gate: everything must build, vet clean (vet covers all
+# packages, including internal/obs), and pass the full test suite (including
+# the concurrency stress tests) under the race detector.
 tier1: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# bench-json runs the full benchmark suite and writes a machine-readable
+# BENCH_<date>.json (op/s, ns/op, B/op, custom units like bytes/key) so the
+# perf trajectory across PRs is diffable. Replaces committed freeform dumps.
+bench-json:
+	$(GO) test -bench=. -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
+
+# obs-overhead is the instrumentation-cost guard: the hybrid-index microbench
+# with an enabled registry must stay within 10% of the nil-registry (no-op)
+# path. Run without the race detector — timing under -race is meaningless.
+obs-overhead:
+	$(GO) test -run '^TestObsOverheadGuard$$' -count=1 -v ./internal/hybrid
 
 # fuzz-smoke gives each fuzz target a short budget of new inputs on top of
 # its checked-in seed corpus. Go allows one -fuzz target per invocation, so

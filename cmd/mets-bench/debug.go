@@ -1,0 +1,99 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mets/internal/obs"
+)
+
+// startDebugServer publishes the registry snapshot as the expvar "mets"
+// variable and serves it (plus the stock expvar memstats and net/http/pprof
+// profiles) at addr:
+//
+//	curl http://addr/debug/vars | jq .mets
+//	go tool pprof http://addr/debug/pprof/profile
+//
+// The server runs for the lifetime of the process; experiments keep running
+// whether or not anything is scraping it.
+func startDebugServer(addr string, reg *obs.Registry) {
+	expvar.Publish("mets", expvar.Func(func() any { return reg.Snapshot() }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+		}
+	}()
+	fmt.Printf("# debug server on http://%s/debug/vars (pprof at /debug/pprof)\n", addr)
+}
+
+// startStatsDump prints a compact registry digest every interval: counter
+// deltas as rates, latency histograms, derived gauges, and the most recent
+// completed span — the live view of per-shard op rates, merge-phase
+// durations, and read-pause distributions during long YCSB runs.
+func startStatsDump(every time.Duration, reg *obs.Registry) {
+	go func() {
+		prev := map[string]int64{}
+		for range time.Tick(every) {
+			s := reg.Snapshot()
+			fmt.Printf("# stats %s\n", statsDigest(s, prev, every))
+			for name, c := range s.Counters {
+				prev[name] = c
+			}
+		}
+	}()
+}
+
+// statsDigest renders one snapshot as a single line, diffing counters
+// against prev to show per-second rates.
+func statsDigest(s obs.Snapshot, prev map[string]int64, every time.Duration) string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rate := float64(s.Counters[name]-prev[name]) / every.Seconds()
+		if rate > 0 {
+			fmt.Fprintf(&b, "%s=%.0f/s ", name, rate)
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "%s{%s} ", name, h)
+		}
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		// Only the headline derived gauges; per-shard sizes would flood the
+		// line (they remain available at /debug/vars).
+		if strings.HasSuffix(name, "fpr") || strings.HasSuffix(name, "imm_pending") {
+			fmt.Fprintf(&b, "%s=%.4g ", name, s.Gauges[name])
+		}
+	}
+	if len(s.Spans) > 0 {
+		sp := s.Spans[0]
+		fmt.Fprintf(&b, "last_span=%s(%v", sp.Name, sp.Duration().Round(time.Microsecond))
+		for _, p := range sp.Phases {
+			fmt.Fprintf(&b, " %s=%v", p.Name, p.Duration().Round(time.Microsecond))
+		}
+		b.WriteString(")")
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"mets/internal/obs"
 )
 
 // experiment is one reproducible table or figure.
@@ -39,6 +41,10 @@ type benchContext struct {
 	queries int // queries per measurement
 	shards  int // shard count for the sharded-index experiments
 	threads int // client goroutines for the concurrent driver (0 = GOMAXPROCS)
+	// obs is the process-wide metrics registry, non-nil when -debug-addr or
+	// -stats-every is set; experiments that support instrumentation attach
+	// their indexes to it. Nil exercises the no-op instrumentation path.
+	obs *obs.Registry
 }
 
 // keysAtScale returns the base dataset size for tree experiments.
@@ -49,6 +55,8 @@ func main() {
 	queries := flag.Int("queries", 200000, "queries per measurement")
 	shards := flag.Int("shards", 8, "shard count for the sharded-index experiments")
 	threads := flag.Int("threads", 0, "concurrent driver client count (0 = GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar metrics + pprof on this address (e.g. :6060)")
+	statsEvery := flag.Duration("stats-every", 0, "periodically dump a metrics digest (e.g. 5s; 0 = off)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -65,6 +73,15 @@ func main() {
 		os.Exit(2)
 	}
 	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads}
+	if *debugAddr != "" || *statsEvery > 0 {
+		ctx.obs = obs.NewRegistry()
+		if *debugAddr != "" {
+			startDebugServer(*debugAddr, ctx.obs)
+		}
+		if *statsEvery > 0 {
+			startStatsDump(*statsEvery, ctx.obs)
+		}
+	}
 	runAll := len(args) == 1 && args[0] == "all"
 	for _, e := range registry {
 		selected := runAll

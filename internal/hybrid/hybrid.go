@@ -25,6 +25,7 @@ import (
 	"mets/internal/bloom"
 	"mets/internal/index"
 	"mets/internal/keys"
+	"mets/internal/obs"
 )
 
 // Config tunes the dual-stage behaviour.
@@ -45,6 +46,12 @@ type Config struct {
 	// the rebuild happens off the critical path. Merge() remains synchronous
 	// either way.
 	BackgroundMerge bool
+	// Obs attaches the index to a metrics registry: per-operation counters,
+	// Bloom-filter effectiveness counters, stage-size gauges, and a
+	// seal/build/swap span per merge. Nil disables instrumentation — the
+	// hot-path cost is then a single nil check per counter site. Use
+	// Registry.Sub to prefix per-shard instances.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the thesis defaults.
@@ -89,6 +96,16 @@ type Index struct {
 	Merges         int
 	LastMergeTime  time.Duration
 	TotalMergeTime time.Duration
+
+	// Metric handles, resolved once from cfg.Obs (all nil when disabled).
+	obsGet       *obs.Counter
+	obsInsert    *obs.Counter
+	obsUpdate    *obs.Counter
+	obsDelete    *obs.Counter
+	obsScan      *obs.Counter
+	obsBloomSkip *obs.Counter // dynamic-stage probes the Bloom filter skipped
+	obsMerges    *obs.Counter
+	obsReg       *obs.Registry
 }
 
 // New creates a hybrid index from a dynamic-stage factory and a
@@ -109,6 +126,24 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 	}
 	h.mergeDone = sync.NewCond(&h.mu)
 	h.resetFilter(0)
+	if r := cfg.Obs; r != nil {
+		h.obsReg = r
+		h.obsGet = r.Counter("get")
+		h.obsInsert = r.Counter("insert")
+		h.obsUpdate = r.Counter("update")
+		h.obsDelete = r.Counter("delete")
+		h.obsScan = r.Counter("scan")
+		h.obsBloomSkip = r.Counter("bloom_skip")
+		h.obsMerges = r.Counter("merges")
+		r.GaugeFunc("dynamic_len", func() float64 { return float64(h.DynamicLen()) })
+		r.GaugeFunc("static_len", func() float64 { return float64(h.StaticLen()) })
+		r.GaugeFunc("merging", func() float64 {
+			if h.Merging() {
+				return 1
+			}
+			return 0
+		})
+	}
 	return h
 }
 
@@ -160,7 +195,14 @@ func (h *Index) StaticLen() int {
 // mayBeDynamic reports whether key may be in the dynamic stage, consulting
 // the Bloom filter first.
 func (h *Index) mayBeDynamic(key []byte) bool {
-	return h.filter == nil || h.filter.Contains(key)
+	if h.filter == nil {
+		return true
+	}
+	if h.filter.Contains(key) {
+		return true
+	}
+	h.obsBloomSkip.Inc()
+	return false
 }
 
 // mayBeFrozen is the frozen-stage filter check (the filter sealed together
@@ -201,6 +243,7 @@ func (h *Index) getLocked(key []byte) (uint64, bool) {
 
 // Get returns the value stored under key, searching the stages in order.
 func (h *Index) Get(key []byte) (uint64, bool) {
+	h.obsGet.Inc()
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.getLocked(key)
@@ -209,6 +252,7 @@ func (h *Index) Get(key []byte) (uint64, bool) {
 // Insert adds a new entry (primary-index semantics: duplicate keys are
 // rejected after checking all stages). It may trigger a merge.
 func (h *Index) Insert(key []byte, value uint64) bool {
+	h.obsInsert.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, ok := h.getLocked(key); ok {
@@ -233,6 +277,7 @@ func (h *Index) Insert(key []byte, value uint64) bool {
 // whose target lives below the dynamic stage inserts a fresh entry into the
 // dynamic stage, which shadows the older copy until the next merge.
 func (h *Index) Update(key []byte, value uint64) bool {
+	h.obsUpdate.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.mayBeDynamic(key) {
@@ -257,6 +302,7 @@ func (h *Index) Update(key []byte, value uint64) bool {
 // was updated after a merge lives in two stages — the dynamic copy shadows
 // the lower one — so both must be taken out.
 func (h *Index) Delete(key []byte) bool {
+	h.obsDelete.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	deleted := h.mayBeDynamic(key) && h.dynamic.Delete(key)
@@ -346,6 +392,7 @@ type scanSrc struct {
 // entries with equal keys; tombstones suppress lower-stage entries. The read
 // lock is held for the whole scan, so fn must not call back into h.
 func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	h.obsScan.Inc()
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	srcs := make([]scanSrc, 0, 3)
@@ -456,12 +503,16 @@ func (h *Index) Merge() {
 
 func (h *Index) mergeLocked() {
 	startT := time.Now()
+	sp := h.obsReg.StartSpan("merge")
+	sp.Phase("seal")
 	dyn := index.Snapshot(h.dynamic)
+	sp.Phase("build")
 	merged := mergeEntries(dyn, h.static, h.tombstones)
 	st, err := h.build(merged)
 	if err != nil {
 		panic("hybrid: static build failed: " + err.Error())
 	}
+	sp.Phase("swap")
 	h.static = st
 	h.dynamic = h.newDynamic()
 	h.tombstones = make(map[string]struct{})
@@ -470,6 +521,8 @@ func (h *Index) mergeLocked() {
 	h.LastMergeTime = time.Since(startT)
 	h.TotalMergeTime += h.LastMergeTime
 	h.Merges++
+	h.obsMerges.Inc()
+	sp.End()
 }
 
 // MergeAsync seals the current dynamic stage and starts a background merge,
@@ -490,6 +543,8 @@ func (h *Index) sealAndSpawnLocked() bool {
 	if h.merging || h.dynamic.Len() == 0 {
 		return false
 	}
+	sp := h.obsReg.StartSpan("merge")
+	sp.Phase("seal")
 	h.merging = true
 	h.frozen = h.dynamic
 	h.frozenFilter = h.filter
@@ -503,7 +558,7 @@ func (h *Index) sealAndSpawnLocked() bool {
 		expected += h.static.Len()
 	}
 	h.resetFilter(expected / h.cfg.MergeRatio)
-	go h.backgroundMerge(h.frozen, h.static, h.frozenTombs, time.Now())
+	go h.backgroundMerge(h.frozen, h.static, h.frozenTombs, time.Now(), sp)
 	return true
 }
 
@@ -513,12 +568,14 @@ func (h *Index) sealAndSpawnLocked() bool {
 // dynamic stage and logically replay over the fresh static stage through the
 // usual stage order (current tombstones keep suppressing keys deleted during
 // the build).
-func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs map[string]struct{}, startT time.Time) {
+func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs map[string]struct{}, startT time.Time, sp *obs.Span) {
+	sp.Phase("build")
 	merged := mergeEntries(index.Snapshot(frozen), static, tombs)
 	st, err := h.build(merged)
 	if err != nil {
 		panic("hybrid: static build failed: " + err.Error())
 	}
+	sp.Phase("swap") // includes the wait for the write lock readers hold off
 	h.mu.Lock()
 	h.static = st
 	h.frozen = nil
@@ -531,6 +588,8 @@ func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs
 	h.Merges++
 	h.mergeDone.Broadcast()
 	h.mu.Unlock()
+	h.obsMerges.Inc()
+	sp.End()
 }
 
 // WaitMerges blocks until no background merge is in flight.
@@ -556,6 +615,12 @@ func (h *Index) MergeStats() (merges int, last, total time.Duration) {
 	defer h.mu.RUnlock()
 	return h.Merges, h.LastMergeTime, h.TotalMergeTime
 }
+
+// Stats snapshots the metrics registry the index was configured with
+// (Config.Obs). Zero-value snapshot when observability is disabled. Note
+// that a registry shared across indexes (or a Sub view) snapshots the whole
+// shared namespace.
+func (h *Index) Stats() obs.Snapshot { return h.obsReg.Snapshot() }
 
 // MemoryUsage sums all stages, the Bloom filters, and tombstones.
 func (h *Index) MemoryUsage() int64 {

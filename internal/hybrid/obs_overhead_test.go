@@ -1,0 +1,92 @@
+//go:build !race
+
+package hybrid
+
+import (
+	"testing"
+	"time"
+
+	"mets/internal/keys"
+	"mets/internal/obs"
+)
+
+// TestObsOverheadGuard is the instrumentation-cost gate run by
+// `make obs-overhead` (CI property job): the read hot path of a hybrid index
+// with an enabled registry must stay within 10% of the nil-registry no-op
+// path. It is excluded under the race detector (timing there is meaningless)
+// and skipped with -short.
+//
+// Methodology: two identical merged indexes, one instrumented; interleaved
+// A/B rounds with the minimum per-op time of each side compared (minimum
+// filters scheduler noise — real overhead shows up in every round, noise
+// only in some). The whole comparison retries a few times before failing so
+// a single noisy CI machine burst does not flake the build.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+
+	const (
+		nKeys    = 1 << 15
+		iters    = 200_000
+		rounds   = 5
+		attempts = 3
+		maxRatio = 1.10
+	)
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(nKeys+2000, 23)))[:nKeys]
+
+	build := func(reg *obs.Registry) *Index {
+		cfg := DefaultConfig()
+		cfg.Obs = reg
+		h := NewBTree(cfg)
+		for i, k := range ks {
+			h.Insert(k, uint64(i))
+		}
+		h.Merge()
+		return h
+	}
+	plain := build(nil)
+	instr := build(obs.NewRegistry())
+
+	var sink uint64
+	measure := func(h *Index) float64 {
+		start := time.Now()
+		var acc uint64
+		for i := 0; i < iters; i++ {
+			v, _ := h.Get(ks[i&(nKeys-1)])
+			acc += v
+		}
+		el := time.Since(start)
+		sink += acc
+		return float64(el.Nanoseconds()) / float64(iters)
+	}
+
+	// Warm both paths (page in the static stage, settle the branch
+	// predictors) before any timed round.
+	measure(plain)
+	measure(instr)
+
+	var lastPlain, lastInstr float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		minPlain, minInstr := 0.0, 0.0
+		for r := 0; r < rounds; r++ {
+			p := measure(plain)
+			q := measure(instr)
+			if r == 0 || p < minPlain {
+				minPlain = p
+			}
+			if r == 0 || q < minInstr {
+				minInstr = q
+			}
+		}
+		lastPlain, lastInstr = minPlain, minInstr
+		t.Logf("attempt %d: disabled %.1f ns/op, enabled %.1f ns/op (%.1f%% overhead)",
+			attempt, minPlain, minInstr, 100*(minInstr/minPlain-1))
+		if minInstr <= minPlain*maxRatio {
+			_ = sink
+			return
+		}
+	}
+	t.Fatalf("instrumentation overhead above %.0f%%: disabled %.1f ns/op, enabled %.1f ns/op",
+		100*(maxRatio-1), lastPlain, lastInstr)
+}

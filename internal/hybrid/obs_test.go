@@ -1,0 +1,158 @@
+package hybrid
+
+import (
+	"testing"
+	"time"
+
+	"mets/internal/keys"
+	"mets/internal/obs"
+)
+
+// TestObsCounters checks that every public operation lands in exactly one
+// counter and that the stage-size gauges agree with the index's own accessors.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallCfg()
+	cfg.Obs = reg
+	h := NewBTree(cfg)
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(3000, 5)))
+	for i, k := range ks {
+		h.Insert(k, uint64(i))
+	}
+	for _, k := range ks[:500] {
+		h.Get(k)
+	}
+	h.Get(keys.Uint64(0)) // absent key still counts as a Get
+	for _, k := range ks[:100] {
+		h.Update(k, 1)
+	}
+	for _, k := range ks[:50] {
+		h.Delete(k)
+	}
+	h.Scan(nil, func(k []byte, v uint64) bool { return true })
+
+	s := h.Stats()
+	want := map[string]int64{
+		"insert": int64(len(ks)),
+		"get":    501,
+		"update": 100,
+		"delete": 50,
+		"scan":   1,
+		"merges": int64(h.Merges),
+	}
+	for name, n := range want {
+		if s.Counters[name] != n {
+			t.Errorf("counter %q = %d, want %d", name, s.Counters[name], n)
+		}
+	}
+	if h.Merges == 0 {
+		t.Fatal("test did not exercise merges; shrink thresholds")
+	}
+	// After the merged stage absorbed everything, most Gets on static-only
+	// keys skip the dynamic stage via the Bloom filter.
+	if s.Counters["bloom_skip"] == 0 {
+		t.Error("bloom_skip never incremented across 501 gets on a merged index")
+	}
+	if got, want := s.Gauges["dynamic_len"], float64(h.DynamicLen()); got != want {
+		t.Errorf("dynamic_len gauge = %v, want %v", got, want)
+	}
+	if got, want := s.Gauges["static_len"], float64(h.StaticLen()); got != want {
+		t.Errorf("static_len gauge = %v, want %v", got, want)
+	}
+}
+
+// TestObsDisabledNilSafe pins that a nil Config.Obs leaves every handle nil
+// and Stats returns an empty snapshot — the disabled path must never panic.
+func TestObsDisabledNilSafe(t *testing.T) {
+	h := NewBTree(smallCfg())
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(1000, 9)))
+	for i, k := range ks {
+		h.Insert(k, uint64(i))
+	}
+	h.Merge()
+	h.Get(ks[0])
+	s := h.Stats()
+	if len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatalf("disabled Stats = %+v, want empty", s)
+	}
+}
+
+// TestObsMergeSpan drives both the synchronous and the background merge path
+// and checks the recorded span: named phases seal -> build -> swap, each with
+// a non-zero duration, ending in order (seal <= build <= swap). The phase
+// boundaries are the observable shape of the §5.2.2 merge state machine.
+func TestObsMergeSpan(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallCfg()
+	cfg.Obs = reg
+	cfg.MinDynamic = 1 << 30 // no ratio-triggered merges; we drive them
+	h := NewBTree(cfg)
+	ks := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(20000, 11)))
+	for i, k := range ks[:10000] {
+		h.Insert(k, uint64(i))
+	}
+	h.Merge() // synchronous span
+
+	for i, k := range ks[10000:] {
+		h.Insert(k, uint64(10000+i))
+	}
+	if !h.MergeAsync() {
+		t.Fatal("MergeAsync refused with a populated dynamic stage")
+	}
+	h.WaitMerges()
+	// The span is recorded after the swap lock is released, so WaitMerges
+	// returning does not guarantee End() ran yet; wait for the tracer.
+	deadline := time.Now().Add(5 * time.Second)
+	var spans []obs.SpanSnapshot
+	for {
+		spans = reg.Tracer().Recent()
+		if len(spans) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expected 2 completed merge spans, have %d", len(spans))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, s := range spans {
+		if s.Name != "merge" {
+			t.Fatalf("span name = %q, want \"merge\"", s.Name)
+		}
+		if len(s.Phases) != 3 {
+			t.Fatalf("span has %d phases, want 3: %+v", len(s.Phases), s.Phases)
+		}
+		names := []string{"seal", "build", "swap"}
+		var prevEnd time.Time
+		for i, p := range s.Phases {
+			if p.Name != names[i] {
+				t.Fatalf("phase %d = %q, want %q", i, p.Name, names[i])
+			}
+			if p.Duration() <= 0 {
+				t.Errorf("phase %q duration = %v, want > 0", p.Name, p.Duration())
+			}
+			if i > 0 && p.End.Before(prevEnd) {
+				t.Errorf("phase %q ends before %q", p.Name, names[i-1])
+			}
+			prevEnd = p.End
+		}
+		if s.Duration() <= 0 {
+			t.Error("span duration must be positive")
+		}
+	}
+	// The build phase dominates a 20k-entry rebuild; seal and swap are
+	// constant-time bookkeeping under the lock.
+	for _, s := range spans {
+		build, _ := s.Phase("build")
+		seal, _ := s.Phase("seal")
+		if build.Duration() < seal.Duration() {
+			t.Logf("note: build (%v) faster than seal (%v) — tiny merge", build.Duration(), seal.Duration())
+		}
+	}
+	if got := h.Stats().Counters["merges"]; got != 2 {
+		t.Fatalf("merges counter = %d, want 2", got)
+	}
+	if m := h.Stats().Gauges["merging"]; m != 0 {
+		t.Fatalf("merging gauge = %v after WaitMerges, want 0", m)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mets/internal/keys"
+	"mets/internal/obs"
 )
 
 // Config tunes the engine.
@@ -39,6 +40,12 @@ type Config struct {
 	// default, which keeps flush/compaction inline and deterministic for the
 	// I/O-counting experiments.
 	BackgroundCompaction bool
+	// Obs attaches the engine to a metrics registry under an "lsm." prefix:
+	// I/O and filter-effectiveness gauges (including a live point-lookup FPR
+	// derived from false positives vs filter negatives), MemTable/backlog
+	// gauges, and a span per background flush and per compaction job. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the §4.4-style configuration.
@@ -60,8 +67,13 @@ type Stats struct {
 	BlockReads      int64 // block fetches that missed the cache ("I/O")
 	CacheHits       int64
 	FilterNegatives int64 // I/Os avoided by a filter
-	Flushes         int64
-	Compactions     int64
+	// FilterFalsePositives counts point lookups where a table's filter
+	// passed but the block probe found no record — the numerator of the
+	// live FPR gauge (denominator: FilterNegatives + FilterFalsePositives,
+	// since filters have no false negatives).
+	FilterFalsePositives int64
+	Flushes              int64
+	Compactions          int64
 }
 
 // DB is the storage engine. It supports any number of concurrent readers
@@ -88,6 +100,7 @@ type DB struct {
 	nextID atomic.Uint64
 	cache  *blockCache
 	Stats  Stats
+	obs    *obs.Registry // nil when Config.Obs is nil
 }
 
 // Open creates an empty DB.
@@ -117,6 +130,44 @@ func Open(cfg Config) *DB {
 		cache: newBlockCache(cfg.BlockCacheBytes),
 	}
 	db.bgCond = sync.NewCond(&db.mu)
+	if cfg.Obs != nil {
+		r := cfg.Obs.Sub("lsm.")
+		db.obs = r
+		stat := func(p *int64) func() float64 {
+			return func() float64 { return float64(atomic.LoadInt64(p)) }
+		}
+		r.GaugeFunc("block_reads", stat(&db.Stats.BlockReads))
+		r.GaugeFunc("cache_hits", stat(&db.Stats.CacheHits))
+		r.GaugeFunc("filter_negatives", stat(&db.Stats.FilterNegatives))
+		r.GaugeFunc("filter_false_positives", stat(&db.Stats.FilterFalsePositives))
+		r.GaugeFunc("flushes", stat(&db.Stats.Flushes))
+		r.GaugeFunc("compactions", stat(&db.Stats.Compactions))
+		r.GaugeFunc("filter_fpr", func() float64 {
+			fp := atomic.LoadInt64(&db.Stats.FilterFalsePositives)
+			tn := atomic.LoadInt64(&db.Stats.FilterNegatives)
+			if fp+tn == 0 {
+				return 0
+			}
+			return float64(fp) / float64(fp+tn)
+		})
+		r.GaugeFunc("mem_bytes", func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			return float64(db.mem.bytes)
+		})
+		// imm_pending exposes the flush backlog: 1 while a sealed MemTable
+		// waits on (or is being) flushed, when writers may hit backpressure.
+		r.GaugeFunc("imm_pending", func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			if db.imm != nil {
+				return 1
+			}
+			return 0
+		})
+		r.GaugeFunc("levels", func() float64 { return float64(db.NumLevels()) })
+		r.GaugeFunc("disk_bytes", func() float64 { return float64(db.DiskUsage()) })
+	}
 	return db
 }
 
@@ -227,7 +278,10 @@ func (db *DB) flushLocked() {
 // it under a short write lock, and kicks the compactor if needed.
 func (db *DB) flushWorker(imm *memTable) {
 	defer db.bg.Done()
+	sp := db.obs.StartSpan("flush")
+	sp.Phase("build")
 	t := db.buildTable(imm.sorted())
+	sp.Phase("install")
 	db.mu.Lock()
 	db.installFlushedLocked(t)
 	db.imm = nil
@@ -238,6 +292,7 @@ func (db *DB) flushWorker(imm *memTable) {
 	}
 	db.bgCond.Broadcast()
 	db.mu.Unlock()
+	sp.End()
 }
 
 func (db *DB) buildTable(entries []Entry) *SSTable {
@@ -298,15 +353,22 @@ func (db *DB) Get(key []byte) ([]byte, bool) {
 		if keys.Compare(key, t.minKey) < 0 || keys.Compare(key, t.maxKey) > 0 {
 			return nil, false, false
 		}
-		if t.filter != nil && !t.filter.Lookup(key) {
+		filtered := t.filter != nil
+		if filtered && !t.filter.Lookup(key) {
 			atomic.AddInt64(&db.Stats.FilterNegatives, 1)
 			return nil, false, false
 		}
 		b := t.blockFor(key)
 		if b < 0 {
+			if filtered {
+				atomic.AddInt64(&db.Stats.FilterFalsePositives, 1)
+			}
 			return nil, false, false
 		}
 		v, ok := blockGet(db.readBlock(t, b), key)
+		if filtered && !ok {
+			atomic.AddInt64(&db.Stats.FilterFalsePositives, 1)
+		}
 		return v, ok, true
 	}
 	if len(db.levels) > 0 {
@@ -654,10 +716,14 @@ func (db *DB) compactWorker() {
 			return
 		}
 		db.mu.Unlock()
+		sp := db.obs.StartSpan("compaction")
+		sp.Phase("merge")
 		out := db.executeJob(job)
+		sp.Phase("install")
 		db.mu.Lock()
 		db.installLocked(job, out)
 		db.mu.Unlock()
+		sp.End()
 	}
 }
 

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSpanRing is the capacity of a registry's recent-span ring.
+const DefaultSpanRing = 64
+
+// Tracer records completed spans into a bounded ring — the most recent
+// DefaultSpanRing background lifecycle events (merges, flushes, compactions)
+// stay inspectable from a debug endpoint without unbounded growth.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []SpanSnapshot
+	next    int
+	started int64
+	ended   int64
+}
+
+// NewTracer creates a tracer with the given ring capacity (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanSnapshot, 0, capacity)}
+}
+
+// Span is one in-flight lifecycle event, subdivided into named sequential
+// phases (e.g. a hybrid merge's seal -> build -> swap). A span is owned by
+// one goroutine at a time; handing it across a goroutine boundary is fine as
+// long as the handoff happens-before the next method call (starting the
+// goroutine provides that). All methods no-op on a nil span.
+type Span struct {
+	t        *Tracer
+	name     string
+	start    time.Time
+	phases   []PhaseSnapshot
+	curName  string
+	curStart time.Time
+}
+
+// PhaseSnapshot is one completed phase of a span.
+type PhaseSnapshot struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration returns the phase's length.
+func (p PhaseSnapshot) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// SpanSnapshot is one completed span in the ring.
+type SpanSnapshot struct {
+	Name   string          `json:"name"`
+	Start  time.Time       `json:"start"`
+	End    time.Time       `json:"end"`
+	Phases []PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// Duration returns the span's total length.
+func (s SpanSnapshot) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Phase returns the named phase and whether it exists.
+func (s SpanSnapshot) Phase(name string) (PhaseSnapshot, bool) {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseSnapshot{}, false
+}
+
+// Start begins a span. Nil-safe: a nil tracer returns a nil (no-op) span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.started++
+	t.mu.Unlock()
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Phase ends the current phase (if any) and starts a new one. No-op on nil.
+func (s *Span) Phase(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	s.curName, s.curStart = name, now
+}
+
+func (s *Span) closePhase(now time.Time) {
+	if s.curName != "" {
+		s.phases = append(s.phases, PhaseSnapshot{Name: s.curName, Start: s.curStart, End: now})
+		s.curName = ""
+	}
+}
+
+// End finishes the span (closing any open phase) and records it into the
+// tracer's ring. No-op on nil; calling End twice records twice — don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closePhase(now)
+	snap := SpanSnapshot{Name: s.name, Start: s.start, End: now, Phases: s.phases}
+	t := s.t
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, snap)
+	} else {
+		t.ring[t.next] = snap
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.ended++
+	t.mu.Unlock()
+}
+
+// Recent returns the completed spans, most recent first. Nil-safe.
+func (t *Tracer) Recent() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(t.ring))
+	// Walk backwards from the slot before next, wrapping once around.
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*cap(t.ring)) % cap(t.ring)
+		if idx < len(t.ring) {
+			out = append(out, t.ring[idx])
+		}
+	}
+	return out
+}
+
+// Counts returns how many spans were started and ended over the tracer's
+// lifetime (ended can trail started while spans are in flight).
+func (t *Tracer) Counts() (started, ended int64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.started, t.ended
+}

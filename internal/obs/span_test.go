@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSpanPhases(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("merge")
+	sp.Phase("seal")
+	sp.Phase("build")
+	sp.Phase("swap")
+	sp.End()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d spans, want 1", len(recent))
+	}
+	s := recent[0]
+	if s.Name != "merge" || len(s.Phases) != 3 {
+		t.Fatalf("span = %+v", s)
+	}
+	// Phases are sequential and contiguous: each ends where the next starts,
+	// and they tile the span.
+	names := []string{"seal", "build", "swap"}
+	for i, p := range s.Phases {
+		if p.Name != names[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.Name, names[i])
+		}
+		if p.End.Before(p.Start) {
+			t.Fatalf("phase %q ends before it starts", p.Name)
+		}
+		if i > 0 && !p.Start.Equal(s.Phases[i-1].End) {
+			t.Fatalf("phase %q does not start where %q ended", p.Name, names[i-1])
+		}
+	}
+	if s.Phases[0].Start.Before(s.Start) || s.Phases[2].End.After(s.End) {
+		t.Fatal("phases extend outside the span")
+	}
+	if _, ok := s.Phase("build"); !ok {
+		t.Fatal("Phase lookup by name failed")
+	}
+	if _, ok := s.Phase("nope"); ok {
+		t.Fatal("Phase lookup found a phase that does not exist")
+	}
+}
+
+// TestSpanNoPhases pins that a span ended without any Phase call records with
+// an empty phase list (the open-phase bookkeeping must not invent one).
+func TestSpanNoPhases(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Start("bare").End()
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Phases) != 0 {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	const capN = 4
+	tr := NewTracer(capN)
+	for i := 0; i < 11; i++ {
+		sp := tr.Start(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != capN {
+		t.Fatalf("ring holds %d spans, want %d", len(recent), capN)
+	}
+	// Most recent first: s10, s9, s8, s7.
+	for i, want := range []string{"s10", "s9", "s8", "s7"} {
+		if recent[i].Name != want {
+			t.Fatalf("recent[%d] = %q, want %q (got %v)", i, recent[i].Name, want, recent)
+		}
+	}
+	started, ended := tr.Counts()
+	if started != 11 || ended != 11 {
+		t.Fatalf("counts = (%d,%d), want (11,11)", started, ended)
+	}
+}
+
+// TestTracerPartialRing covers Recent before the ring has wrapped.
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].Name != "b" || recent[1].Name != "a" {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestTracerInFlightCounts(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("slow")
+	if started, ended := tr.Counts(); started != 1 || ended != 0 {
+		t.Fatalf("counts mid-span = (%d,%d), want (1,0)", started, ended)
+	}
+	if got := tr.Recent(); len(got) != 0 {
+		t.Fatalf("in-flight span leaked into Recent: %v", got)
+	}
+	sp.End()
+	if started, ended := tr.Counts(); started != 1 || ended != 1 {
+		t.Fatalf("counts after end = (%d,%d), want (1,1)", started, ended)
+	}
+}
+
+func TestNewTracerMinCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Start("x").End()
+	tr.Start("y").End()
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Name != "y" {
+		t.Fatalf("capacity-clamped ring = %+v", recent)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mets/internal/btree"
 	"mets/internal/hybrid"
 	"mets/internal/index"
+	"mets/internal/obs"
 )
 
 // IndexType selects the data structure backing all of a database's indexes.
@@ -54,6 +55,10 @@ type Config struct {
 	EvictBatch int
 	// DiskLatency is charged per evicted-tuple fetch.
 	DiskLatency time.Duration
+	// Obs attaches the engine to a metrics registry under an "oltp." prefix:
+	// transaction/eviction/disk-read counters and memory-breakdown gauges.
+	// Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Stats counts engine activity.
@@ -84,6 +89,11 @@ type Engine struct {
 	order      []string
 	evictCheck int // insert countdown until the next eviction check
 	Stats      Stats
+
+	// Metric handles (nil when Config.Obs is nil).
+	obsTx        *obs.Counter
+	obsEvictions *obs.Counter
+	obsDiskReads *obs.Counter
 }
 
 // New creates an empty engine.
@@ -91,7 +101,28 @@ func New(cfg Config) *Engine {
 	if cfg.EvictBatch == 0 {
 		cfg.EvictBatch = 1024
 	}
-	return &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Sub("oltp.")
+		e.obsTx = r.Counter("transactions")
+		e.obsEvictions = r.Counter("evictions")
+		e.obsDiskReads = r.Counter("disk_reads")
+		// Memory gauges walk the indexes; they are evaluated at snapshot
+		// time, not per transaction. ExecuteTx holds the partition lock, so
+		// a snapshot racing a transaction waits like any other client.
+		r.GaugeFunc("mem_tuples", func() float64 { return float64(e.lockedMemory().Tuples) })
+		r.GaugeFunc("mem_primary", func() float64 { return float64(e.lockedMemory().Primary) })
+		r.GaugeFunc("mem_secondary", func() float64 { return float64(e.lockedMemory().Secondary) })
+	}
+	return e
+}
+
+// lockedMemory takes the partition lock and returns the memory breakdown
+// (snapshot-time gauge path; measurement code uses MemoryUsage directly).
+func (e *Engine) lockedMemory() Memory {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.MemoryUsage()
 }
 
 // Table holds tuples and their indexes.
@@ -191,6 +222,7 @@ func (t *Table) Insert(key, payload []byte, secondaryKeys map[string][]byte) boo
 func (t *Table) fetch(id uint64) []byte {
 	if t.evicted[id] {
 		t.eng.Stats.DiskReads++
+		t.eng.obsDiskReads.Inc()
 		if t.eng.cfg.DiskLatency > 0 {
 			time.Sleep(t.eng.cfg.DiskLatency)
 		}
@@ -326,6 +358,7 @@ func (e *Engine) maybeEvict() {
 		t := e.tables[name]
 		evictedHere := t.evictCold(e.cfg.EvictBatch)
 		e.Stats.Evictions += int64(evictedHere)
+		e.obsEvictions.Add(int64(evictedHere))
 	}
 }
 
@@ -369,6 +402,7 @@ func (e *Engine) ExecuteTx(fn func() error) error {
 	err := fn()
 	if err == nil {
 		e.Stats.Transactions++
+		e.obsTx.Inc()
 	}
 	return err
 }

@@ -15,10 +15,12 @@
 package sharded
 
 import (
+	"fmt"
 	"time"
 
 	"mets/internal/hybrid"
 	"mets/internal/index"
+	"mets/internal/obs"
 	"mets/internal/par"
 )
 
@@ -34,6 +36,10 @@ type Config struct {
 	// per shard, so an N-shard index merges after roughly N*MinDynamic total
 	// inserts spread evenly.
 	Hybrid hybrid.Config
+	// Obs attaches every shard to the registry under a "shard<i>." prefix,
+	// so snapshots expose per-shard op counters (skew), stage sizes, and
+	// merge spans. Overrides Hybrid.Obs. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns 8 uniform shards with background merges enabled.
@@ -50,6 +56,7 @@ func DefaultConfig() Config {
 type Index struct {
 	router *Router
 	shards []*hybrid.Index
+	obs    *obs.Registry
 }
 
 // New builds a sharded index; newShard creates one hybrid index per range
@@ -63,9 +70,16 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 		}
 		r = UniformRouter(n)
 	}
-	s := &Index{router: r, shards: make([]*hybrid.Index, r.NumShards())}
+	s := &Index{router: r, shards: make([]*hybrid.Index, r.NumShards()), obs: cfg.Obs}
 	for i := range s.shards {
-		s.shards[i] = newShard(cfg.Hybrid)
+		hc := cfg.Hybrid
+		if cfg.Obs != nil {
+			hc.Obs = cfg.Obs.Sub(fmt.Sprintf("shard%d.", i))
+		}
+		s.shards[i] = newShard(hc)
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("shards", func() float64 { return float64(len(s.shards)) })
 	}
 	return s
 }
@@ -234,6 +248,11 @@ func (s *Index) MergeStats() (merges int, worstLast, total time.Duration) {
 	}
 	return merges, worstLast, total
 }
+
+// Stats snapshots the metrics registry the index was configured with
+// (Config.Obs): per-shard op counters under "shard<i>.", stage-size gauges,
+// and the recent merge spans. Zero-value snapshot when disabled.
+func (s *Index) Stats() obs.Snapshot { return s.obs.Snapshot() }
 
 // BulkLoad replaces the index contents with the given sorted unique entries:
 // the slice is partitioned by the router (cheap binary searches at the

@@ -1,0 +1,89 @@
+package surf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mets/internal/keys"
+	"mets/internal/obs"
+)
+
+// TestFPRGaugeMatchesMeasured probes an instrumented filter with
+// ground-truth-known non-members (the same probe construction as the
+// metamorphic FPR sweep: keep a member's top 2 bytes, rerandomize the low 48
+// bits so probes reach truncated leaves) and checks that the derived
+// "surf.fpr" gauge converges to the rate the test measures directly — the
+// live gauge and the offline sweep must agree on what FPR means.
+func TestFPRGaugeMatchesMeasured(t *testing.T) {
+	vals := keys.RandomUint64(10000, 17)
+	member := make(map[uint64]struct{}, len(vals))
+	for _, v := range vals {
+		member[v] = struct{}{}
+	}
+	stored := keys.Dedup(keys.EncodeUint64s(vals))
+	f, err := Build(stored, RealConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.EnableObs(reg, "surf")
+
+	rng := rand.New(rand.NewSource(18))
+	probes := make([][]byte, 0, 10000)
+	for len(probes) < 10000 {
+		v := vals[rng.Intn(len(vals))]
+		p := v&^((uint64(1)<<48)-1) | rng.Uint64()>>16
+		if _, ok := member[p]; ok {
+			continue
+		}
+		probes = append(probes, keys.Uint64(p))
+	}
+
+	fp := 0
+	for _, p := range probes {
+		if f.Lookup(p) {
+			f.RecordFalsePositive() // ground truth: p is a non-member
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(len(probes))
+	if fp == 0 {
+		t.Fatal("seeded probe set produced zero false positives; sweep is vacuous")
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["surf.false_positives"]; got != int64(fp) {
+		t.Fatalf("false_positives counter = %d, want %d", got, fp)
+	}
+	if got := s.Counters["surf.positives"] + s.Counters["surf.negatives"]; got != int64(len(probes)) {
+		t.Fatalf("positives+negatives = %d, want %d probes", got, len(probes))
+	}
+	// Every probe is a non-member, so FP + TN = all probes and the gauge's
+	// FP/(FP+TN) must equal the directly measured rate exactly.
+	if gauge := s.Gauges["surf.fpr"]; math.Abs(gauge-measured) > 1e-12 {
+		t.Fatalf("fpr gauge = %v, measured = %v", gauge, measured)
+	}
+	// And it must sit in the range the metamorphic sweep enforces for a
+	// 4-bit real suffix: under 2^-4 plus sampling slack.
+	if measured > math.Pow(2, -4)+0.01 {
+		t.Fatalf("measured FPR %v above 4-bit-suffix bound", measured)
+	}
+
+	// True positives (member lookups) increment positives but not
+	// false_positives, so the gauge — FP over ground-truth negatives — must
+	// not move.
+	before := s.Gauges["surf.fpr"]
+	for _, k := range stored[:2000] {
+		if !f.Lookup(k) {
+			t.Fatal("false negative on a stored key")
+		}
+	}
+	after := reg.Snapshot()
+	if got := after.Gauges["surf.fpr"]; got != before {
+		t.Fatalf("fpr gauge moved on true positives: %v -> %v", before, got)
+	}
+	if after.Counters["surf.positives"] < 2000 {
+		t.Fatalf("positives = %d after 2000 member lookups", after.Counters["surf.positives"])
+	}
+}

@@ -3,10 +3,10 @@ package ycsb
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"mets/internal/keys"
+	"mets/internal/obs"
 )
 
 // defaultThreads is the client count when DriverConfig.Threads is 0.
@@ -32,6 +32,11 @@ type DriverConfig struct {
 	Uniform bool
 	// Seed derives the per-thread generator seeds.
 	Seed int64
+	// ReadHist, when non-nil, additionally receives every Get/Scan latency
+	// live (e.g. a registry histogram served by a debug endpoint while the
+	// run is still going, accumulating across runs). The result's
+	// ReadLatency always comes from a private per-run histogram.
+	ReadHist *obs.Histogram
 }
 
 // DriverResult is the aggregate outcome of a concurrent run.
@@ -41,7 +46,11 @@ type DriverResult struct {
 	Elapsed time.Duration
 	// MaxReadPause is the worst single Get/Scan latency any client observed
 	// — the figure that exposes a stop-the-world merge on the read path.
-	MaxReadPause                   time.Duration
+	// It is the exact max of ReadLatency.
+	MaxReadPause time.Duration
+	// ReadLatency is the full distribution behind MaxReadPause: a log2-
+	// bucketed histogram of every Get/Scan latency with p50/p95/p99.
+	ReadLatency                    obs.HistogramSnapshot
 	Reads, Updates, Inserts, Scans int
 }
 
@@ -53,23 +62,14 @@ func (r DriverResult) Mops() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
 }
 
-// updateMaxInt64 folds v into m, keeping the maximum.
-func updateMaxInt64(m *atomic.Int64, v int64) {
-	for {
-		cur := m.Load()
-		if v <= cur || m.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
-
 // RunConcurrent executes the workload against kv from cfg.Threads client
 // goroutines over the loaded key set ks. Operation sequences and insert keys
 // are pre-generated outside the timed region (each thread draws from a
 // disjoint slice of the insert pool so inserts do not collide), so the
 // measurement covers index work only. Read pauses are tracked per operation
-// so a blocking structure rebuild anywhere in the index surfaces as
-// MaxReadPause rather than vanishing into the mean.
+// into a shared latency histogram, so a blocking structure rebuild anywhere
+// in the index surfaces in MaxReadPause and the p99 rather than vanishing
+// into the mean.
 func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
 	threads := cfg.Threads
 	if threads <= 0 {
@@ -94,7 +94,8 @@ func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
 		inserts[t] = keys.EncodeUint64s(pool)
 	}
 
-	var maxPause atomic.Int64
+	hist := obs.NewHistogram()
+	tee := cfg.ReadHist                     // nil-safe: Observe on nil is a no-op
 	counts := make([]DriverResult, threads) // per-thread op tallies, no sharing
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -108,7 +109,9 @@ func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
 				case OpRead:
 					t0 := time.Now()
 					kv.Get(ks[op.KeyIndex])
-					updateMaxInt64(&maxPause, int64(time.Since(t0)))
+					d := time.Since(t0)
+					hist.Observe(d)
+					tee.Observe(d)
 					res.Reads++
 				case OpUpdate:
 					kv.Update(ks[op.KeyIndex], uint64(op.KeyIndex)+1)
@@ -123,17 +126,21 @@ func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
 						n++
 						return n < op.ScanLen
 					})
-					updateMaxInt64(&maxPause, int64(time.Since(t0)))
+					d := time.Since(t0)
+					hist.Observe(d)
+					tee.Observe(d)
 					res.Scans++
 				}
 			}
 		}(t)
 	}
 	wg.Wait()
+	snap := hist.Snapshot()
 	out := DriverResult{
 		Threads:      threads,
 		Elapsed:      time.Since(start),
-		MaxReadPause: time.Duration(maxPause.Load()),
+		MaxReadPause: time.Duration(snap.Max),
+		ReadLatency:  snap,
 	}
 	for _, c := range counts {
 		out.Reads += c.Reads

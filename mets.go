@@ -25,6 +25,7 @@ import (
 	"mets/internal/index"
 	"mets/internal/keys"
 	"mets/internal/lsm"
+	"mets/internal/obs"
 	"mets/internal/sharded"
 	"mets/internal/surf"
 )
@@ -164,6 +165,30 @@ var (
 	NewBloomSSTFilter = lsm.BloomFilterBuilder
 	NewSuRFSSTFilter  = lsm.SuRFFilterBuilder
 )
+
+// --- Observability ---------------------------------------------------------
+
+// StatsRegistry is the metrics substrate (internal/obs): padded atomic
+// counters and gauges, log-bucketed latency histograms, and a bounded ring
+// of recent background-lifecycle spans (merges, flushes, compactions). Pass
+// one through HybridConfig.Obs / ShardedConfig.Obs / LSMConfig.Obs and read
+// it back with Stats or the instrumented Index's own Stats method. A nil
+// registry disables instrumentation at a single nil check per site.
+type StatsRegistry = obs.Registry
+
+// StatsSnapshot is a point-in-time copy of every metric in a registry,
+// JSON-encodable (cmd/mets-bench serves it over expvar at -debug-addr).
+type StatsSnapshot = obs.Snapshot
+
+// LatencyHistogram is a mergeable log2-bucketed latency histogram with
+// p50/p95/p99 and an exact max.
+type LatencyHistogram = obs.Histogram
+
+// NewStatsRegistry creates an empty metrics registry.
+func NewStatsRegistry() *StatsRegistry { return obs.NewRegistry() }
+
+// Stats snapshots a registry (zero-value snapshot for nil).
+func Stats(r *StatsRegistry) StatsSnapshot { return r.Snapshot() }
 
 // --- Key helpers -----------------------------------------------------------
 
