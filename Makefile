@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench bench-json obs-overhead fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-json bench-integrated obs-overhead fuzz-smoke
 
 all: tier1
 
@@ -32,6 +32,12 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
 
+# bench-integrated runs the ch6 end-to-end key-compression sweep (FST, SuRF
+# and hybrid memory + p50/p99 lookup latency, codec off and per HOPE scheme)
+# and captures it into the same BENCH_<date>.json artifact shape.
+bench-integrated:
+	$(GO) run ./cmd/mets-bench ch6.integrated | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
+
 # obs-overhead is the instrumentation-cost guard: the hybrid-index microbench
 # with an enabled registry must stay within 10% of the nil-registry (no-op)
 # path. Run without the race detector — timing under -race is meaningless.
@@ -45,3 +51,5 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTrieOps$$' -fuzztime $(FUZZTIME) ./internal/fst
 	$(GO) test -run '^$$' -fuzz '^FuzzFSTBuildLookup$$' -fuzztime $(FUZZTIME) ./internal/fst
 	$(GO) test -run '^$$' -fuzz '^FuzzSuRFNoFalseNegatives$$' -fuzztime $(FUZZTIME) ./internal/surf
+	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreserving$$' -fuzztime $(FUZZTIME) ./internal/keycodec
+	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreservingBinary$$' -fuzztime $(FUZZTIME) ./internal/keycodec

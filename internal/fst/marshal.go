@@ -14,12 +14,33 @@ import (
 //	magic "FST1" | config | scalar counts | dense bitvectors | sparse
 //	sections | values | per-level bookkeeping
 //
+// Version 2 ("FST2") prepends a key-codec annotation — codec id string and
+// serialized codec dictionary — between the magic and the config word. It is
+// written only when a codec is attached (SetKeyCodec), so raw-key tries keep
+// producing byte-identical FST1 payloads; Unmarshal accepts both versions.
+//
 // Rank and select support structures are rebuilt on load (they are small
 // and derive deterministically from the payload bits), so the on-disk form
 // stays close to the succinct structure itself. Leaf back-references are
 // not serialized: a loaded trie behaves like one after DropLeafRefs.
 
-const marshalMagic = "FST1"
+const (
+	marshalMagic   = "FST1"
+	marshalMagicV2 = "FST2"
+)
+
+// SetKeyCodec annotates the trie as indexing keys encoded by the identified
+// codec; dict is the codec's serialized dictionary (keycodec MarshalBinary),
+// embedded verbatim so the marshaled trie is self-describing. Both are
+// stored as-is — the trie never interprets them.
+func (t *Trie) SetKeyCodec(id string, dict []byte) {
+	t.codecID = id
+	t.codecDict = append([]byte(nil), dict...)
+}
+
+// KeyCodec returns the codec annotation ("" id for raw-key tries). The
+// returned dictionary is not a copy; treat as read-only.
+func (t *Trie) KeyCodec() (id string, dict []byte) { return t.codecID, t.codecDict }
 
 type sectionWriter struct {
 	w   io.Writer
@@ -144,8 +165,14 @@ func (s *sectionReader) vector() *bits.Vector {
 // MarshalBinary serializes the trie (without leaf back-references).
 func (t *Trie) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
-	buf.WriteString(marshalMagic)
 	s := &sectionWriter{w: &buf}
+	if t.codecID == "" && len(t.codecDict) == 0 {
+		buf.WriteString(marshalMagic)
+	} else {
+		buf.WriteString(marshalMagicV2)
+		s.bytes([]byte(t.codecID))
+		s.bytes(t.codecDict)
+	}
 	// Config fields that affect query behaviour.
 	flags := uint64(0)
 	if t.cfg.Truncate {
@@ -184,11 +211,26 @@ func (t *Trie) MarshalBinary() ([]byte, error) {
 // UnmarshalTrie reconstructs a trie serialized by MarshalBinary, rebuilding
 // the rank/select support with the default tuning.
 func UnmarshalTrie(data []byte) (*Trie, error) {
-	if len(data) < 4 || string(data[:4]) != marshalMagic {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("fst: bad magic")
+	}
+	v2 := false
+	switch string(data[:4]) {
+	case marshalMagic:
+	case marshalMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("fst: bad magic")
 	}
 	s := &sectionReader{r: bytes.NewReader(data[4:])}
 	t := &Trie{}
+	if v2 {
+		t.codecID = string(s.bytes())
+		t.codecDict = s.bytes()
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
 	flags := s.u64()
 	t.cfg.Truncate = flags&1 != 0
 	t.cfg.StoreValues = flags&2 != 0

@@ -1,0 +1,60 @@
+package fst
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// TestMarshalVersioning pins the two-version wire format: raw-key tries
+// must keep emitting byte-identical FST1 payloads (backward compatibility —
+// older readers and previously stored tries), while codec-annotated tries
+// switch to FST2 and round-trip the annotation.
+func TestMarshalVersioning(t *testing.T) {
+	ks := sortedByteKeys(keys.Emails(2000, 9))
+	trie := buildExact(t, ks, Config{DenseLevels: -1})
+
+	v1, err := trie.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1[:4]) != "FST1" {
+		t.Fatalf("raw-key trie marshaled with magic %q, want FST1", v1[:4])
+	}
+	loaded1, err := UnmarshalTrie(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, dict := loaded1.KeyCodec(); id != "" || len(dict) != 0 {
+		t.Fatalf("FST1 payload produced codec annotation %q/%d bytes", id, len(dict))
+	}
+
+	dict := []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	trie.SetKeyCodec("hope:3grams:0123456789abcdef", dict)
+	v2, err := trie.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v2[:4]) != "FST2" {
+		t.Fatalf("codec-annotated trie marshaled with magic %q, want FST2", v2[:4])
+	}
+	loaded2, err := UnmarshalTrie(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, gotDict := loaded2.KeyCodec()
+	if id != "hope:3grams:0123456789abcdef" || !bytes.Equal(gotDict, dict) {
+		t.Fatalf("annotation lost in round trip: %q / %x", id, gotDict)
+	}
+	// The annotation must not perturb the trie payload itself.
+	for i, k := range ks {
+		if v, ok := loaded2.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("FST2-loaded trie Get(%q) = %d,%v", k, v, ok)
+		}
+	}
+	// Truncated annotation sections must be rejected, not crash.
+	if _, err := UnmarshalTrie(v2[:9]); err == nil {
+		t.Fatal("truncated FST2 payload accepted")
+	}
+}

@@ -31,6 +31,13 @@ type Trie struct {
 	dLevelValueStart []int // dense leaf-count before each dense level
 	sLevelPosStart   []int // sparse label position at start of each sparse level
 	sLevelValueStart []int // sparse leaf-count before each sparse level
+	// Key-codec annotation (SetKeyCodec): when the trie indexes
+	// codec-encoded keys, the codec id and its serialized dictionary travel
+	// with the trie through Marshal/Unmarshal so a loaded trie remains
+	// queryable (the dictionary reconstructs the encoder; the id detects
+	// cross-generation mixups cheaply). Empty for raw-key tries.
+	codecID   string
+	codecDict []byte
 }
 
 // region tags which encoding a leaf lives in.

@@ -39,6 +39,20 @@ func (w *bitWriter) writeCode(c Code) {
 // maxCodeLen bounds code lengths so codes fit in a uint64.
 const maxCodeLen = 58
 
+// reserveZeroCode replaces an all-zero codeword 0^l with 0^l·1 (length l+1).
+// The replacement occupies the top half of the old codeword's interval, so it
+// stays below every later code and keeps the code prefix-free; with no
+// all-zero codeword, zero-padding an encoded bit string to a byte boundary
+// preserves strict order (two distinct encodings can no longer collide on
+// padding bits) and a decoder can recognize the padding as
+// not-a-codeword and stop without knowing the exact bit length.
+func reserveZeroCode(c Code) Code {
+	if c.Bits != 0 {
+		return c
+	}
+	return Code{Bits: 1 << (63 - uint(c.Len)), Len: c.Len + 1}
+}
+
 // assignFixedCodes returns the VIFC code assignment: every interval gets the
 // same-length binary code of its rank (ALM, §6.1.3).
 func assignFixedCodes(n int) []Code {
@@ -50,6 +64,7 @@ func assignFixedCodes(n int) []Code {
 	for i := range out {
 		out[i] = Code{Bits: uint64(i) << (64 - uint(bits)), Len: uint8(bits)}
 	}
+	out[0] = reserveZeroCode(out[0])
 	return out
 }
 
@@ -65,7 +80,7 @@ func assignAlphabeticCodes(weights []uint64) []Code {
 		return nil
 	}
 	if n == 1 {
-		return []Code{{Bits: 0, Len: 1}}
+		return []Code{reserveZeroCode(Code{Bits: 0, Len: 1})}
 	}
 	lengths := make([]uint8, n)
 	if n <= 512 {
@@ -199,7 +214,7 @@ func canonicalAlphabetic(lengths []uint8) []Code {
 			}
 			l++
 		}
-		out[i] = Code{Bits: next, Len: uint8(l)}
+		out[i] = reserveZeroCode(Code{Bits: next, Len: uint8(l)})
 		step := uint64(1) << uint(64-l)
 		next += step
 		if next == 0 && i < n-1 {

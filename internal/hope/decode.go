@@ -1,8 +1,9 @@
 package hope
 
 // Decoder inverts an Encoder. Search-tree queries never decode (§6.2: HOPE
-// optimizes for encoding speed), but the decoder enables the unique-
-// decodability property tests and debugging.
+// optimizes for encoding speed), but the decoder serves the scan-emit path of
+// codec-backed indexes (internal/keycodec), the unique-decodability property
+// tests, and debugging.
 type Decoder struct {
 	codes   []Code   // sorted ascending (dictionary order)
 	symbols [][]byte // parallel
@@ -39,12 +40,20 @@ func (d *Decoder) fromInterval(dict *intervalDict) {
 }
 
 // Decode reconstructs the source string from an encoded bit string of the
-// given exact bit length.
+// given exact bit length. Passing len(enc)*8 also works: no codeword is
+// all-zero (see reserveZeroCode), so the byte-boundary padding zeros match
+// nothing and decoding stops by itself.
 func (d *Decoder) Decode(enc []byte, nbits int) []byte {
-	var out []byte
+	return d.DecodeAppend(nil, enc, nbits)
+}
+
+// DecodeAppend appends the decoded source string to dst and returns the
+// extended slice. It allocates nothing when dst has capacity — the alloc-free
+// counterpart of Encoder.EncodeAppend for the scan-emit hot path.
+func (d *Decoder) DecodeAppend(dst, enc []byte, nbits int) []byte {
 	pos := 0
 	for pos < nbits {
-		window := readBits(enc, pos, 64)
+		window := readWindow(enc, pos)
 		// Largest code whose left-aligned bits are <= window.
 		lo, hi := 0, len(d.codes)
 		for lo < hi {
@@ -57,29 +66,33 @@ func (d *Decoder) Decode(enc []byte, nbits int) []byte {
 		}
 		i := lo - 1
 		if i < 0 {
-			return out // corrupt input
+			return dst // padding or corrupt input
 		}
 		c := d.codes[i]
 		// Verify the code is a prefix of the window.
 		if c.Len > 0 && (window>>(64-uint(c.Len))) != (c.Bits>>(64-uint(c.Len))) {
-			return out
+			return dst
 		}
-		out = append(out, d.symbols[i]...)
+		dst = append(dst, d.symbols[i]...)
 		pos += int(c.Len)
 	}
-	return out
+	return dst
 }
 
-// readBits reads up to n bits starting at bit position pos, left-aligned in
+// readWindow reads the 64 bits starting at bit position pos, left-aligned in
 // a uint64 (missing bits are zero).
-func readBits(enc []byte, pos, n int) uint64 {
+func readWindow(enc []byte, pos int) uint64 {
+	bi := pos >> 3
+	off := uint(pos & 7)
 	var v uint64
-	for i := 0; i < n; i++ {
-		v <<= 1
-		bi := pos + i
-		if bi < len(enc)*8 {
-			v |= uint64(enc[bi>>3]>>(7-uint(bi&7))) & 1
-		}
+	shift := 56
+	for k := bi; k < len(enc) && shift >= 0; k++ {
+		v |= uint64(enc[k]) << uint(shift)
+		shift -= 8
+	}
+	v <<= off
+	if off != 0 && bi+8 < len(enc) {
+		v |= uint64(enc[bi+8]) >> (8 - off)
 	}
 	return v
 }

@@ -239,6 +239,21 @@ func (e *Encoder) Encode(key []byte) []byte {
 	return b
 }
 
+// EncodeAppend appends the encoding of key to dst and returns the extended
+// slice. dst must end on a byte boundary (it always does: encodings are
+// zero-padded to whole bytes). No allocation happens when dst has capacity,
+// which makes this the scan-emit hot path for codec-backed indexes.
+func (e *Encoder) EncodeAppend(dst, key []byte) []byte {
+	w := bitWriter{buf: dst, nbits: len(dst) * 8}
+	src := key
+	for len(src) > 0 {
+		c, n := e.dict.lookup(src)
+		w.writeCode(c)
+		src = src[n:]
+	}
+	return w.buf
+}
+
 // EncodeBits compresses key, additionally returning the exact bit length.
 func (e *Encoder) EncodeBits(key []byte) ([]byte, int) {
 	w := bitWriter{buf: make([]byte, 0, len(key))}

@@ -1,0 +1,231 @@
+package hope
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialized encoder layout (all integers little-endian):
+//
+//	magic "HOPE" | u32 version | u32 scheme | u8 dict kind | dict payload
+//
+// Dict payloads: single-char and double-char are their full fixed code
+// tables; interval dictionaries store (lo, symLen, code) triples; the
+// bitmap-trie kind stores its gram length plus the fallback interval
+// dictionary and rebuilds the trie on load. The encoding is complete — an
+// unmarshaled encoder produces bit-identical encodings — which is what lets
+// SSTable filters and SuRF/FST payloads embed the dictionary and survive
+// process restarts (§6 integration).
+const marshalMagic = "HOPE"
+
+const marshalVersion = 1
+
+const (
+	dictKindSingle byte = iota
+	dictKindDouble
+	dictKindInterval
+	dictKindBitmapTrie
+)
+
+type byteWriter struct{ b []byte }
+
+func (w *byteWriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *byteWriter) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *byteWriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *byteWriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *byteWriter) code(c Code)   { w.u64(c.Bits); w.u8(c.Len) }
+func (w *byteWriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+type byteReader struct {
+	b   []byte
+	err error
+}
+
+func (r *byteReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("hope: truncated encoder payload")
+	}
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	p := r.b[:n]
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *byteReader) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *byteReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *byteReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *byteReader) code() Code { return Code{Bits: r.u64(), Len: r.u8()} }
+
+func (r *byteReader) bytesCopy() []byte {
+	n := int(r.u32())
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// MarshalBinary serializes the encoder's scheme and full dictionary
+// (boundaries plus canonical code table).
+func (e *Encoder) MarshalBinary() ([]byte, error) {
+	w := &byteWriter{b: make([]byte, 0, 1024)}
+	w.b = append(w.b, marshalMagic...)
+	w.u32(marshalVersion)
+	w.u32(uint32(e.scheme))
+	switch dict := e.dict.(type) {
+	case *singleCharDict:
+		w.u8(dictKindSingle)
+		for _, c := range dict.codes {
+			w.code(c)
+		}
+	case *doubleCharDict:
+		w.u8(dictKindDouble)
+		for _, c := range dict.codes {
+			w.code(c)
+		}
+	case *intervalDict:
+		w.u8(dictKindInterval)
+		marshalIntervalDict(w, dict)
+	case *bitmapTrieDict:
+		w.u8(dictKindBitmapTrie)
+		w.u32(uint32(dict.gramLen))
+		marshalIntervalDict(w, dict.fallback)
+	default:
+		return nil, fmt.Errorf("hope: cannot marshal dictionary %T", e.dict)
+	}
+	return w.b, nil
+}
+
+func marshalIntervalDict(w *byteWriter, d *intervalDict) {
+	w.u32(uint32(len(d.los)))
+	for i := range d.los {
+		w.bytes(d.los[i])
+		w.u16(d.symLens[i])
+		w.code(d.codes[i])
+	}
+}
+
+func unmarshalIntervalDict(r *byteReader) (*intervalDict, error) {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	d := &intervalDict{
+		los:     make([][]byte, 0, n),
+		symLens: make([]uint16, 0, n),
+		codes:   make([]Code, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		lo := r.bytesCopy()
+		symLen := r.u16()
+		c := r.code()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if int(symLen) > len(lo) {
+			return nil, fmt.Errorf("hope: interval %d symbol length %d exceeds boundary length %d", i, symLen, len(lo))
+		}
+		d.los = append(d.los, lo)
+		d.symLens = append(d.symLens, symLen)
+		d.codes = append(d.codes, c)
+		d.boundBytes += int64(len(lo))
+		if len(lo) > d.maxLo {
+			d.maxLo = len(lo)
+		}
+	}
+	return d, nil
+}
+
+// UnmarshalEncoder reconstructs an encoder serialized by MarshalBinary. The
+// result encodes bit-identically to the original.
+func UnmarshalEncoder(data []byte) (*Encoder, error) {
+	if len(data) < len(marshalMagic) || string(data[:len(marshalMagic)]) != marshalMagic {
+		return nil, fmt.Errorf("hope: bad encoder magic")
+	}
+	r := &byteReader{b: data[len(marshalMagic):]}
+	if v := r.u32(); v != marshalVersion {
+		return nil, fmt.Errorf("hope: unsupported encoder version %d", v)
+	}
+	e := &Encoder{scheme: Scheme(r.u32())}
+	kind := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch kind {
+	case dictKindSingle:
+		d := &singleCharDict{}
+		for i := range d.codes {
+			d.codes[i] = r.code()
+		}
+		e.dict = d
+	case dictKindDouble:
+		d := &doubleCharDict{codes: make([]Code, 65536)}
+		for i := range d.codes {
+			d.codes[i] = r.code()
+		}
+		e.dict = d
+	case dictKindInterval:
+		d, err := unmarshalIntervalDict(r)
+		if err != nil {
+			return nil, err
+		}
+		e.dict = d
+	case dictKindBitmapTrie:
+		gramLen := int(r.u32())
+		d, err := unmarshalIntervalDict(r)
+		if err != nil {
+			return nil, err
+		}
+		if gramLen < 1 || gramLen > 8 {
+			return nil, fmt.Errorf("hope: bad bitmap-trie gram length %d", gramLen)
+		}
+		e.dict = newBitmapTrieDict(gramLen, d)
+	default:
+		return nil, fmt.Errorf("hope: unknown dictionary kind %d", kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("hope: %d trailing bytes after encoder payload", len(r.b))
+	}
+	return e, nil
+}

@@ -24,6 +24,7 @@ import (
 
 	"mets/internal/bloom"
 	"mets/internal/index"
+	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
 )
@@ -52,6 +53,15 @@ type Config struct {
 	// hot-path cost is then a single nil check per counter site. Use
 	// Registry.Sub to prefix per-shard instances.
 	Obs *obs.Registry
+	// Codec, when set (and not the identity), makes the index store, merge,
+	// and range-scan keys in encoded space: keys are encoded once at the API
+	// boundary of every operation, the frozen static structures are built
+	// over encoded keys, and scans decode on emit. The codec is frozen for
+	// the index's lifetime, so every merge generation shares one encoded
+	// space. With a codec active, keys handed to Scan callbacks are only
+	// valid for the duration of the callback (they live in a reused decode
+	// buffer); ScanN and Iterator still return retainable copies.
+	Codec keycodec.Codec
 }
 
 // DefaultConfig returns the thesis defaults.
@@ -68,6 +78,11 @@ type Index struct {
 	cfg        Config
 	newDynamic func() index.Dynamic
 	build      StaticBuilder
+	// codec is the key codec, nil when the identity codec is configured (the
+	// nil check is the whole fast-path cost). Everything below the API
+	// boundary — stages, filters, tombstones, merge machinery — lives in
+	// encoded space.
+	codec keycodec.Codec
 
 	mu        sync.RWMutex
 	mergeDone *sync.Cond // signalled (with mu held) when a background merge lands
@@ -126,6 +141,9 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 	}
 	h.mergeDone = sync.NewCond(&h.mu)
 	h.resetFilter(0)
+	if !keycodec.IsIdentity(cfg.Codec) {
+		h.codec = keycodec.Instrument(cfg.Codec, cfg.Obs)
+	}
 	if r := cfg.Obs; r != nil {
 		h.obsReg = r
 		h.obsGet = r.Counter("get")
@@ -241,8 +259,20 @@ func (h *Index) getLocked(key []byte) (uint64, bool) {
 	return h.visibleInLowerLocked(key)
 }
 
+// encodeKey maps key into encoded space (no-op without a codec).
+func (h *Index) encodeKey(key []byte) []byte {
+	if h.codec == nil {
+		return key
+	}
+	return h.codec.Encode(key)
+}
+
+// Codec returns the configured key codec (nil when keys are stored raw).
+func (h *Index) Codec() keycodec.Codec { return h.codec }
+
 // Get returns the value stored under key, searching the stages in order.
 func (h *Index) Get(key []byte) (uint64, bool) {
+	key = h.encodeKey(key)
 	h.obsGet.Inc()
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -252,6 +282,7 @@ func (h *Index) Get(key []byte) (uint64, bool) {
 // Insert adds a new entry (primary-index semantics: duplicate keys are
 // rejected after checking all stages). It may trigger a merge.
 func (h *Index) Insert(key []byte, value uint64) bool {
+	key = h.encodeKey(key)
 	h.obsInsert.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -277,6 +308,7 @@ func (h *Index) Insert(key []byte, value uint64) bool {
 // whose target lives below the dynamic stage inserts a fresh entry into the
 // dynamic stage, which shadows the older copy until the next merge.
 func (h *Index) Update(key []byte, value uint64) bool {
+	key = h.encodeKey(key)
 	h.obsUpdate.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -302,6 +334,7 @@ func (h *Index) Update(key []byte, value uint64) bool {
 // was updated after a merge lives in two stages — the dynamic copy shadows
 // the lower one — so both must be taken out.
 func (h *Index) Delete(key []byte) bool {
+	key = h.encodeKey(key)
 	h.obsDelete.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -390,8 +423,25 @@ type scanSrc struct {
 // Scan visits live entries in key order from the smallest key >= start,
 // merging the stages on the fly. Upper-stage entries shadow lower-stage
 // entries with equal keys; tombstones suppress lower-stage entries. The read
-// lock is held for the whole scan, so fn must not call back into h.
+// lock is held for the whole scan, so fn must not call back into h. With a
+// codec configured the emitted key lives in a reused decode buffer and is
+// only valid during the callback (copy to retain); without one, keys are
+// fresh copies.
 func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if h.codec != nil {
+		// The scan itself runs entirely in encoded space (the codec is a
+		// strict monotone injection, so the encoded start bound selects
+		// exactly the encodings of keys >= start); only the emit decodes.
+		if start != nil {
+			start = h.codec.EncodeBound(start)
+		}
+		inner := fn
+		var scratch []byte
+		fn = func(k []byte, v uint64) bool {
+			scratch = h.codec.DecodeAppend(scratch[:0], k)
+			return inner(scratch, v)
+		}
+	}
 	h.obsScan.Inc()
 	h.mu.RLock()
 	defer h.mu.RUnlock()

@@ -18,13 +18,30 @@ func (h *Index) ScanN(start []byte, n int) []index.Entry {
 		return nil
 	}
 	out := make([]index.Entry, 0, minInt(n, 1024))
-	// Scan hands out keys freshly allocated per cursor refill; they are never
-	// reused afterwards, so retaining them without another copy is safe.
+	// Without a codec, Scan hands out keys freshly allocated per cursor
+	// refill; they are never reused afterwards, so retaining them without
+	// another copy is safe. With a codec, Scan emits from a reused decode
+	// buffer and the key must be copied out.
+	copyKeys := h.codec != nil
 	h.Scan(start, func(k []byte, v uint64) bool {
+		if copyKeys {
+			k = append([]byte(nil), k...)
+		}
 		out = append(out, index.Entry{Key: k, Value: v})
 		return len(out) < n
 	})
 	return out
+}
+
+// LowerBound returns the smallest live entry with key >= start (the
+// range-query primitive the sharded fan-out and the encoded-space
+// equivalence tests exercise). The returned key is a fresh copy.
+func (h *Index) LowerBound(start []byte) (index.Entry, bool) {
+	es := h.ScanN(start, 1)
+	if len(es) == 0 {
+		return index.Entry{}, false
+	}
+	return es[0], true
 }
 
 // Iterator chunk sizing: each refill restarts a cursor seek on the static
@@ -115,8 +132,17 @@ func (h *Index) FrozenLen() int {
 // building the static stage directly instead of funnelling every entry
 // through the dynamic stage and a merge. An in-flight background merge is
 // waited out first. The entries slice is handed to the static builder and
-// must not be modified afterwards.
+// must not be modified afterwards (with a codec configured the builder
+// receives a fresh encoded copy and the input is left untouched; encoding
+// preserves the sort order).
 func (h *Index) BulkLoad(entries []index.Entry) error {
+	if h.codec != nil {
+		enc := make([]index.Entry, len(entries))
+		for i, e := range entries {
+			enc[i] = index.Entry{Key: h.codec.Encode(e.Key), Value: e.Value}
+		}
+		entries = enc
+	}
 	st, err := h.build(entries)
 	if err != nil {
 		return err

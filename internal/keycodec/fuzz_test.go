@@ -1,0 +1,74 @@
+package keycodec
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/hope"
+	"mets/internal/keys"
+)
+
+// FuzzCodecOrderPreserving checks the codec contract on arbitrary byte-string
+// pairs for all six HOPE schemes: the sign of the comparison is preserved
+// exactly (strict order, including pairs that differ only at bit
+// granularity before padding), and Decode inverts Encode. Wired into `make
+// fuzz-smoke`.
+func FuzzCodecOrderPreserving(f *testing.F) {
+	sample := keys.Dedup(keys.Emails(500, 51))
+	codecs := make([]Codec, 0, len(hope.Schemes))
+	for _, s := range hope.Schemes {
+		c, err := TrainHOPE(sample, s, 1<<10)
+		if err != nil {
+			f.Fatal(err)
+		}
+		codecs = append(codecs, c)
+	}
+	f.Add([]byte("gmail.com@user"), []byte("gmail.com@user2"))
+	f.Add([]byte("a"), []byte("aa"))
+	f.Add([]byte{1}, []byte{1, 1})
+	f.Add([]byte{255, 255}, []byte{255})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 512 || len(b) > 512 {
+			return
+		}
+		// All schemes but Single-Char document a 0x00-free key domain.
+		a = bytes.ReplaceAll(a, []byte{0}, []byte{7})
+		b = bytes.ReplaceAll(b, []byte{0}, []byte{7})
+		for i, c := range codecs {
+			scheme := hope.Schemes[i]
+			ea, eb := c.Encode(a), c.Encode(b)
+			want := keys.Compare(a, b)
+			if got := keys.Compare(ea, eb); got != want {
+				t.Fatalf("%v: compare(%q,%q)=%d but compare(enc)=%d (%x vs %x)",
+					scheme, a, b, want, got, ea, eb)
+			}
+			if da := c.Decode(ea); !bytes.Equal(da, a) {
+				t.Fatalf("%v: decode(encode(%q)) = %q", scheme, a, da)
+			}
+		}
+	})
+}
+
+// FuzzCodecOrderPreservingBinary drives Single-Char (the scheme whose domain
+// includes 0x00 bytes) over fully arbitrary inputs.
+func FuzzCodecOrderPreservingBinary(f *testing.F) {
+	sample := keys.Dedup(keys.EncodeUint64s(keys.RandomUint64(512, 52)))
+	c, err := TrainHOPE(sample, hope.SingleChar, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0, 0, 1}, []byte{0, 0, 2})
+	f.Add([]byte{0}, []byte{0, 0})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 512 || len(b) > 512 {
+			return
+		}
+		ea, eb := c.Encode(a), c.Encode(b)
+		if got, want := keys.Compare(ea, eb), keys.Compare(a, b); got != want {
+			t.Fatalf("compare(%x,%x)=%d but compare(enc)=%d", a, b, want, got)
+		}
+		if da := c.Decode(ea); !bytes.Equal(da, a) {
+			t.Fatalf("decode(encode(%x)) = %x", a, da)
+		}
+	})
+}

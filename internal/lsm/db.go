@@ -2,11 +2,13 @@ package lsm
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
 )
@@ -40,6 +42,15 @@ type Config struct {
 	// default, which keeps flush/compaction inline and deterministic for the
 	// I/O-counting experiments.
 	BackgroundCompaction bool
+	// Codec, when set (and not the identity), stores keys in encoded space:
+	// they are encoded once at the Put/Delete/Get/Seek/Count boundary, so
+	// MemTable, blocks, fence keys, and filters all hold encoded keys
+	// (filters built by Config.Filter therefore index encoded keys — pair
+	// with SuRFFilterBuilderWithCodec so marshaled filters stay
+	// self-describing). Seek decodes the winning key on emit. The codec is
+	// frozen for the DB's lifetime; every SSTable is stamped with its ID and
+	// compactions refuse to merge tables from different codec generations.
+	Codec keycodec.Codec
 	// Obs attaches the engine to a metrics registry under an "lsm." prefix:
 	// I/O and filter-effectiveness gauges (including a live point-lookup FPR
 	// derived from false positives vs filter negatives), MemTable/backlog
@@ -101,6 +112,9 @@ type DB struct {
 	cache  *blockCache
 	Stats  Stats
 	obs    *obs.Registry // nil when Config.Obs is nil
+
+	codec   keycodec.Codec // nil when identity: keys stored raw
+	codecID string         // stamped into every SSTable this DB builds
 }
 
 // Open creates an empty DB.
@@ -125,9 +139,14 @@ func Open(cfg Config) *DB {
 		cfg.BlockCacheBytes = def.BlockCacheBytes
 	}
 	db := &DB{
-		cfg:   cfg,
-		mem:   newMemTable(),
-		cache: newBlockCache(cfg.BlockCacheBytes),
+		cfg:     cfg,
+		mem:     newMemTable(),
+		cache:   newBlockCache(cfg.BlockCacheBytes),
+		codecID: keycodec.IdentityID,
+	}
+	if !keycodec.IsIdentity(cfg.Codec) {
+		db.codec = keycodec.Instrument(cfg.Codec, cfg.Obs)
+		db.codecID = cfg.Codec.ID()
 	}
 	db.bgCond = sync.NewCond(&db.mu)
 	if cfg.Obs != nil {
@@ -171,8 +190,31 @@ func Open(cfg Config) *DB {
 	return db
 }
 
+// encodeKey maps key into the DB's stored key space (no-op without a
+// codec). The codec is frozen, so encoding needs no lock.
+func (db *DB) encodeKey(key []byte) []byte {
+	if db.codec == nil {
+		return key
+	}
+	return db.codec.Encode(key)
+}
+
+// encodeBound maps a range bound into stored key space, preserving nil
+// (open bound). Encoding is strictly monotone, so encoded bounds select
+// exactly the encodings of the raw keys the raw bounds would select.
+func (db *DB) encodeBound(b []byte) []byte {
+	if db.codec == nil || b == nil {
+		return b
+	}
+	return db.codec.EncodeBound(b)
+}
+
+// Codec returns the DB's key codec (nil when keys are stored raw).
+func (db *DB) Codec() keycodec.Codec { return db.codec }
+
 // Put inserts or overwrites a record.
 func (db *DB) Put(key, value []byte) {
+	key = db.encodeKey(key)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.mem.put(key, value)
@@ -194,6 +236,7 @@ func userValue(stored []byte) []byte { return stored[1:] }
 // Delete removes key by writing a tombstone; the space is reclaimed when a
 // compaction merges the tombstone past the key's last live version.
 func (db *DB) Delete(key []byte) {
+	key = db.encodeKey(key)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.mem.putRaw(key, tombstoneMarker)
@@ -300,6 +343,7 @@ func (db *DB) buildTable(entries []Entry) *SSTable {
 	if err != nil {
 		panic("lsm: filter build failed: " + err.Error())
 	}
+	t.codecID = db.codecID
 	return t
 }
 
@@ -341,6 +385,7 @@ func (db *DB) memGet(key []byte) ([]byte, bool) {
 // Get returns the value stored under key (Fig 4.3 left path). Tombstones
 // shadow older versions across all levels.
 func (db *DB) Get(key []byte) ([]byte, bool) {
+	key = db.encodeKey(key)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if v, ok := db.memGet(key); ok {
@@ -425,7 +470,11 @@ func candLess(a, b *seekCandidate) bool {
 // key < hi, following the Fig 4.3 Seek path: with SuRF filters, candidate
 // keys come from the filters and only the winning table's block is fetched;
 // a closed seek whose candidates all fall past hi costs no I/O.
+// With a codec the whole candidate resolution runs in encoded space (filter
+// candidates, fence keys, and blocks all hold encoded keys) and only the
+// winning key is decoded on emit.
 func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
+	lo, hi = db.encodeBound(lo), db.encodeBound(hi)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	// A seek that lands on a tombstone restarts past it; iterate instead of
@@ -433,6 +482,9 @@ func (db *DB) Seek(lo, hi []byte) (Entry, bool) {
 	for lo != nil {
 		e, ok, next := db.seekOnceLocked(lo, hi)
 		if next == nil {
+			if ok && db.codec != nil {
+				e.Key = db.codec.Decode(e.Key)
+			}
 			return e, ok
 		}
 		lo = next
@@ -548,6 +600,7 @@ func (db *DB) tableSeek(t *SSTable, lo []byte) (Entry, bool) {
 // filters it is pure in-memory work (plus the MemTable); otherwise blocks
 // are scanned (Fig 4.3 right path).
 func (db *DB) Count(lo, hi []byte) int {
+	lo, hi = db.encodeBound(lo), db.encodeBound(hi)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	total := db.mem.count(lo, hi)
@@ -751,6 +804,14 @@ func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) []Entry {
 	var all []Entry
 	seen := make(map[string]int)
 	for _, t := range tables {
+		// Keys only compare meaningfully within one codec generation; a
+		// mismatch here means a table from another generation leaked into
+		// this DB's level structure — corrupt state, not a recoverable
+		// condition.
+		if t.codecID != db.codecID {
+			panic(fmt.Sprintf("lsm: compaction mixing codec generations %q and %q",
+				t.codecID, db.codecID))
+		}
 		for _, raw := range t.blocks {
 			for _, e := range decodeBlock(raw) {
 				if i, ok := seen[string(e.Key)]; ok {

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"mets/internal/bloom"
+	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/surf"
 )
@@ -33,6 +34,32 @@ func SuRFFilterBuilder(cfg surf.Config) FilterBuilder {
 		if err != nil {
 			return nil, err
 		}
+		return &surfAdapter{f: f}, nil
+	}
+}
+
+// SuRFFilterBuilderWithCodec adapts a SuRF variant for a DB whose keys are
+// stored in codec-encoded space (Config.Codec): the builder still receives
+// the table's — already encoded — keys, and additionally stamps each built
+// filter with the codec's ID and serialized dictionary, so a filter that is
+// marshaled out of the SSTable remains self-describing (Unmarshal can
+// reconstruct the codec from the embedded dictionary and probe with
+// re-encoded keys). Identity/nil codecs degrade to SuRFFilterBuilder.
+func SuRFFilterBuilderWithCodec(cfg surf.Config, codec keycodec.Codec) FilterBuilder {
+	if keycodec.IsIdentity(codec) {
+		return SuRFFilterBuilder(cfg)
+	}
+	id := codec.ID()
+	dict, derr := codec.MarshalBinary()
+	return func(ks [][]byte) (Filter, error) {
+		if derr != nil {
+			return nil, derr
+		}
+		f, err := surf.Build(ks, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.SetKeyCodec(id, dict)
 		return &surfAdapter{f: f}, nil
 	}
 }

@@ -50,10 +50,17 @@ type SSTable struct {
 	maxKey []byte
 	filter Filter
 	count  int
+	// codecID identifies the key-codec generation the table's keys (blocks,
+	// fences, filter) were encoded with; stamped by the owning DB at build
+	// time and checked by compactions ("identity" for raw keys).
+	codecID string
 }
 
 // NumEntries returns the number of records.
 func (t *SSTable) NumEntries() int { return t.count }
+
+// CodecID returns the key-codec generation stamp.
+func (t *SSTable) CodecID() string { return t.codecID }
 
 // buildSSTable serializes sorted entries into blocks of ~blockSize bytes.
 func buildSSTable(id uint64, entries []Entry, blockSize int, fb FilterBuilder) (*SSTable, error) {

@@ -1,0 +1,108 @@
+package oltp
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/hope"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+)
+
+// TestTableCodecEquivalence drives identical table workloads through a raw
+// engine and a codec engine and requires identical answers from Get, Update,
+// Delete, and Scan (raw keys on emit, primary-key order), for both the
+// B+tree and Hybrid index types — the codec lives at the Table boundary, so
+// it must work over any primary index.
+func TestTableCodecEquivalence(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(3000, 91))
+	codec, err := keycodec.TrainHOPE(ks[:1500], hope.ThreeGrams, 1<<11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []IndexType{BTreeIndex, HybridIndex} {
+		t.Run(it.String(), func(t *testing.T) {
+			plain := New(Config{IndexType: it})
+			coded := New(Config{IndexType: it, KeyCodec: codec})
+			pt := plain.CreateTable("users", "by_domain")
+			ct := coded.CreateTable("users", "by_domain")
+
+			payload := []byte("payload-0123456789")
+			for i, k := range ks {
+				sk := map[string][]byte{"by_domain": k[:5]}
+				if pt.Insert(k, payload, sk) != ct.Insert(k, payload, sk) {
+					t.Fatalf("insert disagreement at %q", k)
+				}
+				if i%6 == 0 {
+					if pt.Delete(ks[i/2]) != ct.Delete(ks[i/2]) {
+						t.Fatalf("delete disagreement at %q", ks[i/2])
+					}
+				}
+				if i%7 == 0 {
+					np := append([]byte("updated-"), k...)
+					if pt.Update(k, np) != ct.Update(k, np) {
+						t.Fatalf("update disagreement at %q", k)
+					}
+				}
+			}
+			if pt.Len() != ct.Len() {
+				t.Fatalf("Len diverged: %d vs %d", pt.Len(), ct.Len())
+			}
+			for _, k := range ks {
+				pv, pok := pt.Get(k)
+				cv, cok := ct.Get(k)
+				if pok != cok || !bytes.Equal(pv, cv) {
+					t.Fatalf("Get(%q): (%q,%v) vs (%q,%v)", k, pv, pok, cv, cok)
+				}
+			}
+			// Secondary indexes stay raw: identical answers by construction.
+			for _, k := range ks[:200] {
+				if pt.CountBySecondary("by_domain", k[:5]) != ct.CountBySecondary("by_domain", k[:5]) {
+					t.Fatalf("secondary count diverged for %q", k[:5])
+				}
+			}
+			// Scans agree entry-for-entry, raw keys out, primary-key order.
+			var pks, cks [][]byte
+			pt.Scan(nil, func(k, _ []byte) bool {
+				pks = append(pks, append([]byte(nil), k...))
+				return true
+			})
+			ct.Scan(nil, func(k, _ []byte) bool {
+				cks = append(cks, append([]byte(nil), k...))
+				return true
+			})
+			if len(pks) != len(cks) {
+				t.Fatalf("scan lengths diverged: %d vs %d", len(pks), len(cks))
+			}
+			for i := range pks {
+				if !bytes.Equal(pks[i], cks[i]) {
+					t.Fatalf("scan diverged at %d: %q vs %q", i, pks[i], cks[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCodecShrinksPrimaryMemory checks the point of the exercise: with a
+// trained codec, the primary-index share of the Table 1.1 memory breakdown
+// drops for string keys.
+func TestCodecShrinksPrimaryMemory(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(8000, 92))
+	codec, err := keycodec.TrainHOPE(ks, hope.ThreeGrams, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(Config{IndexType: BTreeIndex})
+	coded := New(Config{IndexType: BTreeIndex, KeyCodec: codec})
+	pt := plain.CreateTable("t")
+	ct := coded.CreateTable("t")
+	payload := []byte("xxxxxxxxxxxxxxxx")
+	for _, k := range ks {
+		pt.Insert(k, payload, nil)
+		ct.Insert(k, payload, nil)
+	}
+	pm, cm := pt.MemoryUsage().Primary, ct.MemoryUsage().Primary
+	if cm >= pm {
+		t.Fatalf("codec did not shrink primary index memory: %d vs %d bytes", cm, pm)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mets/internal/btree"
 	"mets/internal/hybrid"
 	"mets/internal/index"
+	"mets/internal/keycodec"
 	"mets/internal/obs"
 )
 
@@ -55,6 +56,13 @@ type Config struct {
 	EvictBatch int
 	// DiskLatency is charged per evicted-tuple fetch.
 	DiskLatency time.Duration
+	// KeyCodec, when set (and not the identity), stores every table's
+	// primary keys in encoded space regardless of index type: keys are
+	// encoded once at the Table method boundary and Scan decodes on emit,
+	// shrinking the primary-index key memory of the Table 1.1 breakdown.
+	// Secondary indexes keep raw keys (their keys are attribute values, not
+	// trained key domains). The codec is frozen for the engine's lifetime.
+	KeyCodec keycodec.Codec
 	// Obs attaches the engine to a metrics registry under an "oltp." prefix:
 	// transaction/eviction/disk-read counters and memory-breakdown gauges.
 	// Nil disables instrumentation.
@@ -94,6 +102,8 @@ type Engine struct {
 	obsTx        *obs.Counter
 	obsEvictions *obs.Counter
 	obsDiskReads *obs.Counter
+
+	codec keycodec.Codec // nil when identity: tables store raw keys
 }
 
 // New creates an empty engine.
@@ -102,6 +112,9 @@ func New(cfg Config) *Engine {
 		cfg.EvictBatch = 1024
 	}
 	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	if !keycodec.IsIdentity(cfg.KeyCodec) {
+		e.codec = keycodec.Instrument(cfg.KeyCodec, cfg.Obs)
+	}
 	if cfg.Obs != nil {
 		r := cfg.Obs.Sub("oltp.")
 		e.obsTx = r.Counter("transactions")
@@ -141,6 +154,15 @@ type Table struct {
 	primary     index.Dynamic
 	secondaries map[string]secondaryIndex
 	tupleBytes  int64
+	codec       keycodec.Codec // nil when the table stores raw keys
+}
+
+// encodeKey maps a primary key into the table's stored key space.
+func (t *Table) encodeKey(key []byte) []byte {
+	if t.codec == nil {
+		return key
+	}
+	return t.codec.Encode(key)
 }
 
 // CreateTable registers a table with a primary index and the named
@@ -151,6 +173,7 @@ func (e *Engine) CreateTable(name string, secondaryNames ...string) *Table {
 		eng:         e,
 		disk:        make(map[uint64][]byte),
 		secondaries: make(map[string]secondaryIndex),
+		codec:       e.codec,
 	}
 	t.primary = e.newPrimary()
 	for _, s := range secondaryNames {
@@ -187,6 +210,7 @@ func (e *Engine) Table(name string) *Table { return e.tables[name] }
 // Insert adds a tuple, returning false when the primary key exists.
 // secondaryKeys maps secondary index name to that index's key.
 func (t *Table) Insert(key, payload []byte, secondaryKeys map[string][]byte) bool {
+	key = t.encodeKey(key)
 	var id uint64
 	if n := len(t.free); n > 0 {
 		id = t.free[n-1]
@@ -238,7 +262,7 @@ func (t *Table) fetch(id uint64) []byte {
 
 // Get returns the payload stored under the primary key.
 func (t *Table) Get(key []byte) ([]byte, bool) {
-	id, ok := t.primary.Get(key)
+	id, ok := t.primary.Get(t.encodeKey(key))
 	if !ok {
 		return nil, false
 	}
@@ -247,7 +271,7 @@ func (t *Table) Get(key []byte) ([]byte, bool) {
 
 // Update overwrites the payload under the primary key.
 func (t *Table) Update(key, payload []byte) bool {
-	id, ok := t.primary.Get(key)
+	id, ok := t.primary.Get(t.encodeKey(key))
 	if !ok {
 		return false
 	}
@@ -262,6 +286,7 @@ func (t *Table) Update(key, payload []byte) bool {
 // removed lazily (the benchmarks do not delete from secondary-indexed
 // tables).
 func (t *Table) Delete(key []byte) bool {
+	key = t.encodeKey(key)
 	id, ok := t.primary.Get(key)
 	if !ok {
 		return false
@@ -296,10 +321,23 @@ func (t *Table) CountBySecondary(name string, key []byte) int {
 	return len(t.secondaries[name].GetAll(key))
 }
 
-// Scan visits tuples in primary-key order from the smallest key >= start.
+// Scan visits tuples in primary-key order from the smallest key >= start
+// (encoding preserves order, so encoded-space iteration IS primary-key
+// order). With a codec the emitted key is decoded into a reused scratch
+// buffer and is valid only for the duration of the callback.
 func (t *Table) Scan(start []byte, fn func(key, payload []byte) bool) int {
+	if t.codec == nil {
+		return t.primary.Scan(start, func(k []byte, id uint64) bool {
+			return fn(k, t.fetch(id))
+		})
+	}
+	if start != nil {
+		start = t.codec.EncodeBound(start)
+	}
+	var scratch []byte
 	return t.primary.Scan(start, func(k []byte, id uint64) bool {
-		return fn(k, t.fetch(id))
+		scratch = t.codec.DecodeAppend(scratch[:0], k)
+		return fn(scratch, t.fetch(id))
 	})
 }
 

@@ -23,6 +23,10 @@ import (
 // short scan satisfied by one shard never touches the others. ScanN instead
 // prefetches all candidate shards in parallel and runs a real k-way merge
 // over the buffers, trading extra fetched entries for fan-out parallelism.
+//
+// With a codec active the fan-out, routing, and merge all happen in encoded
+// space (encoding is strictly monotone, so encoded order IS key order); keys
+// are decoded once on emit.
 
 // entrySource is one sorted stream feeding the k-way merge.
 type entrySource interface {
@@ -83,18 +87,32 @@ func kwayMerge(srcs []entrySource, fn func(key []byte, value uint64) bool) int {
 
 // Scan visits live entries in key order from the smallest key >= start,
 // walking the shards lazily in range order (see the file comment for why
-// concatenation is the ordered merge here). Keys handed to fn are fresh
-// copies the callback may retain, and no shard lock is held while fn runs.
+// concatenation is the ordered merge here). No shard lock is held while fn
+// runs. Without a codec, keys handed to fn are fresh copies the callback may
+// retain; with a codec they are decoded into a reused scratch buffer and are
+// valid only for the duration of the callback (copy to retain).
 func (s *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	c := s.load()
+	if c.codec != nil {
+		if start != nil {
+			start = c.codec.EncodeBound(start)
+		}
+		inner := fn
+		var scratch []byte
+		fn = func(k []byte, v uint64) bool {
+			scratch = c.codec.DecodeAppend(scratch[:0], k)
+			return inner(scratch, v)
+		}
+	}
 	first := 0
 	if start != nil {
-		first = s.router.Shard(start)
+		first = c.router.Shard(start)
 	}
 	count := 0
-	for i := first; i < len(s.shards); i++ {
+	for i := first; i < len(c.shards); i++ {
 		// start precedes every key of the shards after the first, so it is a
 		// valid (if loose) lower bound for all of them.
-		for it := s.shards[i].NewIterator(start); it.Valid(); it.Next() {
+		for it := c.shards[i].NewIterator(start); it.Valid(); it.Next() {
 			e := it.Entry()
 			count++
 			if !fn(e.Key, e.Value) {
@@ -110,36 +128,58 @@ func (s *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
 // can contribute collects up to n entries concurrently (each under its own
 // read lock), and the k-way merge then keeps the globally smallest n. This
 // is the bounded-scan fast path (YCSB-E style short scans with a known
-// limit); use Scan for unbounded iteration.
+// limit); use Scan for unbounded iteration. Returned keys are fresh copies
+// in raw (decoded) space.
 func (s *Index) ScanN(start []byte, n int) []index.Entry {
 	if n <= 0 {
 		return nil
 	}
+	c := s.load()
+	if c.codec != nil && start != nil {
+		start = c.codec.EncodeBound(start)
+	}
 	first := 0
 	if start != nil {
-		first = s.router.Shard(start)
+		first = c.router.Shard(start)
 	}
-	nsrc := len(s.shards) - first
+	nsrc := len(c.shards) - first
+	var out []index.Entry
 	if nsrc == 1 {
-		return s.shards[first].ScanN(start, n)
+		out = c.shards[first].ScanN(start, n)
+	} else {
+		bufs := make([][]index.Entry, nsrc)
+		fns := make([]func(), nsrc)
+		for i := 0; i < nsrc; i++ {
+			i := i
+			fns[i] = func() { bufs[i] = c.shards[first+i].ScanN(start, n) }
+		}
+		par.Run(fns...)
+		srcs := make([]entrySource, nsrc)
+		for i, b := range bufs {
+			srcs[i] = &sliceSource{es: b}
+		}
+		out = make([]index.Entry, 0, minInt(n, 1024))
+		kwayMerge(srcs, func(k []byte, v uint64) bool {
+			out = append(out, index.Entry{Key: k, Value: v})
+			return len(out) < n
+		})
 	}
-	bufs := make([][]index.Entry, nsrc)
-	fns := make([]func(), nsrc)
-	for i := 0; i < nsrc; i++ {
-		i := i
-		fns[i] = func() { bufs[i] = s.shards[first+i].ScanN(start, n) }
+	if c.codec != nil {
+		for i := range out {
+			out[i].Key = c.codec.Decode(out[i].Key)
+		}
 	}
-	par.Run(fns...)
-	srcs := make([]entrySource, nsrc)
-	for i, b := range bufs {
-		srcs[i] = &sliceSource{es: b}
-	}
-	out := make([]index.Entry, 0, minInt(n, 1024))
-	kwayMerge(srcs, func(k []byte, v uint64) bool {
-		out = append(out, index.Entry{Key: k, Value: v})
-		return len(out) < n
-	})
 	return out
+}
+
+// LowerBound returns the smallest live entry with key >= start; the key is a
+// fresh copy in raw space.
+func (s *Index) LowerBound(start []byte) (index.Entry, bool) {
+	es := s.ScanN(start, 1)
+	if len(es) == 0 {
+		return index.Entry{}, false
+	}
+	return es[0], true
 }
 
 // sortSearchEntries returns the index of the first entry with Key >= b.

@@ -12,14 +12,28 @@
 // and re-merge through an ordered k-way merge of per-shard chunked
 // iterators; because shard ranges are disjoint and ordered, the merged
 // stream is globally sorted with no cross-shard deduplication.
+//
+// # Key compression
+//
+// With Config.Codec (or a Config.CodecTrainer-driven BulkLoad), the sharded
+// layer owns the codec boundary: keys are encoded once here, split
+// boundaries and routing live in encoded space, and the per-shard hybrid
+// indexes store encoded keys natively (their own codec stays identity, so
+// keys are never encoded twice). Scans route and merge encoded, decoding on
+// emit. Because a BulkLoad-trained codec changes the encoded key space, the
+// codec, router, and shards travel together in one immutable core swapped
+// atomically — readers always see a mutually consistent triple.
 package sharded
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mets/internal/hybrid"
 	"mets/internal/index"
+	"mets/internal/keycodec"
 	"mets/internal/obs"
 	"mets/internal/par"
 )
@@ -29,17 +43,29 @@ type Config struct {
 	// Shards is the shard count used when Router is nil (a UniformRouter is
 	// built); default 8.
 	Shards int
-	// Router overrides the partitioning (e.g. RouterFromSample). The shard
-	// count is then Router.NumShards().
+	// Router overrides the partitioning (e.g. RouterFromSample). Boundaries
+	// are given in raw key space; with a codec they are translated into
+	// encoded space at construction. The shard count is then
+	// Router.NumShards().
 	Router *Router
 	// Hybrid is the per-shard dual-stage configuration. MinDynamic applies
 	// per shard, so an N-shard index merges after roughly N*MinDynamic total
-	// inserts spread evenly.
+	// inserts spread evenly. Hybrid.Codec is ignored — the sharded layer
+	// owns the codec boundary (Config.Codec).
 	Hybrid hybrid.Config
 	// Obs attaches every shard to the registry under a "shard<i>." prefix,
 	// so snapshots expose per-shard op counters (skew), stage sizes, and
 	// merge spans. Overrides Hybrid.Obs. Nil disables instrumentation.
 	Obs *obs.Registry
+	// Codec, when set (and not the identity), stores and routes keys in
+	// encoded space (see the package comment).
+	Codec keycodec.Codec
+	// CodecTrainer, when set, makes BulkLoad train a fresh codec from its
+	// sample pass over the load set, recompute the split boundaries as
+	// quantiles in the new encoded space, and swap codec+router+shards in
+	// one atomic step. Point and range operations concurrent with the swap
+	// see either the old or the new generation, never a mix.
+	CodecTrainer keycodec.Trainer
 }
 
 // DefaultConfig returns 8 uniform shards with background merges enabled.
@@ -49,81 +75,166 @@ func DefaultConfig() Config {
 	return Config{Shards: 8, Hybrid: hc}
 }
 
+// core is one immutable generation of the index: a codec, a router with
+// boundaries in that codec's encoded space, and the shards holding encoded
+// keys. Swapped wholesale by codec-retraining bulk loads.
+type core struct {
+	codec  keycodec.Codec // nil = identity (keys stored raw)
+	router *Router
+	shards []*hybrid.Index
+}
+
 // Index is a range-partitioned collection of hybrid indexes. All methods are
 // safe for concurrent use; per-key operations take only the owning shard's
 // lock, and aggregate accessors visit shards one at a time (they are
 // monotonic snapshots, not point-in-time cuts across shards).
 type Index struct {
-	router *Router
-	shards []*hybrid.Index
-	obs    *obs.Registry
+	core atomic.Pointer[core]
+
+	obs       *obs.Registry
+	hybridCfg hybrid.Config
+	newShard  func(hybrid.Config) *hybrid.Index
+	trainer   keycodec.Trainer
+	nshards   int
+	// bulkMu serializes core rebuilds (concurrent BulkLoads would otherwise
+	// race their swaps); ordinary operations never take it.
+	bulkMu sync.Mutex
 }
 
 // New builds a sharded index; newShard creates one hybrid index per range
 // (hybrid.NewBTree et al. match the signature).
 func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 8
+	}
+	if cfg.Router != nil {
+		n = cfg.Router.NumShards()
+	}
+	hc := cfg.Hybrid
+	hc.Codec = nil // the sharded layer owns the codec boundary
+	s := &Index{
+		obs:       cfg.Obs,
+		hybridCfg: hc,
+		newShard:  newShard,
+		trainer:   cfg.CodecTrainer,
+		nshards:   n,
+	}
+	var codec keycodec.Codec
+	if !keycodec.IsIdentity(cfg.Codec) {
+		codec = keycodec.Instrument(cfg.Codec, cfg.Obs)
+	}
 	r := cfg.Router
 	if r == nil {
-		n := cfg.Shards
-		if n <= 0 {
-			n = 8
-		}
 		r = UniformRouter(n)
 	}
-	s := &Index{router: r, shards: make([]*hybrid.Index, r.NumShards()), obs: cfg.Obs}
-	for i := range s.shards {
-		hc := cfg.Hybrid
-		if cfg.Obs != nil {
-			hc.Obs = cfg.Obs.Sub(fmt.Sprintf("shard%d.", i))
-		}
-		s.shards[i] = newShard(hc)
+	if codec != nil {
+		r = encodeRouter(r, codec)
 	}
+	s.core.Store(s.newCore(codec, r))
 	if cfg.Obs != nil {
-		cfg.Obs.GaugeFunc("shards", func() float64 { return float64(len(s.shards)) })
+		cfg.Obs.GaugeFunc("shards", func() float64 { return float64(len(s.load().shards)) })
 	}
 	return s
 }
 
-// NewBTree returns a sharded Hybrid B+tree.
+// NewBTree builds a sharded index with B-tree shards.
 func NewBTree(cfg Config) *Index { return New(cfg, hybrid.NewBTree) }
 
-// NewART returns a sharded Hybrid ART.
+// NewART builds a sharded index with ART shards.
 func NewART(cfg Config) *Index { return New(cfg, hybrid.NewART) }
 
-// NewSkipList returns a sharded Hybrid Skip List.
+// NewSkipList builds a sharded index with skip-list shards.
 func NewSkipList(cfg Config) *Index { return New(cfg, hybrid.NewSkipList) }
 
-// NewMasstree returns a sharded Hybrid Masstree.
+// NewMasstree builds a sharded index with Masstree shards.
 func NewMasstree(cfg Config) *Index { return New(cfg, hybrid.NewMasstree) }
 
-// NumShards returns the shard count.
-func (s *Index) NumShards() int { return len(s.shards) }
+// encodeRouter translates raw-space boundaries into codec space. Encoding is
+// strictly monotone, so the encoded boundaries induce the same partition of
+// the key set.
+func encodeRouter(r *Router, codec keycodec.Codec) *Router {
+	bs := make([][]byte, 0, len(r.Boundaries()))
+	for _, b := range r.Boundaries() {
+		bs = append(bs, codec.EncodeBound(b))
+	}
+	return NewRouter(bs)
+}
 
-// Router returns the boundary router.
-func (s *Index) Router() *Router { return s.router }
+// newCore builds the per-shard hybrid indexes for one generation. Metric
+// names are stable across generations (same "shard<i>." prefixes), so a
+// rebuild keeps appending to the same counters.
+func (s *Index) newCore(codec keycodec.Codec, r *Router) *core {
+	c := &core{codec: codec, router: r, shards: make([]*hybrid.Index, r.NumShards())}
+	for i := range c.shards {
+		hc := s.hybridCfg
+		if s.obs != nil {
+			hc.Obs = s.obs.Sub(fmt.Sprintf("shard%d.", i))
+		}
+		c.shards[i] = s.newShard(hc)
+	}
+	return c
+}
+
+func (s *Index) load() *core { return s.core.Load() }
+
+// encodeKey maps key into c's encoded space (no-op without a codec).
+func (c *core) encodeKey(key []byte) []byte {
+	if c.codec == nil {
+		return key
+	}
+	return c.codec.Encode(key)
+}
+
+// NumShards returns the shard count.
+func (s *Index) NumShards() int { return len(s.load().shards) }
+
+// Router returns the boundary router of the current generation. With a
+// codec active its boundaries are in encoded space.
+func (s *Index) Router() *Router { return s.load().router }
+
+// Codec returns the current generation's codec (nil when keys are raw).
+func (s *Index) Codec() keycodec.Codec { return s.load().codec }
 
 // ShardFor returns the shard index owning key (exposed for tests and
 // placement-aware callers).
-func (s *Index) ShardFor(key []byte) int { return s.router.Shard(key) }
-
-func (s *Index) shard(key []byte) *hybrid.Index { return s.shards[s.router.Shard(key)] }
+func (s *Index) ShardFor(key []byte) int {
+	c := s.load()
+	return c.router.Shard(c.encodeKey(key))
+}
 
 // Get returns the value stored under key.
-func (s *Index) Get(key []byte) (uint64, bool) { return s.shard(key).Get(key) }
+func (s *Index) Get(key []byte) (uint64, bool) {
+	c := s.load()
+	ek := c.encodeKey(key)
+	return c.shards[c.router.Shard(ek)].Get(ek)
+}
 
 // Insert adds a new entry (primary-index semantics: duplicates rejected).
-func (s *Index) Insert(key []byte, value uint64) bool { return s.shard(key).Insert(key, value) }
+func (s *Index) Insert(key []byte, value uint64) bool {
+	c := s.load()
+	ek := c.encodeKey(key)
+	return c.shards[c.router.Shard(ek)].Insert(ek, value)
+}
 
 // Update overwrites the value of an existing key.
-func (s *Index) Update(key []byte, value uint64) bool { return s.shard(key).Update(key, value) }
+func (s *Index) Update(key []byte, value uint64) bool {
+	c := s.load()
+	ek := c.encodeKey(key)
+	return c.shards[c.router.Shard(ek)].Update(ek, value)
+}
 
 // Delete removes key.
-func (s *Index) Delete(key []byte) bool { return s.shard(key).Delete(key) }
+func (s *Index) Delete(key []byte) bool {
+	c := s.load()
+	ek := c.encodeKey(key)
+	return c.shards[c.router.Shard(ek)].Delete(ek)
+}
 
 // Len returns the total number of live entries across shards.
 func (s *Index) Len() int {
 	n := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		n += sh.Len()
 	}
 	return n
@@ -132,7 +243,7 @@ func (s *Index) Len() int {
 // DynamicLen sums the per-shard dynamic (plus frozen) stage sizes.
 func (s *Index) DynamicLen() int {
 	n := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		n += sh.DynamicLen()
 	}
 	return n
@@ -141,7 +252,7 @@ func (s *Index) DynamicLen() int {
 // StaticLen sums the per-shard static stage sizes.
 func (s *Index) StaticLen() int {
 	n := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		n += sh.StaticLen()
 	}
 	return n
@@ -150,7 +261,7 @@ func (s *Index) StaticLen() int {
 // MemoryUsage sums all shards.
 func (s *Index) MemoryUsage() int64 {
 	var m int64
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		m += sh.MemoryUsage()
 	}
 	return m
@@ -159,9 +270,10 @@ func (s *Index) MemoryUsage() int64 {
 // Merge synchronously merges every shard's dynamic stage into its static
 // stage, fanning the per-shard rebuilds out across GOMAXPROCS workers.
 func (s *Index) Merge() {
-	fns := make([]func(), len(s.shards))
-	for i := range s.shards {
-		sh := s.shards[i]
+	shards := s.load().shards
+	fns := make([]func(), len(shards))
+	for i := range shards {
+		sh := shards[i]
 		fns[i] = func() { sh.Merge() }
 	}
 	par.Run(fns...)
@@ -170,14 +282,14 @@ func (s *Index) Merge() {
 // MergeShard synchronously merges shard i only. Callers that want to spread
 // maintenance over time (or measure one shard's pause in isolation) can walk
 // the shards themselves instead of using Merge's all-at-once fan-out.
-func (s *Index) MergeShard(i int) { s.shards[i].Merge() }
+func (s *Index) MergeShard(i int) { s.load().shards[i].Merge() }
 
 // MergeShardAsync starts a background merge on shard i only, reporting
 // whether one was started. Together with WaitMerges this lets a maintenance
 // loop stagger the rebuilds — one shard at a time — so that on machines with
 // few spare cores the merges don't all compete with foreground readers at
 // once (the same rationale as the LSM's single background compactor).
-func (s *Index) MergeShardAsync(i int) bool { return s.shards[i].MergeAsync() }
+func (s *Index) MergeShardAsync(i int) bool { return s.load().shards[i].MergeAsync() }
 
 // MergeAsync starts a background merge on every shard that has dynamic
 // entries and no merge already in flight, returning how many were started.
@@ -186,7 +298,7 @@ func (s *Index) MergeShardAsync(i int) bool { return s.shards[i].MergeAsync() }
 // short seal/swap critical sections.
 func (s *Index) MergeAsync() int {
 	started := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		if sh.MergeAsync() {
 			started++
 		}
@@ -196,14 +308,14 @@ func (s *Index) MergeAsync() int {
 
 // WaitMerges blocks until no shard has a background merge in flight.
 func (s *Index) WaitMerges() {
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		sh.WaitMerges()
 	}
 }
 
 // Merging reports whether any shard has a background merge running.
 func (s *Index) Merging() bool {
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		if sh.Merging() {
 			return true
 		}
@@ -223,8 +335,9 @@ type ShardStat struct {
 // ShardStats returns per-shard telemetry (the per-shard merge pauses the
 // YCSB driver reports).
 func (s *Index) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(s.shards))
-	for i, sh := range s.shards {
+	shards := s.load().shards
+	out := make([]ShardStat, len(shards))
+	for i, sh := range shards {
 		merges, last, total := sh.MergeStats()
 		out[i] = ShardStat{
 			Len: sh.Len(), DynamicLen: sh.DynamicLen(),
@@ -238,7 +351,7 @@ func (s *Index) ShardStats() []ShardStat {
 // single-shard last-merge time (the worst pause any one shard imposed), and
 // summed merge work.
 func (s *Index) MergeStats() (merges int, worstLast, total time.Duration) {
-	for _, sh := range s.shards {
+	for _, sh := range s.load().shards {
 		m, last, t := sh.MergeStats()
 		merges += m
 		if last > worstLast {
@@ -251,20 +364,100 @@ func (s *Index) MergeStats() (merges int, worstLast, total time.Duration) {
 
 // Stats snapshots the metrics registry the index was configured with
 // (Config.Obs): per-shard op counters under "shard<i>.", stage-size gauges,
-// and the recent merge spans. Zero-value snapshot when disabled.
+// the codec's "keycodec." namespace, and the recent merge spans. Zero-value
+// snapshot when disabled.
 func (s *Index) Stats() obs.Snapshot { return s.obs.Snapshot() }
 
-// BulkLoad replaces the index contents with the given sorted unique entries:
-// the slice is partitioned by the router (cheap binary searches at the
-// boundaries) and each shard's static stage is built directly, with the
-// per-shard builds fanned out across GOMAXPROCS workers (internal/par).
+// bulkSampleCap bounds how many keys a codec-training BulkLoad samples.
+const bulkSampleCap = 1 << 16
+
+// BulkLoad replaces the index contents with the given sorted unique entries.
+//
+// Without a CodecTrainer, the entries are encoded with the current codec (a
+// no-op for identity), partitioned by the current router (cheap binary
+// searches at the boundaries), and each shard's static stage is built
+// directly, with the per-shard builds fanned out across GOMAXPROCS workers.
+//
+// With a CodecTrainer, the load's sample pass first trains a fresh codec,
+// the split boundaries are recomputed as even quantiles of the load in the
+// new encoded space (so shards receive equal entry counts under the loaded
+// distribution), fresh shards are built, and codec+router+shards swap in
+// atomically. Earlier generations drain behind their own locks.
 func (s *Index) BulkLoad(entries []index.Entry) error {
-	parts := s.partition(entries)
-	errs := make([]error, len(s.shards))
-	fns := make([]func(), len(s.shards))
-	for i := range s.shards {
+	s.bulkMu.Lock()
+	defer s.bulkMu.Unlock()
+
+	c := s.load()
+	if s.trainer != nil {
+		codec, err := s.trainer(sampleKeys(entries, bulkSampleCap))
+		if err != nil {
+			return fmt.Errorf("sharded: codec training failed: %w", err)
+		}
+		if keycodec.IsIdentity(codec) {
+			codec = nil
+		} else {
+			codec = keycodec.Instrument(codec, s.obs)
+		}
+		enc := encodeEntries(entries, codec)
+		router := quantileRouter(enc, s.nshards)
+		next := s.newCore(codec, router)
+		if err := bulkLoadCore(next, enc); err != nil {
+			return err
+		}
+		s.core.Store(next)
+		return nil
+	}
+	return bulkLoadCore(c, encodeEntries(entries, c.codec))
+}
+
+// sampleKeys draws an evenly spaced key sample of at most cap entries.
+func sampleKeys(entries []index.Entry, capN int) [][]byte {
+	step := 1
+	if len(entries) > capN {
+		step = (len(entries) + capN - 1) / capN
+	}
+	out := make([][]byte, 0, minInt(len(entries), capN))
+	for i := 0; i < len(entries); i += step {
+		out = append(out, entries[i].Key)
+	}
+	return out
+}
+
+// encodeEntries maps sorted entries into codec space (the codec is strictly
+// monotone, so the result is sorted too). Identity returns the input slice.
+func encodeEntries(entries []index.Entry, codec keycodec.Codec) []index.Entry {
+	if codec == nil {
+		return entries
+	}
+	enc := make([]index.Entry, len(entries))
+	for i, e := range entries {
+		enc[i] = index.Entry{Key: codec.Encode(e.Key), Value: e.Value}
+	}
+	return enc
+}
+
+// quantileRouter splits sorted encoded entries into n equal-count ranges.
+func quantileRouter(enc []index.Entry, n int) *Router {
+	bs := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		q := i * len(enc) / n
+		if q >= len(enc) {
+			break
+		}
+		bs = append(bs, enc[q].Key)
+	}
+	return NewRouter(bs)
+}
+
+// bulkLoadCore partitions encoded entries by c's router and builds every
+// shard's static stage in parallel.
+func bulkLoadCore(c *core, entries []index.Entry) error {
+	parts := partition(c, entries)
+	errs := make([]error, len(c.shards))
+	fns := make([]func(), len(c.shards))
+	for i := range c.shards {
 		i := i
-		fns[i] = func() { errs[i] = s.shards[i].BulkLoad(parts[i]) }
+		fns[i] = func() { errs[i] = c.shards[i].BulkLoad(parts[i]) }
 	}
 	par.Run(fns...)
 	for _, err := range errs {
@@ -275,14 +468,15 @@ func (s *Index) BulkLoad(entries []index.Entry) error {
 	return nil
 }
 
-// partition splits sorted entries into per-shard sub-slices (no copying).
-func (s *Index) partition(entries []index.Entry) [][]index.Entry {
-	parts := make([][]index.Entry, len(s.shards))
+// partition splits sorted encoded entries into per-shard sub-slices (no
+// copying).
+func partition(c *core, entries []index.Entry) [][]index.Entry {
+	parts := make([][]index.Entry, len(c.shards))
 	lo := 0
-	for i := 0; i < len(s.shards); i++ {
+	for i := 0; i < len(c.shards); i++ {
 		hi := len(entries)
-		if i+1 < len(s.shards) {
-			b := s.router.LowerBound(i + 1)
+		if i+1 < len(c.shards) {
+			b := c.router.LowerBound(i + 1)
 			hi = lo + sortSearchEntries(entries[lo:], b)
 		}
 		parts[i] = entries[lo:hi]

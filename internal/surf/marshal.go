@@ -10,7 +10,26 @@ import (
 	"mets/internal/fst"
 )
 
-const marshalMagic = "SuRF"
+const (
+	marshalMagic = "SuRF"
+	// Version 2 prepends a key-codec annotation (id + serialized
+	// dictionary); written only when a codec is attached, so raw-key
+	// filters keep producing byte-identical SuRF-v1 payloads.
+	marshalMagicV2 = "SuR2"
+)
+
+// SetKeyCodec annotates the filter as indexing keys encoded by the
+// identified codec; dict is the codec's serialized dictionary (keycodec
+// MarshalBinary), embedded verbatim so a marshaled filter can be probed
+// after a restart by reconstructing the codec from the payload alone.
+func (f *Filter) SetKeyCodec(id string, dict []byte) {
+	f.codecID = id
+	f.codecDict = append([]byte(nil), dict...)
+}
+
+// KeyCodec returns the codec annotation ("" id for raw-key filters). The
+// returned dictionary is not a copy; treat as read-only.
+func (f *Filter) KeyCodec() (id string, dict []byte) { return f.codecID, f.codecDict }
 
 // MarshalBinary serializes the filter so it can be stored alongside the
 // data it guards (e.g. in an SSTable footer) and loaded without rebuilding.
@@ -20,11 +39,21 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	var buf bytes.Buffer
-	buf.WriteString(marshalMagic)
 	var b [8]byte
 	w := func(v uint64) {
 		binary.LittleEndian.PutUint64(b[:], v)
 		buf.Write(b[:])
+	}
+	wb := func(p []byte) {
+		w(uint64(len(p)))
+		buf.Write(p)
+	}
+	if f.codecID == "" && len(f.codecDict) == 0 {
+		buf.WriteString(marshalMagic)
+	} else {
+		buf.WriteString(marshalMagicV2)
+		wb([]byte(f.codecID))
+		wb(f.codecDict)
 	}
 	w(uint64(f.cfg.HashSuffixLen))
 	w(uint64(f.cfg.RealSuffixLen))
@@ -44,7 +73,15 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 
 // Unmarshal reconstructs a filter serialized by MarshalBinary.
 func Unmarshal(data []byte) (*Filter, error) {
-	if len(data) < 4 || string(data[:4]) != marshalMagic {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("surf: bad magic")
+	}
+	v2 := false
+	switch string(data[:4]) {
+	case marshalMagic:
+	case marshalMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("surf: bad magic")
 	}
 	r := bytes.NewReader(data[4:])
@@ -55,9 +92,35 @@ func Unmarshal(data []byte) (*Filter, error) {
 		}
 		return binary.LittleEndian.Uint64(b[:]), nil
 	}
+	rb := func() ([]byte, error) {
+		n, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("surf: corrupt section length")
+		}
+		out := make([]byte, n)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	f := &Filter{}
 	var v uint64
 	var err error
+	if v2 {
+		id, err := rb()
+		if err != nil {
+			return nil, err
+		}
+		dict, err := rb()
+		if err != nil {
+			return nil, err
+		}
+		f.codecID = string(id)
+		f.codecDict = dict
+	}
 	if v, err = u64(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package surf
+
+import (
+	"bytes"
+	"testing"
+
+	"mets/internal/keys"
+)
+
+// TestMarshalVersioning pins the two-version wire format: raw-key filters
+// keep emitting byte-identical SuRF-v1 payloads, codec-annotated filters
+// switch to SuR2 and round-trip the codec id and dictionary alongside the
+// filter behaviour.
+func TestMarshalVersioning(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(3000, 11))
+	f := build(t, ks, MixedConfig(4, 4))
+
+	v1, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1[:4]) != "SuRF" {
+		t.Fatalf("raw-key filter marshaled with magic %q, want SuRF", v1[:4])
+	}
+	g1, err := Unmarshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, dict := g1.KeyCodec(); id != "" || len(dict) != 0 {
+		t.Fatalf("v1 payload produced codec annotation %q/%d bytes", id, len(dict))
+	}
+
+	dict := []byte("HOPE-dict-payload-opaque-to-surf")
+	f.SetKeyCodec("hope:double:fedcba9876543210", dict)
+	v2, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v2[:4]) != "SuR2" {
+		t.Fatalf("codec-annotated filter marshaled with magic %q, want SuR2", v2[:4])
+	}
+	g2, err := Unmarshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, gotDict := g2.KeyCodec()
+	if id != "hope:double:fedcba9876543210" || !bytes.Equal(gotDict, dict) {
+		t.Fatalf("annotation lost in round trip: %q / %x", id, gotDict)
+	}
+	// Filter behaviour must be unchanged by the annotation.
+	for i, k := range ks {
+		if !g2.Lookup(k) {
+			t.Fatalf("SuR2-loaded filter lost key %q", k)
+		}
+		if i%7 == 0 {
+			hi := keys.Successor(k)
+			if f.LookupRange(k, hi, false) != g2.LookupRange(k, hi, false) {
+				t.Fatalf("range divergence on %q after SuR2 round trip", k)
+			}
+		}
+	}
+	// Truncated annotation sections must be rejected, not crash.
+	if _, err := Unmarshal(v2[:10]); err == nil {
+		t.Fatal("truncated SuR2 payload accepted")
+	}
+}

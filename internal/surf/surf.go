@@ -46,6 +46,13 @@ type Filter struct {
 	// HashSuffixLen hash bits followed by RealSuffixLen real bits, MSB first.
 	suffixes *bits.Vector
 
+	// Key-codec annotation (SetKeyCodec): when the filter indexes
+	// codec-encoded keys, the codec id and serialized dictionary travel with
+	// the filter through Marshal/Unmarshal so a loaded filter is
+	// self-describing. Empty for raw-key filters.
+	codecID   string
+	codecDict []byte
+
 	// Optional observability handles (EnableObs); nil-safe no-ops otherwise.
 	// The filter itself can only count how its answers split into positives
 	// and negatives — ground truth lives with the caller, which reports

@@ -37,6 +37,13 @@ type DriverConfig struct {
 	// run is still going, accumulating across runs). The result's
 	// ReadLatency always comes from a private per-run histogram.
 	ReadHist *obs.Histogram
+	// InsertKeys overrides the per-thread insert-key pool generator (n
+	// fresh keys from a thread-unique seed). The default pool is random
+	// uint64 keys, whose 0x00 bytes fall outside the documented domain of
+	// the non-Single-Char HOPE codec schemes — string workloads driving a
+	// codec-backed index set this to a generator from the loaded keys'
+	// domain (e.g. keys.Emails).
+	InsertKeys func(n int, seed int64) [][]byte
 }
 
 // DriverResult is the aggregate outcome of a concurrent run.
@@ -90,8 +97,12 @@ func RunConcurrent(kv KV, ks [][]byte, cfg DriverConfig) DriverResult {
 				need++
 			}
 		}
-		pool := keys.RandomUint64(need+1, cfg.Seed+int64(t)*104729+13)
-		inserts[t] = keys.EncodeUint64s(pool)
+		if cfg.InsertKeys != nil {
+			inserts[t] = cfg.InsertKeys(need+1, cfg.Seed+int64(t)*104729+13)
+		} else {
+			pool := keys.RandomUint64(need+1, cfg.Seed+int64(t)*104729+13)
+			inserts[t] = keys.EncodeUint64s(pool)
+		}
 	}
 
 	hist := obs.NewHistogram()

@@ -23,6 +23,7 @@ import (
 	"mets/internal/hope"
 	"mets/internal/hybrid"
 	"mets/internal/index"
+	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/lsm"
 	"mets/internal/obs"
@@ -148,6 +149,39 @@ func TrainHOPE(sample [][]byte, scheme HOPEScheme, dictLimit int) (*KeyEncoder, 
 	return hope.Train(sample, scheme, dictLimit)
 }
 
+// --- Key codec -------------------------------------------------------------
+
+// KeyCodec is the key-compression boundary every index layer accepts: a
+// frozen, strictly order-preserving, invertible encoding of keys. Set one
+// on HybridConfig/ShardedConfig/LSMConfig (field Codec) and the index
+// stores keys in encoded space, translating at its API boundary — point
+// and range operations keep raw-key semantics while key memory shrinks by
+// the codec's compression ratio.
+type KeyCodec = keycodec.Codec
+
+// KeyCodecTrainer trains a codec from a key sample; ShardedConfig's
+// CodecTrainer uses one to retrain during BulkLoad.
+type KeyCodecTrainer = keycodec.Trainer
+
+// IdentityKeyCodec returns the no-op codec (keys stored raw).
+func IdentityKeyCodec() KeyCodec { return keycodec.Identity() }
+
+// TrainKeyCodec trains a HOPE-backed codec from a sample of keys. All
+// schemes but HOPESingleChar require 0x00-free keys.
+func TrainKeyCodec(sample [][]byte, scheme HOPEScheme, dictLimit int) (KeyCodec, error) {
+	return keycodec.TrainHOPE(sample, scheme, dictLimit)
+}
+
+// NewKeyCodecTrainer returns a trainer for ShardedConfig.CodecTrainer.
+func NewKeyCodecTrainer(scheme HOPEScheme, dictLimit int) KeyCodecTrainer {
+	return keycodec.HOPETrainer(scheme, dictLimit)
+}
+
+// UnmarshalKeyCodec reconstructs a codec from KeyCodec.MarshalBinary bytes
+// (e.g. the dictionary embedded in a SuR2/FST2 payload by
+// NewSuRFSSTFilterWithCodec).
+func UnmarshalKeyCodec(data []byte) (KeyCodec, error) { return keycodec.Unmarshal(data) }
+
 // --- LSM engine ------------------------------------------------------------
 
 // LSM is the log-structured storage engine of the Chapter 4 application.
@@ -160,10 +194,13 @@ type LSMConfig = lsm.Config
 // NewBloomSSTFilter / NewSuRFSSTFilter.
 func OpenLSM(cfg LSMConfig) *LSM { return lsm.Open(cfg) }
 
-// Per-SSTable filter builders.
+// Per-SSTable filter builders. The WithCodec variant pairs with
+// LSMConfig.Codec: built filters index the (encoded) stored keys and carry
+// the codec id and dictionary through MarshalBinary.
 var (
-	NewBloomSSTFilter = lsm.BloomFilterBuilder
-	NewSuRFSSTFilter  = lsm.SuRFFilterBuilder
+	NewBloomSSTFilter         = lsm.BloomFilterBuilder
+	NewSuRFSSTFilter          = lsm.SuRFFilterBuilder
+	NewSuRFSSTFilterWithCodec = lsm.SuRFFilterBuilderWithCodec
 )
 
 // --- Observability ---------------------------------------------------------
