@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench bench-json bench-integrated obs-overhead fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause benchdiff obs-overhead fuzz-smoke
 
 all: tier1
 
@@ -38,6 +38,23 @@ bench-json:
 bench-integrated:
 	$(GO) run ./cmd/mets-bench ch6.integrated | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
 
+# bench-pause captures the latency-tail artifact: the ch6 integrated sweep
+# (shared names with older artifacts), the shard merge-pause experiment
+# (lock vs epoch worst read pause), and the read-under-merge microbenches
+# (read p99 + worst pause while a writer churns), all through benchjson into
+# one BENCH_<date>.json.
+bench-pause:
+	( $(GO) run ./cmd/mets-bench ch6.integrated shard.pause && \
+	  $(GO) test -run '^$$' -bench 'ReadUnderMerge' -benchtime 2s ./internal/hybrid/ ./internal/sharded/ ) \
+	  | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
+
+# benchdiff regenerates today's artifact via bench-pause and diffs the two
+# newest BENCH_*.json, flagging >10% regressions on ns/op and the latency
+# metrics (p99-ns, read-p99-ns, worst-read-pause-ns, ...). Advisory: always
+# exits 0; pass BENCHDIFF_FLAGS=-fail to gate.
+benchdiff: bench-pause
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
+
 # obs-overhead is the instrumentation-cost guard: the hybrid-index microbench
 # with an enabled registry must stay within 10% of the nil-registry (no-op)
 # path. Run without the race detector — timing under -race is meaningless.
@@ -53,3 +70,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSuRFNoFalseNegatives$$' -fuzztime $(FUZZTIME) ./internal/surf
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreserving$$' -fuzztime $(FUZZTIME) ./internal/keycodec
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreservingBinary$$' -fuzztime $(FUZZTIME) ./internal/keycodec
+	$(GO) test -run '^$$' -fuzz '^FuzzNodeSearchSWAR$$' -fuzztime $(FUZZTIME) ./internal/btree

@@ -1,0 +1,208 @@
+// Command benchdiff compares two BENCH_<date>.json artifacts (the
+// cmd/benchjson format) and prints a markdown table of metric deltas,
+// flagging regressions above a threshold on higher-is-worse metrics
+// (latency and allocation families: ns/op, *-ns, B/op, allocs/op, bytes).
+//
+// Usage:
+//
+//	benchdiff [flags] [OLD.json NEW.json]
+//
+// With no file arguments the two lexicographically newest BENCH_*.json in
+// -dir are compared (the date-stamped naming makes name order date order).
+// Exit status is 0 unless -fail is set and a regression was flagged, so the
+// CI step stays advisory by default.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result and Doc mirror cmd/benchjson's output shape.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Doc struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// higherIsWorse reports whether an increase in the metric is a regression.
+// Latency units (ns/op and every custom *-ns metric like p99-ns or
+// worst-read-pause-ns) and allocation units regress upward; throughput-like
+// or size-tradeoff units (Mops, bits/key, dict-bytes) are reported but never
+// flagged — a codec trading dictionary bytes for lookup speed is a choice,
+// not a regression.
+func higherIsWorse(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return strings.HasSuffix(unit, "-ns")
+}
+
+// row is one metric delta in the diff.
+type row struct {
+	name, unit string
+	old, new   float64
+	pct        float64 // percent change, new vs old
+	regressed  bool
+}
+
+// diff compares the shared benchmarks of two docs. It returns the rows whose
+// absolute change meets the threshold (plus every regression regardless of
+// display threshold — they are the point), and the benchmark names present
+// in only one doc.
+func diff(oldDoc, newDoc *Doc, thresholdPct float64) (rows []row, added, removed []string) {
+	oldBy := make(map[string]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(newDoc.Results))
+	for _, r := range newDoc.Results {
+		newBy[r.Name] = r
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	for _, nr := range newDoc.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			added = append(added, nr.Name)
+			continue
+		}
+		units := make([]string, 0, len(nr.Metrics))
+		for u := range nr.Metrics {
+			if _, ok := or.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := or.Metrics[u], nr.Metrics[u]
+			var pct float64
+			switch {
+			case ov != 0:
+				pct = (nv - ov) / math.Abs(ov) * 100
+			case nv != 0:
+				pct = math.Inf(1)
+			}
+			reg := higherIsWorse(u) && pct > thresholdPct
+			if math.Abs(pct) >= thresholdPct || reg {
+				rows = append(rows, row{name: nr.Name, unit: u, old: ov, new: nv, pct: pct, regressed: reg})
+			}
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return rows, added, removed
+}
+
+// load reads one benchjson doc.
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// latestTwo returns the two lexicographically newest BENCH_*.json in dir,
+// oldest first.
+func latestTwo(dir string) (string, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(paths) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_*.json artifacts in %s, found %d", dir, len(paths))
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-2], paths[len(paths)-1], nil
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "percent change required to report (and to flag a regression)")
+	fail := flag.Bool("fail", false, "exit 1 when any regression is flagged")
+	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when no files are given")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = latestTwo(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] [OLD.json NEW.json]")
+		os.Exit(2)
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, added, removed := diff(oldDoc, newDoc, *threshold)
+	fmt.Printf("## benchdiff: %s → %s\n\n", filepath.Base(oldPath), filepath.Base(newPath))
+	regressions := 0
+	if len(rows) == 0 {
+		fmt.Printf("No shared metric moved by ≥%.0f%%.\n", *threshold)
+	} else {
+		fmt.Println("| benchmark | metric | old | new | change | |")
+		fmt.Println("|---|---|---:|---:|---:|---|")
+		for _, r := range rows {
+			note := ""
+			if r.regressed {
+				note = "⚠ regression"
+				regressions++
+			}
+			fmt.Printf("| %s | %s | %s | %s | %+.1f%% | %s |\n",
+				r.name, r.unit, fmtVal(r.old), fmtVal(r.new), r.pct, note)
+		}
+	}
+	if len(added) > 0 {
+		fmt.Printf("\nAdded benchmarks (%d): %s\n", len(added), strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("\nRemoved benchmarks (%d): %s\n", len(removed), strings.Join(removed, ", "))
+	}
+	fmt.Printf("\n%d regression(s) flagged at ±%.0f%%.\n", regressions, *threshold)
+	if *fail && regressions > 0 {
+		os.Exit(1)
+	}
+}

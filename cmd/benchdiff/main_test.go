@@ -1,0 +1,102 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func doc(results ...Result) *Doc { return &Doc{Date: "t", Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestHigherIsWorse(t *testing.T) {
+	worse := []string{"ns/op", "B/op", "allocs/op", "p99-ns", "p50-ns", "read-p99-ns", "worst-read-pause-ns", "worst-shard-merge-ns"}
+	for _, u := range worse {
+		if !higherIsWorse(u) {
+			t.Errorf("higherIsWorse(%q) = false, want true", u)
+		}
+	}
+	neutral := []string{"Mops", "bits/key", "dict-bytes", "index-bytes", "bytes/key"}
+	for _, u := range neutral {
+		if higherIsWorse(u) {
+			t.Errorf("higherIsWorse(%q) = true, want false", u)
+		}
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := doc(res("BenchmarkA", map[string]float64{"ns/op": 100, "p99-ns": 1000}))
+	cur := doc(res("BenchmarkA", map[string]float64{"ns/op": 125, "p99-ns": 800}))
+	rows, added, removed := diff(old, cur, 10)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("added=%v removed=%v, want none", added, removed)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", rows)
+	}
+	var sawReg, sawImp bool
+	for _, r := range rows {
+		switch r.unit {
+		case "ns/op":
+			if !r.regressed || math.Abs(r.pct-25) > 1e-9 {
+				t.Errorf("ns/op row = %+v, want +25%% regression", r)
+			}
+			sawReg = true
+		case "p99-ns":
+			if r.regressed || math.Abs(r.pct+20) > 1e-9 {
+				t.Errorf("p99-ns row = %+v, want -20%% improvement, not flagged", r)
+			}
+			sawImp = true
+		}
+	}
+	if !sawReg || !sawImp {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+}
+
+func TestDiffThresholdSuppressesNoise(t *testing.T) {
+	old := doc(res("BenchmarkA", map[string]float64{"ns/op": 100}))
+	cur := doc(res("BenchmarkA", map[string]float64{"ns/op": 104}))
+	rows, _, _ := diff(old, cur, 10)
+	if len(rows) != 0 {
+		t.Fatalf("rows = %+v, want none under threshold", rows)
+	}
+}
+
+func TestDiffNeutralMetricNeverRegresses(t *testing.T) {
+	old := doc(res("BenchmarkA", map[string]float64{"bits/key": 10}))
+	cur := doc(res("BenchmarkA", map[string]float64{"bits/key": 20}))
+	rows, _, _ := diff(old, cur, 10)
+	if len(rows) != 1 || rows[0].regressed {
+		t.Fatalf("rows = %+v, want one unflagged +100%% row", rows)
+	}
+}
+
+func TestDiffAddedRemoved(t *testing.T) {
+	old := doc(
+		res("BenchmarkGone", map[string]float64{"ns/op": 1}),
+		res("BenchmarkKept", map[string]float64{"ns/op": 1}),
+	)
+	cur := doc(
+		res("BenchmarkKept", map[string]float64{"ns/op": 1}),
+		res("BenchmarkNew", map[string]float64{"ns/op": 1}),
+	)
+	_, added, removed := diff(old, cur, 10)
+	if len(added) != 1 || added[0] != "BenchmarkNew" {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "BenchmarkGone" {
+		t.Errorf("removed = %v", removed)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	old := doc(res("BenchmarkA", map[string]float64{"p99-ns": 0}))
+	cur := doc(res("BenchmarkA", map[string]float64{"p99-ns": 100}))
+	rows, _, _ := diff(old, cur, 10)
+	if len(rows) != 1 || !rows[0].regressed || !math.IsInf(rows[0].pct, 1) {
+		t.Fatalf("rows = %+v, want one +Inf regression", rows)
+	}
+}

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mets/internal/hybrid"
@@ -20,20 +22,30 @@ func init() {
 }
 
 // bgMergeCfg is the per-shard hybrid configuration used by the sharding
-// experiments: background merges on, thesis defaults otherwise.
-func bgMergeCfg() hybrid.Config {
+// experiments: background merges on, thesis defaults otherwise. With epoch
+// on, reads go through the wait-free epoch-pinned path instead of the
+// per-shard RWMutex.
+func bgMergeCfg(epoch bool) hybrid.Config {
 	cfg := hybrid.DefaultConfig()
 	cfg.BackgroundMerge = true
+	cfg.EpochReads = epoch
 	return cfg
+}
+
+func modeName(epoch bool) string {
+	if epoch {
+		return "epoch"
+	}
+	return "lock"
 }
 
 // shardedAt builds an N-shard hybrid B+tree with boundaries learned from the
 // loaded key sample and bulk-loads it. With a registry, every shard reports
 // under "shard<i>.".
-func shardedAt(n int, ks [][]byte, reg *obs.Registry) *sharded.Index {
+func shardedAt(n int, ks [][]byte, reg *obs.Registry, epoch bool) *sharded.Index {
 	s := sharded.NewBTree(sharded.Config{
 		Router: sharded.RouterFromSample(ks, n),
-		Hybrid: bgMergeCfg(),
+		Hybrid: bgMergeCfg(epoch),
 		Obs:    reg,
 	})
 	if err := s.BulkLoad(loadEntries(ks)); err != nil {
@@ -111,86 +123,155 @@ func runShardedYCSB(ctx *benchContext) {
 		fmt.Printf("-- workload %v (%d keys, %d threads) --\n", w, len(ks), threadCount(ctx))
 		row("variant", "Mops", "read p50 us", "read p99 us", "max pause us", "merges")
 		for _, n := range shardCounts(ctx) {
-			var kv ycsb.KV
-			var mergesOf func() int
-			var drain func()
-			if n == 1 {
-				hc := bgMergeCfg()
-				// The single-shard baseline reports as "shard0." too, so the
-				// debug endpoint always carries per-shard counters.
-				hc.Obs = ctx.obs.Sub("shard0.")
-				h := hybrid.NewBTree(hc)
-				if err := h.BulkLoad(loadEntries(ks)); err != nil {
-					panic(err)
+			for _, epoch := range []bool{false, true} {
+				var kv ycsb.KV
+				var mergesOf func() int
+				var drain func()
+				if n == 1 {
+					hc := bgMergeCfg(epoch)
+					// The single-shard baseline reports as "shard0." too, so the
+					// debug endpoint always carries per-shard counters.
+					hc.Obs = ctx.obs.Sub("shard0.")
+					h := hybrid.NewBTree(hc)
+					if err := h.BulkLoad(loadEntries(ks)); err != nil {
+						panic(err)
+					}
+					kv = h
+					mergesOf = func() int { m, _, _ := h.MergeStats(); return m }
+					drain = func() { h.MergeAsync(); h.WaitMerges() }
+				} else {
+					s := shardedAt(n, ks, ctx.obs, epoch)
+					kv = s
+					mergesOf = func() int { m, _, _ := s.MergeStats(); return m }
+					drain = func() { s.MergeAsync(); s.WaitMerges() }
 				}
-				kv = h
-				mergesOf = func() int { m, _, _ := h.MergeStats(); return m }
-				drain = func() { h.MergeAsync(); h.WaitMerges() }
-			} else {
-				s := shardedAt(n, ks, ctx.obs)
-				kv = s
-				mergesOf = func() int { m, _, _ := s.MergeStats(); return m }
-				drain = func() { s.MergeAsync(); s.WaitMerges() }
-			}
-			res := ycsb.RunConcurrent(kv, ks, ycsb.DriverConfig{
-				Workload: w, Threads: ctx.threads, OpsPerThread: ops, Seed: 11,
-				ReadHist: ctx.obs.Histogram("ycsb.read_ns"),
-			})
-			row(fmt.Sprintf("%d-shard", n), res.Mops(),
-				float64(res.ReadLatency.P50)/1e3, float64(res.ReadLatency.P99)/1e3,
-				float64(res.MaxReadPause.Microseconds()), mergesOf())
-			// With the debug endpoint live, retire each variant through the
-			// background-merge path: at default scale the Zipfian write
-			// residue stays under the ratio trigger, and draining it off the
-			// timed path puts real seal/build/swap spans in the tracer ring.
-			if ctx.obs != nil {
-				drain()
+				res := ycsb.RunConcurrent(kv, ks, ycsb.DriverConfig{
+					Workload: w, Threads: ctx.threads, OpsPerThread: ops, Seed: 11,
+					ReadHist: ctx.obs.Histogram("ycsb.read_ns"),
+				})
+				variant := fmt.Sprintf("%d-shard/%s", n, modeName(epoch))
+				row(variant, res.Mops(),
+					float64(res.ReadLatency.P50)/1e3, float64(res.ReadLatency.P99)/1e3,
+					float64(res.MaxReadPause.Microseconds()), mergesOf())
+				// Also emit the row in `go test -bench` format so piping through
+				// cmd/benchjson lands read p99 and the worst read pause in the
+				// BENCH_<date>.json artifact.
+				fmt.Printf("BenchmarkShardYCSB/%v/shards=%d/mode=%s \t%d\t%.1f ns/op\t%d read-p99-ns\t%d worst-read-pause-ns\n",
+					w, n, modeName(epoch), res.Ops, 1e3/res.Mops(),
+					res.ReadLatency.P99, res.MaxReadPause.Nanoseconds())
+				// With the debug endpoint live, retire each variant through the
+				// background-merge path: at default scale the Zipfian write
+				// residue stays under the ratio trigger, and draining it off the
+				// timed path puts real seal/build/swap spans in the tracer ring.
+				if ctx.obs != nil {
+					drain()
+				}
 			}
 		}
 	}
-	fmt.Println("expect: reads scale with shards (per-shard RWMutex), writes/merges parallelize, max pause shrinks")
+	fmt.Println("expect: reads scale with shards, epoch mode flattens the pause tail, writes/merges parallelize")
 }
 
-// runShardedPause loads every variant and forces a full merge, printing each
-// shard's merge time — the pause budget argument for sharding: N small
-// rebuilds instead of one big one, and readers only ever wait on their own
-// shard. Shards are merged one at a time (MergeShard) so each measured
-// duration is the lock-hold time that shard's readers actually see, not
-// inflated by timeslicing against the other rebuilds on a small machine.
+// pauseReader is any index the pause probe can point-read.
+type pauseReader interface {
+	Get(key []byte) (uint64, bool)
+}
+
+// worstReadPauseDuring hammers Get from a few reader goroutines while fn
+// runs and returns the worst single-read latency any of them observed —
+// the read pause the merge actually inflicts. Lock-mode merges block
+// readers for the whole rebuild; epoch-mode readers sail through on the
+// pinned generation.
+func worstReadPauseDuring(idx pauseReader, ks [][]byte, fn func()) time.Duration {
+	readers := runtimeGOMAXPROCS() - 1
+	if readers < 1 {
+		readers = 1
+	}
+	if readers > 4 {
+		readers = 4
+	}
+	var stop int32
+	var worst int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			state := seed
+			for atomic.LoadInt32(&stop) == 0 {
+				state = state*2862933555777941757 + 3037000493
+				k := ks[int(state%uint64(len(ks)))]
+				t0 := time.Now()
+				idx.Get(k)
+				d := int64(time.Since(t0))
+				for {
+					w := atomic.LoadInt64(&worst)
+					if d <= w || atomic.CompareAndSwapInt64(&worst, w, d) {
+						break
+					}
+				}
+			}
+		}(uint64(r)*0x9E3779B97F4A7C15 + 1)
+	}
+	// Let the readers reach steady state before the pause-inducing work.
+	time.Sleep(20 * time.Millisecond)
+	fn()
+	atomic.StoreInt32(&stop, 1)
+	wg.Wait()
+	return time.Duration(atomic.LoadInt64(&worst))
+}
+
+// runShardedPause loads every variant and forces a full merge while reader
+// goroutines time every Get — the pause budget argument for sharding and
+// for epoch-based reads: N small rebuilds instead of one big one, and with
+// epochs no rebuild blocks a reader at all. Shards are merged one at a time
+// (MergeShard) so each measured duration is the lock-hold time that shard's
+// readers actually see, not inflated by timeslicing against the other
+// rebuilds on a small machine.
 func runShardedPause(ctx *benchContext) {
 	ks := dataset(randInt, ctx.numKeys(), 1)
-	row("variant", "merge wall ms", "worst shard ms", "sum shard ms")
+	row("variant", "merge wall ms", "worst shard ms", "sum shard ms", "worst read pause us")
 	for _, n := range shardCounts(ctx) {
-		if n == 1 {
-			h := hybrid.NewBTree(hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30})
-			measureLoad(h, ks, 2)
-			start := time.Now()
-			h.Merge()
-			wall := time.Since(start)
-			row("1-shard", float64(wall.Milliseconds()), float64(h.LastMergeTime.Milliseconds()),
-				float64(h.LastMergeTime.Milliseconds()))
-			continue
-		}
-		cfg := sharded.Config{Router: sharded.RouterFromSample(ks, n), Obs: ctx.obs}
-		cfg.Hybrid = hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10}
-		s := sharded.NewBTree(cfg)
-		measureLoad(s, ks, 2)
-		start := time.Now()
-		for i := 0; i < s.NumShards(); i++ {
-			s.MergeShard(i)
-		}
-		wall := time.Since(start)
-		var worst, sum time.Duration
-		for _, st := range s.ShardStats() {
-			if st.LastMerge > worst {
-				worst = st.LastMerge
+		for _, epoch := range []bool{false, true} {
+			hc := hybrid.Config{MergeRatio: 10, MinDynamic: 1 << 30, BloomBitsPerKey: 10, EpochReads: epoch}
+			var wall, worst, sum, pause time.Duration
+			if n == 1 {
+				h := hybrid.NewBTree(hc)
+				measureLoad(h, ks, 2)
+				pause = worstReadPauseDuring(h, ks, func() {
+					start := time.Now()
+					h.Merge()
+					wall = time.Since(start)
+				})
+				_, worst, _ = h.MergeStats()
+				sum = worst
+			} else {
+				cfg := sharded.Config{Router: sharded.RouterFromSample(ks, n), Obs: ctx.obs}
+				cfg.Hybrid = hc
+				s := sharded.NewBTree(cfg)
+				measureLoad(s, ks, 2)
+				pause = worstReadPauseDuring(s, ks, func() {
+					start := time.Now()
+					for i := 0; i < s.NumShards(); i++ {
+						s.MergeShard(i)
+					}
+					wall = time.Since(start)
+				})
+				for _, st := range s.ShardStats() {
+					if st.LastMerge > worst {
+						worst = st.LastMerge
+					}
+					sum += st.LastMerge
+				}
 			}
-			sum += st.LastMerge
+			variant := fmt.Sprintf("%d-shard/%s", n, modeName(epoch))
+			row(variant, float64(wall.Milliseconds()), float64(worst.Milliseconds()),
+				float64(sum.Milliseconds()), float64(pause.Microseconds()))
+			fmt.Printf("BenchmarkShardPause/shards=%d/mode=%s \t1\t%d ns/op\t%d worst-shard-merge-ns\t%d worst-read-pause-ns\n",
+				n, modeName(epoch), wall.Nanoseconds(), worst.Nanoseconds(), pause.Nanoseconds())
 		}
-		row(fmt.Sprintf("%d-shard", n), float64(wall.Milliseconds()),
-			float64(worst.Milliseconds()), float64(sum.Milliseconds()))
 	}
-	fmt.Println("expect: worst per-shard pause ~1/N of the single-shard merge pause")
+	fmt.Println("expect: worst per-shard pause ~1/N of the single-shard merge pause; epoch mode keeps the read pause flat")
 }
 
 func shardCounts(ctx *benchContext) []int {

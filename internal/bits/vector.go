@@ -7,6 +7,7 @@ package bits
 
 import (
 	mathbits "math/bits"
+	"sync/atomic"
 )
 
 // Vector is a growable bit vector. The zero value is an empty vector ready
@@ -41,6 +42,28 @@ func (v *Vector) Get(i int) bool {
 // Set sets bit i to one. The bit must be within Len.
 func (v *Vector) Set(i int) {
 	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// GetAtomic reports whether bit i is set, with an atomic word load so it may
+// race with SetAtomic on the same word (the Bloom filter in front of an
+// epoch-read dynamic stage probes while the writer inserts).
+func (v *Vector) GetAtomic(i int) bool {
+	return atomic.LoadUint64(&v.words[i>>6])&(1<<(uint(i)&63)) != 0
+}
+
+// SetAtomic sets bit i to one with an atomic read-modify-write, safe against
+// concurrent GetAtomic readers. Concurrent SetAtomic callers are also safe
+// with respect to each other, though the filter's writers are expected to be
+// externally serialized.
+func (v *Vector) SetAtomic(i int) {
+	addr := &v.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return
+		}
+	}
 }
 
 // Clear sets bit i to zero.

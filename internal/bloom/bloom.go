@@ -66,6 +66,31 @@ func (f *Filter) Contains(key []byte) bool {
 	return true
 }
 
+// AddAtomic inserts key with atomic bit stores, for filters probed by
+// lock-free readers while a (single) writer keeps inserting. The key-count
+// bookkeeping is writer-owned and remains unsynchronized.
+func (f *Filter) AddAtomic(key []byte) {
+	h1, h2 := hash128(key)
+	for i := 0; i < f.k; i++ {
+		f.bv.SetAtomic(int((h1 + uint64(i)*h2) % f.numBits))
+	}
+	f.n++
+}
+
+// ContainsAtomic is Contains over atomic bit loads, safe to run concurrently
+// with AddAtomic. One-sided error is preserved: a key fully added before the
+// probe began is always found; a key being added concurrently may or may not
+// be, either of which is linearizable.
+func (f *Filter) ContainsAtomic(key []byte) bool {
+	h1, h2 := hash128(key)
+	for i := 0; i < f.k; i++ {
+		if !f.bv.GetAtomic(int((h1 + uint64(i)*h2) % f.numBits)) {
+			return false
+		}
+	}
+	return true
+}
+
 // NumKeys returns the number of keys added so far.
 func (f *Filter) NumKeys() int { return f.n }
 

@@ -3,6 +3,8 @@ package btree
 import (
 	"bytes"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"mets/internal/index"
 	"mets/internal/keys"
@@ -17,10 +19,19 @@ type Compact struct {
 	keyData []byte
 	keyOffs []uint32 // len(n)+1
 	values  []uint64
+	// pfx[i] is prefix8(key(i)): the SWAR search mirror shared by the leaf
+	// ranges and (via index gather) the separator levels.
+	pfx []uint64
 	// seps[l][i] is the leaf index of the minimum key in child i of level l;
 	// seps[0] routes into the leaf array, higher levels into lower ones.
 	// Levels are ordered bottom-up; the last one has at most fanout entries.
 	seps [][]uint32
+	// seppfx[l][i] is pfx[seps[l][i]], packed contiguously: gathering the
+	// prefixes through the separator indexes at probe time would touch one
+	// cache line per separator (leaf minimums sit fanout apart), which costs
+	// more than the binary search the SWAR count replaces. Packed, a node
+	// probe reads four lines.
+	seppfx [][]uint64
 }
 
 // NewCompact builds a Compact B+tree from sorted unique entries. The packed
@@ -32,6 +43,10 @@ func NewCompact(entries []index.Entry) (*Compact, error) {
 		return nil, fmt.Errorf("btree: %w", err)
 	}
 	c := &Compact{keyData: keyData, keyOffs: keyOffs, values: values}
+	c.pfx = make([]uint64, len(entries))
+	for i := range entries {
+		c.pfx[i] = prefix8(c.key(i))
+	}
 	// Build separator levels bottom-up: one entry per group of fanout.
 	cur := make([]uint32, 0, (len(entries)+fanout-1)/fanout)
 	for i := 0; i < len(entries); i += fanout {
@@ -49,7 +64,19 @@ func NewCompact(entries []index.Entry) (*Compact, error) {
 		}
 		cur = next
 	}
+	c.packSepPfx()
 	return c, nil
+}
+
+func (c *Compact) packSepPfx() {
+	c.seppfx = make([][]uint64, len(c.seps))
+	for l, level := range c.seps {
+		p := make([]uint64, len(level))
+		for i, j := range level {
+			p[i] = c.pfx[j]
+		}
+		c.seppfx[l] = p
+	}
 }
 
 // key returns the i-th leaf key without copying.
@@ -61,14 +88,16 @@ func (c *Compact) key(i int) []byte {
 func (c *Compact) Len() int { return len(c.values) }
 
 // lowerBoundIdx returns the index of the first stored key >= key, routing
-// through the separator levels like a B+tree descent (binary search within
-// each fanout-sized node).
+// through the separator levels like a B+tree descent. Each node probe is a
+// branchless SWAR count over the packed key prefixes (swar.go) followed by
+// full comparisons across the equal-prefix run only.
 func (c *Compact) lowerBoundIdx(key []byte) int {
 	if len(c.values) == 0 {
 		return 0
 	}
+	qp := prefix8(key)
 	if len(c.seps) == 0 {
-		return c.searchLeafRange(0, len(c.values), key)
+		return c.searchLeafRange(0, len(c.values), key, qp)
 	}
 	node := 0
 	for l := len(c.seps) - 1; l >= 0; l-- {
@@ -78,37 +107,40 @@ func (c *Compact) lowerBoundIdx(key []byte) int {
 		if hi > len(level) {
 			hi = len(level)
 		}
-		// Child = last separator with minKey <= key.
-		child := lo
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if keys.Compare(c.key(int(level[mid])), key) <= 0 {
-				child = mid
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
+		// Child = last separator with minKey <= key. The equal-prefix run is
+		// binary-searched: shared-prefix datasets tie across the whole node.
+		lp := c.seppfx[l]
+		i := lo + countLess(lp[lo:hi], qp)
+		if i < hi && lp[i] == qp {
+			base := i
+			i += sort.Search(hi-base, func(d int) bool {
+				j := base + d
+				return lp[j] != qp || keys.Compare(c.key(int(level[j])), key) > 0
+			})
 		}
-		node = child
+		node = i - 1
+		if node < lo {
+			node = lo
+		}
 	}
 	start := node * fanout
 	end := start + fanout
 	if end > len(c.values) {
 		end = len(c.values)
 	}
-	return c.searchLeafRange(start, end, key)
+	return c.searchLeafRange(start, end, key, qp)
 }
 
-func (c *Compact) searchLeafRange(lo, hi int, key []byte) int {
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if keys.Compare(c.key(mid), key) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+func (c *Compact) searchLeafRange(lo, hi int, key []byte, qp uint64) int {
+	i := lo + countLess(c.pfx[lo:hi], qp)
+	if i < hi && c.pfx[i] == qp {
+		base := i
+		i += sort.Search(hi-base, func(d int) bool {
+			j := base + d
+			return c.pfx[j] != qp || keys.Compare(c.key(j), key) >= 0
+		})
 	}
-	return lo
+	return i
 }
 
 // Get returns the value stored under key.
@@ -137,9 +169,10 @@ func (c *Compact) At(i int) ([]byte, uint64) { return c.key(i), c.values[i] }
 
 // MemoryUsage returns the packed structure size in bytes.
 func (c *Compact) MemoryUsage() int64 {
-	m := int64(len(c.keyData)) + int64(len(c.keyOffs))*4 + int64(len(c.values))*8
+	m := int64(len(c.keyData)) + int64(len(c.keyOffs))*4 + int64(len(c.values))*8 +
+		int64(len(c.pfx))*8
 	for _, l := range c.seps {
-		m += int64(len(l)) * 4
+		m += int64(len(l)) * (4 + 8) // index + packed prefix
 	}
 	return m + 64
 }
@@ -151,7 +184,9 @@ type CompactMulti struct {
 	keyOffs  []uint32
 	valStart []uint32 // per key: offset into vals; len = numKeys+1
 	vals     []uint64
+	pfx      []uint64 // prefix8 of each distinct key (SWAR search mirror)
 	seps     [][]uint32
+	seppfx   [][]uint64 // per-level packed prefixes (see Compact.seppfx)
 }
 
 // NewCompactMulti builds a CompactMulti from sorted entries that may repeat
@@ -168,6 +203,7 @@ func NewCompactMulti(entries []index.Entry) (*CompactMulti, error) {
 		}
 		c.keyData = append(c.keyData, entries[i].Key...)
 		c.keyOffs = append(c.keyOffs, uint32(len(c.keyData)))
+		c.pfx = append(c.pfx, prefix8(entries[i].Key))
 		c.valStart = append(c.valStart, uint32(len(c.vals)))
 		for ; i < j; i++ {
 			c.vals = append(c.vals, entries[i].Value)
@@ -191,6 +227,14 @@ func NewCompactMulti(entries []index.Entry) (*CompactMulti, error) {
 		}
 		cur = next
 	}
+	c.seppfx = make([][]uint64, len(c.seps))
+	for l, level := range c.seps {
+		p := make([]uint64, len(level))
+		for i, j := range level {
+			p[i] = c.pfx[j]
+		}
+		c.seppfx[l] = p
+	}
 	return c, nil
 }
 
@@ -203,6 +247,7 @@ func (c *CompactMulti) Len() int     { return len(c.vals) }
 func (c *CompactMulti) lowerBoundIdx(key []byte) int {
 	n := c.NumKeys()
 	lo, hi := 0, n
+	qp := prefix8(key)
 	if len(c.seps) > 0 {
 		node := 0
 		for l := len(c.seps) - 1; l >= 0; l-- {
@@ -212,17 +257,21 @@ func (c *CompactMulti) lowerBoundIdx(key []byte) int {
 			if b > len(level) {
 				b = len(level)
 			}
-			child := a
-			for a < b {
-				mid := (a + b) / 2
-				if keys.Compare(c.key(int(level[mid])), key) <= 0 {
-					child = mid
-					a = mid + 1
-				} else {
-					b = mid
-				}
+			// Child = last separator with minKey <= key (SWAR probe; ties
+			// binary-searched like Compact.lowerBoundIdx).
+			lp := c.seppfx[l]
+			i := a + countLess(lp[a:b], qp)
+			if i < b && lp[i] == qp {
+				base := i
+				i += sort.Search(b-base, func(d int) bool {
+					j := base + d
+					return lp[j] != qp || keys.Compare(c.key(int(level[j])), key) > 0
+				})
 			}
-			node = child
+			node = i - 1
+			if node < a {
+				node = a
+			}
 		}
 		lo = node * fanout
 		hi = lo + fanout
@@ -230,15 +279,15 @@ func (c *CompactMulti) lowerBoundIdx(key []byte) int {
 			hi = n
 		}
 	}
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if keys.Compare(c.key(mid), key) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	i := lo + countLess(c.pfx[lo:hi], qp)
+	if i < hi && c.pfx[i] == qp {
+		base := i
+		i += sort.Search(hi-base, func(d int) bool {
+			j := base + d
+			return c.pfx[j] != qp || keys.Compare(c.key(j), key) >= 0
+		})
 	}
-	return lo
+	return i
 }
 
 // GetAll returns every value stored under key.
@@ -273,12 +322,58 @@ func (c *CompactMulti) Scan(start []byte, fn func(key []byte, value uint64) bool
 	return count
 }
 
+// UpdateValueAtomic replaces old with new among key's packed values using an
+// atomic store, for static stages probed by lock-free readers (the hybrid's
+// epoch mode): secondary-index updates mutate the value list in place, and
+// the store must not tear under a concurrent GetAllAtomic. Single writer.
+func (c *CompactMulti) UpdateValueAtomic(key []byte, old, new uint64) bool {
+	i := c.lowerBoundIdx(key)
+	if i >= c.NumKeys() || !bytes.Equal(c.key(i), key) {
+		return false
+	}
+	for j := c.valStart[i]; j < c.valStart[i+1]; j++ {
+		if atomic.LoadUint64(&c.vals[j]) == old {
+			atomic.StoreUint64(&c.vals[j], new)
+			return true
+		}
+	}
+	return false
+}
+
+// GetAllAtomic appends key's values to dst with atomic loads, safe against a
+// concurrent in-place UpdateValueAtomic. Unlike GetAll it returns a copy, so
+// callers never alias the mutable packed list.
+func (c *CompactMulti) GetAllAtomic(dst []uint64, key []byte) []uint64 {
+	i := c.lowerBoundIdx(key)
+	if i >= c.NumKeys() || !bytes.Equal(c.key(i), key) {
+		return dst
+	}
+	for j := c.valStart[i]; j < c.valStart[i+1]; j++ {
+		dst = append(dst, atomic.LoadUint64(&c.vals[j]))
+	}
+	return dst
+}
+
+// ScanAtomic is Scan with atomic value loads (epoch-mode readers).
+func (c *CompactMulti) ScanAtomic(start []byte, fn func(key []byte, value uint64) bool) int {
+	count := 0
+	for i := c.lowerBoundIdx(start); i < c.NumKeys(); i++ {
+		for j := c.valStart[i]; j < c.valStart[i+1]; j++ {
+			count++
+			if !fn(c.key(i), atomic.LoadUint64(&c.vals[j])) {
+				return count
+			}
+		}
+	}
+	return count
+}
+
 // MemoryUsage returns the packed structure size in bytes.
 func (c *CompactMulti) MemoryUsage() int64 {
 	m := int64(len(c.keyData)) + int64(len(c.keyOffs))*4 +
-		int64(len(c.valStart))*4 + int64(len(c.vals))*8
+		int64(len(c.valStart))*4 + int64(len(c.vals))*8 + int64(len(c.pfx))*8
 	for _, l := range c.seps {
-		m += int64(len(l)) * 4
+		m += int64(len(l)) * (4 + 8) // index + packed prefix
 	}
 	return m + 64
 }

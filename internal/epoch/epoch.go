@@ -1,0 +1,224 @@
+// Package epoch implements epoch-based reclamation for the atomically
+// published generations the hybrid and sharded indexes swap during merges,
+// compactions, and codec retrains.
+//
+// The protocol generalizes the atomic.Pointer[core] generation swap the
+// sharded index introduced for codec retraining:
+//
+//   - Readers Pin() before loading a generation pointer and Unpin() when
+//     done. A pin announces the global epoch the reader observed in a
+//     cache-line-padded per-reader slot; between Pin and Unpin the reader may
+//     dereference any generation that was published at pin time.
+//   - Writers publish a replacement generation with a single atomic pointer
+//     store, then Retire() the superseded one with a callback. The callback
+//     runs only once every reader slot has either unpinned or re-pinned at a
+//     later epoch — i.e. once no reader can still hold the retired
+//     generation.
+//
+// Go's garbage collector already guarantees memory safety (a reader holding
+// a stale pointer keeps the object alive), so what Retire buys is
+// *determinism*: the index learns when a superseded generation — its frozen
+// stage, Bloom filters, codec dictionaries — has actually drained, can drop
+// its own references promptly instead of at the next GC cycle's whim, and
+// can account for generation lifetimes (the leak tests assert retired
+// generations are freed, and the obs gauges expose the in-flight count).
+//
+// Readers are wait-free with respect to writers: Pin never blocks on any
+// lock a writer (or a background merge) holds, so a reader's latency is
+// bounded by its own work even while a merge publishes generations. Slot
+// acquisition itself distributes readers across GOMAXPROCS-proportional
+// padded slots through a sync.Pool (per-P caches make reacquisition of the
+// same slot the common case); a cold goroutine may allocate a fresh slot
+// once, after which pins are two atomic stores and unpins one.
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pad keeps each reader slot on its own cache line (64B line; the struct is
+// doubled to 128B to defeat adjacent-line prefetching, matching obs.Counter).
+type slot struct {
+	// epoch is 0 when the slot is idle; otherwise the global epoch the
+	// pinned reader observed. Epochs start at 1 so 0 is never a valid pin.
+	epoch atomic.Uint64
+	_     [120]byte
+}
+
+// Guard is an active reader pin. The zero Guard is invalid; Unpin exactly
+// once per Pin.
+type Guard struct {
+	s *slot
+	m *Manager
+}
+
+// retiree is one superseded generation awaiting reclamation.
+type retiree struct {
+	epoch uint64 // global epoch at retire time
+	fn    func()
+}
+
+// Manager coordinates one index's reader pins and generation retirement.
+// One Manager may be shared by several layers (the sharded index shares one
+// across its core swap and every per-shard hybrid generation), in which case
+// a single reader pin covers all of them.
+type Manager struct {
+	global atomic.Uint64 // current epoch; advances on Retire
+
+	// slots is the registry of every reader slot ever handed out; append-only
+	// under mu. Scans read it via the atomic pointer so they never block a
+	// pinning reader.
+	slotsPtr atomic.Pointer[[]*slot]
+	pool     sync.Pool
+
+	mu      sync.Mutex // guards retired and slot registration
+	retired []retiree
+
+	reclaimed atomic.Int64 // total retire callbacks run (leak-test hook)
+	inflight  atomic.Int64 // retired but not yet reclaimed
+}
+
+// NewManager returns a Manager with an empty slot registry; slots are
+// created lazily as readers arrive.
+func NewManager() *Manager {
+	m := &Manager{}
+	m.global.Store(1)
+	slots := make([]*slot, 0, runtime.GOMAXPROCS(0)*2)
+	m.slotsPtr.Store(&slots)
+	m.pool.New = func() any { return m.newSlot() }
+	return m
+}
+
+// newSlot allocates and registers a fresh reader slot.
+func (m *Manager) newSlot() *slot {
+	s := &slot{}
+	m.mu.Lock()
+	old := *m.slotsPtr.Load()
+	slots := make([]*slot, len(old)+1)
+	copy(slots, old)
+	slots[len(old)] = s
+	m.slotsPtr.Store(&slots)
+	m.mu.Unlock()
+	return s
+}
+
+// Pin announces this reader to the manager and returns a Guard. Any
+// generation pointer loaded between Pin and Unpin remains valid (its retire
+// callback will not run) until Unpin. Pins do not nest on the same Guard;
+// taking two Guards is fine.
+func (m *Manager) Pin() Guard {
+	s := m.pool.Get().(*slot)
+	// Announce before loading any generation pointer. The announcement uses
+	// the epoch read *before* the store; a concurrent Retire that misses this
+	// announcement scanned the slots after our store became visible, and by
+	// total order on the atomics our subsequent generation load then sees the
+	// replacement pointer, never the retired one. An announcement of an
+	// already-superseded epoch is merely conservative: it delays reclamation,
+	// never permits it early.
+	s.epoch.Store(m.global.Load())
+	return Guard{s: s, m: m}
+}
+
+// Unpin releases the pin. The slot returns to the per-P pool for reuse.
+func (g Guard) Unpin() {
+	g.s.epoch.Store(0)
+	g.m.pool.Put(g.s)
+}
+
+// Retire registers fn to run once every reader pinned at or before the
+// current epoch has unpinned, then advances the global epoch and attempts
+// reclamation. fn runs on whichever goroutine observes the drain (this
+// Retire, a later one, or an explicit Reclaim) — it must not pin the same
+// manager or acquire locks the caller holds across Retire.
+func (m *Manager) Retire(fn func()) {
+	m.mu.Lock()
+	e := m.global.Add(1) - 1 // generation was current through epoch e
+	m.retired = append(m.retired, retiree{epoch: e, fn: fn})
+	m.inflight.Add(1)
+	ready := m.drainLocked()
+	m.mu.Unlock()
+	m.runReady(ready)
+}
+
+// Reclaim runs the callbacks of every retiree no reader can still hold and
+// returns how many ran. Writers call it opportunistically; tests call it
+// after quiescing readers.
+func (m *Manager) Reclaim() int {
+	m.mu.Lock()
+	ready := m.drainLocked()
+	m.mu.Unlock()
+	m.runReady(ready)
+	return len(ready)
+}
+
+// drainLocked splits off the reclaimable retirees: those retired at an epoch
+// strictly below every active reader's announced epoch. Requires m.mu.
+func (m *Manager) drainLocked() []func() {
+	if len(m.retired) == 0 {
+		return nil
+	}
+	min := m.minActiveEpoch()
+	var ready []func()
+	keep := m.retired[:0]
+	for _, r := range m.retired {
+		// A reader pinned at epoch p can hold generations retired at epochs
+		// >= p (it may have loaded the pointer just before the swap that
+		// retired at p). Epochs < p were retired, swapped, and had their
+		// replacement published before the reader announced, so the reader
+		// cannot have loaded them.
+		if r.epoch < min {
+			ready = append(ready, r.fn)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	m.retired = keep
+	return ready
+}
+
+// minActiveEpoch returns the smallest announced epoch across reader slots,
+// or the (exclusive) current epoch when no reader is pinned.
+func (m *Manager) minActiveEpoch() uint64 {
+	min := m.global.Load()
+	for _, s := range *m.slotsPtr.Load() {
+		if e := s.epoch.Load(); e != 0 && e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// runReady invokes drained retire callbacks outside m.mu and keeps the
+// reclamation accounting the leak tests and gauges read.
+func (m *Manager) runReady(ready []func()) {
+	for _, fn := range ready {
+		if fn != nil {
+			fn()
+		}
+		m.inflight.Add(-1)
+		m.reclaimed.Add(1)
+	}
+}
+
+// Epoch returns the current global epoch (diagnostics).
+func (m *Manager) Epoch() uint64 { return m.global.Load() }
+
+// ActiveReaders counts currently pinned reader slots (diagnostics; a racy
+// snapshot).
+func (m *Manager) ActiveReaders() int {
+	n := 0
+	for _, s := range *m.slotsPtr.Load() {
+		if s.epoch.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns how many retired generations still await reclamation.
+func (m *Manager) InFlight() int64 { return m.inflight.Load() }
+
+// Reclaimed returns how many retire callbacks have run in total.
+func (m *Manager) Reclaimed() int64 { return m.reclaimed.Load() }

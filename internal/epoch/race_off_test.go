@@ -1,0 +1,5 @@
+//go:build !race
+
+package epoch
+
+const raceEnabled = false

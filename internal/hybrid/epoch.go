@@ -1,0 +1,476 @@
+package hybrid
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/bloom"
+	"mets/internal/epoch"
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/obs"
+	"mets/internal/skiplist"
+)
+
+// This file implements the epoch-based wait-free read path selected by
+// Config.EpochReads. The lock-mode implementation in hybrid.go keeps the
+// thesis-faithful readers-writer lock; epoch mode generalizes the sharded
+// index's atomic generation swap (PR 5) down into the hybrid itself:
+//
+//   - All mutable state reachable by readers lives in one immutable-shape
+//     generation struct (egen) published through an atomic pointer. Readers
+//     pin an epoch, load the pointer, resolve against the generation, and
+//     unpin — no locks, no retries, wait-free regardless of concurrent
+//     merges, compactions, or codec retrains above us.
+//   - The dynamic stage is always a single-writer/multi-reader concurrent
+//     memtable (skiplist.Concurrent) in this mode; the configured newDynamic
+//     factory is bypassed. Tombstones and shadows fold into the memtable's
+//     per-node value/tombstone states, so the read path touches exactly one
+//     structure per stage.
+//   - Writers serialize on a plain mutex. Structural changes (seal, merge
+//     swap, bulk load) build the next generation and publish it with one
+//     atomic store; the previous generation is retired to the epoch manager
+//     and reclaimed only once every reader that could hold it has unpinned.
+//
+// Bloom filters are probed and fed with atomic bit operations because the
+// live filter is written by the writer while lock-free readers probe it.
+// Delete must add lower-stage keys to the filter: the tombstone lives in the
+// memtable, and a filter miss would otherwise skip the memtable probe and
+// resurrect the stale lower-stage value.
+
+// egen is one generation of the epoch-mode index. The struct is immutable
+// after publication; the memtables and filters it points to follow the
+// single-writer contract (current mem/filter) or are sealed (frozen, static).
+type egen struct {
+	mem    *skiplist.Concurrent
+	filter *bloom.Filter // nil when DisableBloom
+
+	// Sealed former memtable while a background merge rebuilds the static
+	// stage from it; nil otherwise.
+	frozen       *skiplist.Concurrent
+	frozenFilter *bloom.Filter
+
+	static index.Static // nil before the first merge
+}
+
+// epochState is the per-index epoch machinery.
+type epochState struct {
+	mgr *epoch.Manager
+	gen atomic.Pointer[egen]
+
+	mu        sync.Mutex // serializes writers and generation publication
+	mergeDone *sync.Cond // on mu
+	merging   bool
+
+	live atomic.Int64 // exact live-entry count, writer-maintained
+	gens atomic.Int64 // generations published (diagnostics)
+}
+
+// initEpoch wires the epoch read path into a freshly constructed Index.
+func (h *Index) initEpoch() {
+	mgr := h.cfg.Epochs
+	if mgr == nil {
+		mgr = epoch.NewManager()
+	}
+	h.eg = &epochState{mgr: mgr}
+	h.eg.mergeDone = sync.NewCond(&h.eg.mu)
+	gen := &egen{mem: skiplist.NewConcurrent(), filter: h.eNewFilter(0)}
+	h.eg.gen.Store(gen)
+	if r := h.obsReg; r != nil {
+		r.GaugeFunc("epoch_readers", func() float64 { return float64(mgr.ActiveReaders()) })
+		r.GaugeFunc("epoch_inflight", func() float64 { return float64(mgr.InFlight()) })
+		r.GaugeFunc("epoch_gens", func() float64 { return float64(h.eg.gens.Load()) })
+	}
+}
+
+// EpochManager returns the epoch manager behind the wait-free read path, or
+// nil in lock mode. The sharded index shares one manager across all shards.
+func (h *Index) EpochManager() *epoch.Manager {
+	if h.eg == nil {
+		return nil
+	}
+	return h.eg.mgr
+}
+
+func (h *Index) eNewFilter(expected int) *bloom.Filter {
+	if h.cfg.DisableBloom {
+		return nil
+	}
+	if expected < 4096 {
+		expected = 4096
+	}
+	return bloom.New(expected, h.cfg.BloomBitsPerKey)
+}
+
+// ePublishLocked swaps in the next generation and retires the previous one.
+// Requires eg.mu.
+func (h *Index) ePublishLocked(next, old *egen) {
+	h.eg.gen.Store(next)
+	h.eg.gens.Add(1)
+	c := h.obsReclaims
+	h.eg.mgr.Retire(func() {
+		// The closure pins old until every reader epoch that could observe it
+		// has drained; dropping the stage pointers here makes the reclaim
+		// observable (leak tests hang a finalizer off the generation).
+		old.mem = nil
+		old.frozen = nil
+		old.static = nil
+		c.Inc()
+	})
+}
+
+// get resolves key against the generation's stages in order. The caller
+// either holds an epoch pin or the writer mutex.
+func (g *egen) get(key []byte, bloomSkip *obs.Counter) (uint64, bool) {
+	if g.filter == nil || g.filter.ContainsAtomic(key) {
+		if v, ok, tomb := g.mem.Get(key); ok {
+			return v, true
+		} else if tomb {
+			return 0, false
+		}
+	} else {
+		bloomSkip.Inc()
+	}
+	return g.lower(key)
+}
+
+// lower resolves key against everything below the current memtable: the
+// frozen stage (with its sealed filter and tombstones), then the static
+// stage.
+func (g *egen) lower(key []byte) (uint64, bool) {
+	if g.frozen != nil && (g.frozenFilter == nil || g.frozenFilter.ContainsAtomic(key)) {
+		if v, ok, tomb := g.frozen.Get(key); ok {
+			return v, true
+		} else if tomb {
+			return 0, false
+		}
+	}
+	if g.static != nil {
+		return g.static.Get(key)
+	}
+	return 0, false
+}
+
+// eGet is the wait-free point read: pin, load, resolve, unpin.
+func (h *Index) eGet(key []byte) (uint64, bool) {
+	g := h.eg.mgr.Pin()
+	v, ok := h.eg.gen.Load().get(key, h.obsBloomSkip)
+	g.Unpin()
+	return v, ok
+}
+
+// eInsert adds a new entry under the writer mutex. Readers are never
+// blocked: the memtable insert and the atomic filter bits publish the entry
+// incrementally.
+func (h *Index) eInsert(key []byte, value uint64) bool {
+	h.eg.mu.Lock()
+	defer h.eg.mu.Unlock()
+	gen := h.eg.gen.Load()
+	if _, ok := gen.get(key, h.obsBloomSkip); ok {
+		return false
+	}
+	gen.mem.Put(key, value)
+	if gen.filter != nil {
+		gen.filter.AddAtomic(key)
+	}
+	h.eg.live.Add(1)
+	h.eMaybeMergeLocked(gen)
+	return true
+}
+
+// eUpdate overwrites in the memtable when the key lives there, else inserts
+// a shadowing copy over the lower-stage entry (§5.1 semantics).
+func (h *Index) eUpdate(key []byte, value uint64) bool {
+	h.eg.mu.Lock()
+	defer h.eg.mu.Unlock()
+	gen := h.eg.gen.Load()
+	if gen.filter == nil || gen.filter.ContainsAtomic(key) {
+		if _, ok, tomb := gen.mem.Get(key); ok {
+			gen.mem.Put(key, value)
+			return true
+		} else if tomb {
+			return false
+		}
+	} else {
+		h.obsBloomSkip.Inc()
+	}
+	if _, ok := gen.lower(key); !ok {
+		return false
+	}
+	gen.mem.Put(key, value) // shadows the lower copy until the next merge
+	if gen.filter != nil {
+		gen.filter.AddAtomic(key)
+	}
+	h.eMaybeMergeLocked(gen)
+	return true
+}
+
+// eDelete tombstones key in the memtable. When the live copy sits below the
+// memtable the tombstone key MUST also be added to the filter, otherwise a
+// later read would skip the memtable on a filter miss and resurrect the
+// stale lower-stage value.
+func (h *Index) eDelete(key []byte) bool {
+	h.eg.mu.Lock()
+	defer h.eg.mu.Unlock()
+	gen := h.eg.gen.Load()
+	if gen.filter == nil || gen.filter.ContainsAtomic(key) {
+		if _, ok, tomb := gen.mem.Get(key); tomb {
+			return false
+		} else if ok {
+			// A single tombstone suppresses the memtable copy and any
+			// shadowed lower copy at once.
+			gen.mem.Tomb(key)
+			h.eg.live.Add(-1)
+			return true
+		}
+	} else {
+		h.obsBloomSkip.Inc()
+	}
+	if _, ok := gen.lower(key); !ok {
+		return false
+	}
+	gen.mem.Tomb(key)
+	if gen.filter != nil {
+		gen.filter.AddAtomic(key)
+	}
+	h.eg.live.Add(-1)
+	return true
+}
+
+// eScan merges the generation's stages on the fly without any lock: the
+// memtable cursors walk immutable node keys over atomic links, the static
+// cursor chunk-copies. Tombstones in an upper stage suppress lower copies of
+// the same key. The epoch pin is held for the whole scan, which delays
+// generation reclamation but never blocks writers.
+func (h *Index) eScan(start []byte, fn func(key []byte, value uint64) bool) int {
+	g := h.eg.mgr.Pin()
+	defer g.Unpin()
+	gen := h.eg.gen.Load()
+	memCur := gen.mem.Seek(start)
+	var frozCur skiplist.Cursor
+	if gen.frozen != nil {
+		frozCur = gen.frozen.Seek(start)
+	}
+	var stCur *dynCursor
+	if gen.static != nil {
+		stCur = newDynCursor(gen.static, start)
+	}
+	count := 0
+	for {
+		// Pick the smallest head key; on ties the uppermost stage wins
+		// (strict < comparison, memtable checked first).
+		var bestKey []byte
+		var bestVal uint64
+		bestTomb := false
+		bestTier := -1
+		if memCur.Valid() {
+			bestKey, bestVal, bestTomb = memCur.Entry()
+			bestTier = 0
+		}
+		if gen.frozen != nil && frozCur.Valid() {
+			if k, v, tb := frozCur.Entry(); bestTier == -1 || keys.Compare(k, bestKey) < 0 {
+				bestKey, bestVal, bestTomb, bestTier = k, v, tb, 1
+			}
+		}
+		if stCur != nil {
+			if e := stCur.peek(); e != nil && (bestTier == -1 || keys.Compare(e.Key, bestKey) < 0) {
+				bestKey, bestVal, bestTomb, bestTier = e.Key, e.Value, false, 2
+			}
+		}
+		if bestTier == -1 {
+			return count
+		}
+		// Consume the winner and every shadowed copy of the same key.
+		if memCur.Valid() && keys.Compare(memCur.Key(), bestKey) == 0 {
+			memCur.Next()
+		}
+		if gen.frozen != nil && frozCur.Valid() && keys.Compare(frozCur.Key(), bestKey) == 0 {
+			frozCur.Next()
+		}
+		if stCur != nil {
+			if e := stCur.peek(); e != nil && keys.Compare(e.Key, bestKey) == 0 {
+				stCur.advance()
+			}
+		}
+		if bestTomb {
+			continue
+		}
+		count++
+		if !fn(bestKey, bestVal) {
+			return count
+		}
+	}
+}
+
+// eSplitStates separates a drained memtable into sorted live entries and a
+// tombstone set, the shape mergeEntries consumes.
+func eSplitStates(states []skiplist.StateEntry) ([]index.Entry, map[string]struct{}) {
+	entries := make([]index.Entry, 0, len(states))
+	var tombs map[string]struct{}
+	for _, s := range states {
+		if s.Tomb {
+			if tombs == nil {
+				tombs = make(map[string]struct{})
+			}
+			tombs[string(s.Key)] = struct{}{}
+			continue
+		}
+		entries = append(entries, index.Entry{Key: s.Key, Value: s.Value})
+	}
+	return entries, tombs
+}
+
+// eMaybeMergeLocked fires the ratio-based merge trigger (raw node count, so
+// accumulated tombstones also push toward a merge). Requires eg.mu.
+func (h *Index) eMaybeMergeLocked(gen *egen) {
+	d := gen.mem.Nodes()
+	if d < h.cfg.MinDynamic {
+		return
+	}
+	if gen.static != nil && d*h.cfg.MergeRatio < gen.static.Len() {
+		return
+	}
+	if h.cfg.BackgroundMerge {
+		h.eSealLocked(gen)
+		return
+	}
+	if h.eg.merging {
+		return // a manual MergeAsync is in flight; it will absorb the size
+	}
+	h.eMergeLocked(gen)
+}
+
+// eMergeLocked synchronously rebuilds the static stage from the current
+// memtable layered over the old static stage, then publishes a fresh-memtable
+// generation. Blocks the calling writer only; readers continue on the old
+// generation until the store. Requires eg.mu with no merge in flight.
+func (h *Index) eMergeLocked(gen *egen) {
+	startT := time.Now()
+	sp := h.obsReg.StartSpan("merge")
+	sp.Phase("seal")
+	entries, tombs := eSplitStates(gen.mem.SnapshotStates())
+	sp.Phase("build")
+	merged := mergeEntries(entries, gen.static, tombs)
+	st, err := h.build(merged)
+	if err != nil {
+		panic("hybrid: static build failed: " + err.Error())
+	}
+	sp.Phase("swap")
+	next := &egen{
+		mem:    skiplist.NewConcurrent(),
+		filter: h.eNewFilter(len(merged) / h.cfg.MergeRatio),
+		static: st,
+	}
+	h.ePublishLocked(next, gen)
+	h.LastMergeTime = time.Since(startT)
+	h.TotalMergeTime += h.LastMergeTime
+	h.Merges++
+	h.obsMerges.Inc()
+	sp.End()
+}
+
+// eSealLocked publishes a generation whose memtable is fresh and whose
+// previous memtable is sealed as the frozen stage, then hands the rebuild to
+// a background goroutine. The seal itself is one pointer store — writers
+// pause for an allocation, readers not at all. Requires eg.mu.
+func (h *Index) eSealLocked(gen *egen) bool {
+	if h.eg.merging || gen.mem.Nodes() == 0 {
+		return false
+	}
+	sp := h.obsReg.StartSpan("merge")
+	sp.Phase("seal")
+	h.eg.merging = true
+	expected := gen.mem.Len()
+	if gen.static != nil {
+		expected += gen.static.Len()
+	}
+	next := &egen{
+		mem:          skiplist.NewConcurrent(),
+		filter:       h.eNewFilter(expected / h.cfg.MergeRatio),
+		frozen:       gen.mem,
+		frozenFilter: gen.filter,
+		static:       gen.static,
+	}
+	h.ePublishLocked(next, gen)
+	go h.eBackgroundMerge(next.frozen, next.static, time.Now(), sp)
+	return true
+}
+
+// eBackgroundMerge drains the sealed memtable (stable: its writer moved on
+// to the fresh one), rebuilds the static stage, and publishes a generation
+// without the frozen tier. Writes that landed in the fresh memtable during
+// the build replay logically through the stage order.
+func (h *Index) eBackgroundMerge(frozen *skiplist.Concurrent, static index.Static, startT time.Time, sp *obs.Span) {
+	sp.Phase("build")
+	entries, tombs := eSplitStates(frozen.SnapshotStates())
+	merged := mergeEntries(entries, static, tombs)
+	st, err := h.build(merged)
+	if err != nil {
+		panic("hybrid: static build failed: " + err.Error())
+	}
+	sp.Phase("swap")
+	h.eg.mu.Lock()
+	cur := h.eg.gen.Load()
+	next := &egen{mem: cur.mem, filter: cur.filter, static: st}
+	h.ePublishLocked(next, cur)
+	h.eg.merging = false
+	h.LastMergeTime = time.Since(startT)
+	h.TotalMergeTime += h.LastMergeTime
+	h.Merges++
+	h.eg.mergeDone.Broadcast()
+	h.eg.mu.Unlock()
+	h.obsMerges.Inc()
+	sp.End()
+}
+
+// eMerge is the synchronous Merge entry point: wait out any background
+// merge, then rebuild.
+func (h *Index) eMerge() {
+	h.eg.mu.Lock()
+	defer h.eg.mu.Unlock()
+	for h.eg.merging {
+		h.eg.mergeDone.Wait()
+	}
+	h.eMergeLocked(h.eg.gen.Load())
+}
+
+// eBulkLoad publishes a generation holding only the prebuilt static stage.
+// The caller already encoded the entries and built st.
+func (h *Index) eBulkLoad(st index.Static, n int) {
+	h.eg.mu.Lock()
+	defer h.eg.mu.Unlock()
+	for h.eg.merging {
+		h.eg.mergeDone.Wait()
+	}
+	old := h.eg.gen.Load()
+	next := &egen{
+		mem:    skiplist.NewConcurrent(),
+		filter: h.eNewFilter(n / h.cfg.MergeRatio),
+		static: st,
+	}
+	h.ePublishLocked(next, old)
+	h.eg.live.Store(int64(n))
+}
+
+// eMemoryUsage sums the generation's stages and filters (memtable tombstones
+// are part of the memtable accounting).
+func (h *Index) eMemoryUsage() int64 {
+	g := h.eg.mgr.Pin()
+	defer g.Unpin()
+	gen := h.eg.gen.Load()
+	m := gen.mem.MemoryUsage()
+	if gen.frozen != nil {
+		m += gen.frozen.MemoryUsage()
+	}
+	if gen.static != nil {
+		m += gen.static.MemoryUsage()
+	}
+	if gen.filter != nil {
+		m += gen.filter.MemoryUsage()
+	}
+	if gen.frozenFilter != nil {
+		m += gen.frozenFilter.MemoryUsage()
+	}
+	return m
+}

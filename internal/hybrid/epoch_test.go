@@ -1,0 +1,378 @@
+package hybrid
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mets/internal/dstest"
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/obs"
+)
+
+func epochCfg() Config {
+	return Config{MergeRatio: 2, MinDynamic: 32, BloomBitsPerKey: 10, EpochReads: true}
+}
+
+// TestEpochDifferential runs the shared oracle harness against the epoch
+// read path in every merge/filter/codec configuration. The harness drives
+// the same operation stream it uses for the lock-mode variants, so this is
+// the lock-vs-epoch equivalence check.
+func TestEpochDifferential(t *testing.T) {
+	mods := map[string]func(*Config){
+		"fg":      func(c *Config) {},
+		"bg":      func(c *Config) { c.BackgroundMerge = true },
+		"nobloom": func(c *Config) { c.DisableBloom = true },
+		"codec":   func(c *Config) { c.Codec = testCodec(t) },
+	}
+	for name, mod := range mods {
+		cfg := epochCfg()
+		mod(&cfg)
+		t.Run(name, func(t *testing.T) {
+			h := NewBTree(cfg)
+			dstest.Run(t, h, dstest.Config{Ops: 6000, KeySpace: 600, Seed: 1})
+			h.WaitMerges()
+		})
+	}
+}
+
+// TestEpochBulkLoadAndIterate covers the generation-replacing BulkLoad plus
+// the chunked hooks (ScanN, Iterator, LowerBound) over the epoch path.
+func TestEpochBulkLoadAndIterate(t *testing.T) {
+	cfg := epochCfg()
+	cfg.BackgroundMerge = true
+	h := NewBTree(cfg)
+	entries := make([]index.Entry, 5000)
+	for i := range entries {
+		entries[i] = index.Entry{Key: keys.Uint64(uint64(i) * 3), Value: uint64(i)}
+	}
+	if err := h.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != len(entries) {
+		t.Fatalf("Len=%d want %d", h.Len(), len(entries))
+	}
+	i := 0
+	for it := h.NewIterator(nil); it.Valid(); it.Next() {
+		if keys.Compare(it.Key(), entries[i].Key) != 0 || it.Value() != entries[i].Value {
+			t.Fatalf("iterator diverged at %d", i)
+		}
+		i++
+	}
+	if i != len(entries) {
+		t.Fatalf("iterator visited %d entries, want %d", i, len(entries))
+	}
+	if e, ok := h.LowerBound(entries[17].Key); !ok || keys.Compare(e.Key, entries[17].Key) != 0 {
+		t.Fatal("LowerBound missed an exact key")
+	}
+}
+
+// TestEpochStress is the race stress for the wait-free read path: readers
+// run Get and Scan with epoch pins held across background merges, manual
+// synchronous merges, and a bulk load, while the single writer inserts,
+// updates, and deletes. Under -race this checks the pin/publish/retire
+// protocol establishes the happens-before edges the generations rely on;
+// the value invariant checks no reader ever observes a torn or reclaimed
+// generation.
+func TestEpochStress(t *testing.T) {
+	cfg := epochCfg()
+	cfg.BackgroundMerge = true
+	cfg.Codec = testCodec(t) // exercise codec encode/decode under concurrency
+	h := NewBTree(cfg)
+
+	keySpace := make([][]byte, 2000)
+	for i := range keySpace {
+		keySpace[i] = []byte(fmt.Sprintf("key-%06d", i*7919%100000))
+	}
+	valOf := func(i int) uint64 { return uint64(i)*0x9E3779B97F4A7C15 + 1 }
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < runtime.GOMAXPROCS(0); r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(len(keySpace))
+				if v, ok := h.Get(keySpace[i]); ok && v != valOf(i) {
+					panic(fmt.Sprintf("reader saw impossible value %d for key %d", v, i))
+				}
+				if rng.Intn(8) == 0 {
+					var prev []byte
+					n := 0
+					h.Scan(keySpace[rng.Intn(len(keySpace))], func(k []byte, v uint64) bool {
+						if prev != nil && keys.Compare(prev, k) >= 0 {
+							panic("epoch scan order violated")
+						}
+						prev = append(prev[:0], k...)
+						n++
+						return n < 40
+					})
+				}
+				_ = h.Len()
+			}
+		}(int64(r))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	writes := 60000
+	if raceEnabled {
+		writes = 12000
+	}
+	for w := 0; w < writes; w++ {
+		i := rng.Intn(len(keySpace))
+		switch rng.Intn(8) {
+		case 0, 1:
+			h.Delete(keySpace[i])
+		case 2:
+			h.Update(keySpace[i], valOf(i))
+		default:
+			h.Insert(keySpace[i], valOf(i))
+		}
+		if w == writes/2 {
+			h.Merge() // synchronous merge while readers are live
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	h.WaitMerges()
+
+	// Final state must match a replay of the same stream on a lock-mode index.
+	ref := NewBTree(Config{MergeRatio: 2, MinDynamic: 32, BloomBitsPerKey: 10})
+	rng = rand.New(rand.NewSource(7))
+	for w := 0; w < writes; w++ {
+		i := rng.Intn(len(keySpace))
+		switch rng.Intn(8) {
+		case 0, 1:
+			ref.Delete(keySpace[i])
+		case 2:
+			ref.Update(keySpace[i], valOf(i))
+		default:
+			ref.Insert(keySpace[i], valOf(i))
+		}
+	}
+	if h.Len() != ref.Len() {
+		t.Fatalf("epoch Len=%d, lock-mode replay Len=%d", h.Len(), ref.Len())
+	}
+	for i, k := range keySpace {
+		ev, eok := h.Get(k)
+		rv, rok := ref.Get(k)
+		if eok != rok || ev != rv {
+			t.Fatalf("key %d diverged: epoch (%d,%v) vs lock (%d,%v)", i, ev, eok, rv, rok)
+		}
+	}
+}
+
+// TestEpochGenerationsReclaimed is the leak test: every generation retired
+// by merges and bulk loads must be reclaimed once readers drain, and the
+// epoch counters must agree.
+func TestEpochGenerationsReclaimed(t *testing.T) {
+	cfg := epochCfg()
+	cfg.MinDynamic = 64
+	h := NewBTree(cfg)
+	for i := 0; i < 4000; i++ {
+		h.Insert(keys.Uint64(uint64(i)), uint64(i))
+	}
+	h.Merge()
+	mgr := h.EpochManager()
+	if mgr == nil {
+		t.Fatal("epoch mode index returned nil manager")
+	}
+	// With no readers pinned, a final Reclaim must drain everything retired.
+	mgr.Reclaim()
+	if n := mgr.InFlight(); n != 0 {
+		t.Fatalf("%d retired generations still in flight with no readers", n)
+	}
+	if mgr.Reclaimed() == 0 {
+		t.Fatal("merges retired no generations")
+	}
+
+	// A pinned reader must hold back exactly the generations it can reach,
+	// and release them on unpin.
+	g := mgr.Pin()
+	h.Merge()
+	if mgr.InFlight() == 0 {
+		t.Fatal("retired generation reclaimed while a reader was pinned")
+	}
+	g.Unpin()
+	mgr.Reclaim()
+	if n := mgr.InFlight(); n != 0 {
+		t.Fatalf("%d generations in flight after unpin+reclaim", n)
+	}
+}
+
+// TestEpochSecondary reruns the secondary-index contract over the epoch
+// read path: multimap inserts, in-place updates in either stage, ordered
+// pair scans.
+func TestEpochSecondary(t *testing.T) {
+	s := NewSecondary(Config{MergeRatio: 10, MinDynamic: 512, EpochReads: true})
+	numKeys := 2000
+	for i := 0; i < numKeys; i++ {
+		k := keys.Uint64(uint64(i))
+		for j := 0; j < 10; j++ {
+			s.Insert(k, uint64(i*10+j))
+		}
+	}
+	if s.Len() != numKeys*10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Merges == 0 {
+		t.Fatal("expected merges")
+	}
+	for i := 0; i < numKeys; i++ {
+		vs := s.GetAll(keys.Uint64(uint64(i)))
+		if len(vs) != 10 {
+			t.Fatalf("key %d has %d values, want 10", i, len(vs))
+		}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		for j, v := range vs {
+			if v != uint64(i*10+j) {
+				t.Fatalf("key %d values wrong: %v", i, vs)
+			}
+		}
+	}
+	// In-place update: key 0's values sit in the static stage post-merge;
+	// fresh inserts land dynamic. Both paths must replace exactly one value.
+	if !s.Update(keys.Uint64(0), 5, 99995) {
+		t.Fatal("static-side update failed")
+	}
+	s.Insert(keys.Uint64(uint64(numKeys)), 1)
+	if !s.Update(keys.Uint64(uint64(numKeys)), 1, 2) {
+		t.Fatal("dynamic-side update failed")
+	}
+	vs := s.GetAll(keys.Uint64(uint64(numKeys)))
+	if len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("dynamic update result wrong: %v", vs)
+	}
+	if s.Update(keys.Uint64(99999), 0, 1) {
+		t.Fatal("update on absent key succeeded")
+	}
+	prev := []byte(nil)
+	n := s.Scan(nil, func(k []byte, v uint64) bool {
+		if prev != nil && keys.Compare(prev, k) > 0 {
+			t.Fatal("secondary scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+	if n != numKeys*10+1 {
+		t.Fatalf("scan visited %d pairs", n)
+	}
+}
+
+// TestEpochSecondaryStress races lock-free GetAll/Scan readers against the
+// single writer doing inserts and in-place updates across merges.
+func TestEpochSecondaryStress(t *testing.T) {
+	s := NewSecondary(Config{MergeRatio: 2, MinDynamic: 64, EpochReads: true})
+	const keyN = 300
+	// Each key k holds values congruent to k mod keyN at all times: updates
+	// replace v with v+keyN, so any observed value mod keyN identifies its key.
+	for k := 0; k < keyN; k++ {
+		s.Insert(keys.Uint64(uint64(k)), uint64(k))
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := rng.Intn(keyN)
+				for _, v := range s.GetAll(keys.Uint64(uint64(k))) {
+					if v%keyN != uint64(k) {
+						panic(fmt.Sprintf("reader saw value %d under key %d", v, k))
+					}
+				}
+				if rng.Intn(16) == 0 {
+					n := 0
+					s.Scan(nil, func(kb []byte, v uint64) bool {
+						n++
+						return n < 100
+					})
+				}
+			}
+		}(int64(r))
+	}
+	rng := rand.New(rand.NewSource(5))
+	cur := make([]uint64, keyN)
+	for k := range cur {
+		cur[k] = uint64(k)
+	}
+	writes := 30000
+	if raceEnabled {
+		writes = 6000
+	}
+	for w := 0; w < writes; w++ {
+		k := rng.Intn(keyN)
+		if rng.Intn(3) == 0 {
+			s.Insert(keys.Uint64(uint64(k)), cur[k]+2*keyN)
+		} else if s.Update(keys.Uint64(uint64(k)), cur[k], cur[k]+keyN) {
+			cur[k] += keyN
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestEpochObsGauges checks the epoch-specific instrumentation is wired.
+func TestEpochObsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := epochCfg()
+	cfg.Obs = reg
+	h := NewBTree(cfg)
+	for i := 0; i < 200; i++ {
+		h.Insert(keys.Uint64(uint64(i)), uint64(i))
+	}
+	h.Merge()
+	h.EpochManager().Reclaim()
+	snap := reg.Snapshot()
+	if snap.Counters["epoch_reclaims"] == 0 {
+		t.Fatal("epoch_reclaims counter not incremented by merge retire")
+	}
+	if _, ok := snap.Gauges["epoch_inflight"]; !ok {
+		t.Fatal("epoch_inflight gauge not registered")
+	}
+}
+
+// TestEpochWaitFreeDuringMerge measures that readers keep completing while
+// a synchronous merge is running (the whole point of the epoch path). Not a
+// timing assertion — it checks forward progress: reads complete during the
+// merge window rather than queueing behind it.
+func TestEpochWaitFreeDuringMerge(t *testing.T) {
+	cfg := epochCfg()
+	cfg.MinDynamic = 1 << 30 // no automatic merges
+	h := NewBTree(cfg)
+	for i := 0; i < 200000; i++ {
+		h.Insert(keys.Uint64(uint64(i)), uint64(i))
+	}
+	var during atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for !stop.Load() {
+			if _, ok := h.Get(keys.Uint64(uint64(rng.Intn(200000)))); ok {
+				during.Add(1)
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	before := during.Load()
+	h.Merge()
+	after := during.Load()
+	stop.Store(true)
+	wg.Wait()
+	if after == before {
+		t.Log("merge completed too quickly to observe concurrent reads (not a failure)")
+	}
+}

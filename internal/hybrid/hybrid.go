@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mets/internal/bloom"
+	"mets/internal/epoch"
 	"mets/internal/index"
 	"mets/internal/keycodec"
 	"mets/internal/keys"
@@ -53,6 +54,19 @@ type Config struct {
 	// hot-path cost is then a single nil check per counter site. Use
 	// Registry.Sub to prefix per-shard instances.
 	Obs *obs.Registry
+	// EpochReads replaces the readers-writer lock with an epoch-based
+	// generation scheme (epoch.go): reads are wait-free — pin an epoch, load
+	// the generation pointer, resolve, unpin — while writers serialize on a
+	// mutex and publish structural changes (seals, merge swaps, bulk loads)
+	// as new generations behind a single atomic store. In this mode the
+	// dynamic stage is always a concurrent skip-list memtable; the
+	// newDynamic factory passed to New is ignored.
+	EpochReads bool
+	// Epochs optionally shares an epoch manager across indexes (the sharded
+	// index passes one manager to all shards so a reader pin covers any
+	// generation it can reach). Nil gets a private manager. Ignored unless
+	// EpochReads is set.
+	Epochs *epoch.Manager
 	// Codec, when set (and not the identity), makes the index store, merge,
 	// and range-scan keys in encoded space: keys are encoded once at the API
 	// boundary of every operation, the frozen static structures are built
@@ -87,6 +101,11 @@ type Index struct {
 	mu        sync.RWMutex
 	mergeDone *sync.Cond // signalled (with mu held) when a background merge lands
 
+	// eg is non-nil iff Config.EpochReads: the epoch-mode state (epoch.go).
+	// In that mode every field guarded by mu above is unused and the public
+	// methods dispatch to their e-prefixed counterparts.
+	eg *epochState
+
 	dynamic    index.Dynamic
 	static     index.Static
 	filter     *bloom.Filter
@@ -120,6 +139,7 @@ type Index struct {
 	obsScan      *obs.Counter
 	obsBloomSkip *obs.Counter // dynamic-stage probes the Bloom filter skipped
 	obsMerges    *obs.Counter
+	obsReclaims  *obs.Counter // epoch mode: retired generations reclaimed
 	obsReg       *obs.Registry
 }
 
@@ -136,11 +156,7 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 		cfg:        cfg,
 		newDynamic: newDynamic,
 		build:      build,
-		dynamic:    newDynamic(),
-		tombstones: make(map[string]struct{}),
 	}
-	h.mergeDone = sync.NewCond(&h.mu)
-	h.resetFilter(0)
 	if !keycodec.IsIdentity(cfg.Codec) {
 		h.codec = keycodec.Instrument(cfg.Codec, cfg.Obs)
 	}
@@ -153,6 +169,7 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 		h.obsScan = r.Counter("scan")
 		h.obsBloomSkip = r.Counter("bloom_skip")
 		h.obsMerges = r.Counter("merges")
+		h.obsReclaims = r.Counter("epoch_reclaims")
 		r.GaugeFunc("dynamic_len", func() float64 { return float64(h.DynamicLen()) })
 		r.GaugeFunc("static_len", func() float64 { return float64(h.StaticLen()) })
 		r.GaugeFunc("merging", func() float64 {
@@ -162,6 +179,14 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 			return 0
 		})
 	}
+	if cfg.EpochReads {
+		h.initEpoch()
+		return h
+	}
+	h.dynamic = newDynamic()
+	h.tombstones = make(map[string]struct{})
+	h.mergeDone = sync.NewCond(&h.mu)
+	h.resetFilter(0)
 	return h
 }
 
@@ -177,6 +202,9 @@ func (h *Index) resetFilter(expected int) {
 
 // Len returns the total number of live entries.
 func (h *Index) Len() int {
+	if h.eg != nil {
+		return int(h.eg.live.Load())
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	n := h.dynamic.Len() - h.shadows - len(h.tombstones)
@@ -192,6 +220,14 @@ func (h *Index) Len() int {
 // DynamicLen and StaticLen expose the per-stage sizes (the frozen stage, if
 // any, counts as dynamic).
 func (h *Index) DynamicLen() int {
+	if h.eg != nil {
+		gen := h.eg.gen.Load()
+		n := gen.mem.Len()
+		if gen.frozen != nil {
+			n += gen.frozen.Len()
+		}
+		return n
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	n := h.dynamic.Len()
@@ -202,6 +238,12 @@ func (h *Index) DynamicLen() int {
 }
 
 func (h *Index) StaticLen() int {
+	if h.eg != nil {
+		if st := h.eg.gen.Load().static; st != nil {
+			return st.Len()
+		}
+		return 0
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	if h.static == nil {
@@ -274,6 +316,9 @@ func (h *Index) Codec() keycodec.Codec { return h.codec }
 func (h *Index) Get(key []byte) (uint64, bool) {
 	key = h.encodeKey(key)
 	h.obsGet.Inc()
+	if h.eg != nil {
+		return h.eGet(key)
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.getLocked(key)
@@ -284,6 +329,9 @@ func (h *Index) Get(key []byte) (uint64, bool) {
 func (h *Index) Insert(key []byte, value uint64) bool {
 	key = h.encodeKey(key)
 	h.obsInsert.Inc()
+	if h.eg != nil {
+		return h.eInsert(key, value)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, ok := h.getLocked(key); ok {
@@ -310,6 +358,9 @@ func (h *Index) Insert(key []byte, value uint64) bool {
 func (h *Index) Update(key []byte, value uint64) bool {
 	key = h.encodeKey(key)
 	h.obsUpdate.Inc()
+	if h.eg != nil {
+		return h.eUpdate(key, value)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.mayBeDynamic(key) {
@@ -336,6 +387,9 @@ func (h *Index) Update(key []byte, value uint64) bool {
 func (h *Index) Delete(key []byte) bool {
 	key = h.encodeKey(key)
 	h.obsDelete.Inc()
+	if h.eg != nil {
+		return h.eDelete(key)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	deleted := h.mayBeDynamic(key) && h.dynamic.Delete(key)
@@ -443,6 +497,9 @@ func (h *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
 		}
 	}
 	h.obsScan.Inc()
+	if h.eg != nil {
+		return h.eScan(start, fn)
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	srcs := make([]scanSrc, 0, 3)
@@ -543,6 +600,10 @@ func mergeEntries(dyn []index.Entry, static index.Static, tombs map[string]struc
 // static stage (merge-all, §5.2.2), applying shadowing updates and
 // tombstones. An in-flight background merge is waited out first.
 func (h *Index) Merge() {
+	if h.eg != nil {
+		h.eMerge()
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for h.merging {
@@ -580,6 +641,11 @@ func (h *Index) mergeLocked() {
 // Readers and the writer proceed concurrently while the rebuild runs; call
 // WaitMerges to block until the new static stage has been swapped in.
 func (h *Index) MergeAsync() bool {
+	if h.eg != nil {
+		h.eg.mu.Lock()
+		defer h.eg.mu.Unlock()
+		return h.eSealLocked(h.eg.gen.Load())
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sealAndSpawnLocked()
@@ -644,6 +710,14 @@ func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs
 
 // WaitMerges blocks until no background merge is in flight.
 func (h *Index) WaitMerges() {
+	if h.eg != nil {
+		h.eg.mu.Lock()
+		for h.eg.merging {
+			h.eg.mergeDone.Wait()
+		}
+		h.eg.mu.Unlock()
+		return
+	}
 	h.mu.Lock()
 	for h.merging {
 		h.mergeDone.Wait()
@@ -653,6 +727,11 @@ func (h *Index) WaitMerges() {
 
 // Merging reports whether a background merge is currently running.
 func (h *Index) Merging() bool {
+	if h.eg != nil {
+		h.eg.mu.Lock()
+		defer h.eg.mu.Unlock()
+		return h.eg.merging
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.merging
@@ -661,6 +740,11 @@ func (h *Index) Merging() bool {
 // MergeStats returns the merge telemetry under the lock, safe to call
 // concurrently with merges.
 func (h *Index) MergeStats() (merges int, last, total time.Duration) {
+	if h.eg != nil {
+		h.eg.mu.Lock()
+		defer h.eg.mu.Unlock()
+		return h.Merges, h.LastMergeTime, h.TotalMergeTime
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.Merges, h.LastMergeTime, h.TotalMergeTime
@@ -674,6 +758,9 @@ func (h *Index) Stats() obs.Snapshot { return h.obsReg.Snapshot() }
 
 // MemoryUsage sums all stages, the Bloom filters, and tombstones.
 func (h *Index) MemoryUsage() int64 {
+	if h.eg != nil {
+		return h.eMemoryUsage()
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	m := h.dynamic.MemoryUsage()

@@ -120,6 +120,12 @@ func (it *Iterator) Next() {
 // FrozenLen returns the entry count of the sealed frozen stage, or 0 when no
 // background merge is in flight.
 func (h *Index) FrozenLen() int {
+	if h.eg != nil {
+		if f := h.eg.gen.Load().frozen; f != nil {
+			return f.Len()
+		}
+		return 0
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	if h.frozen == nil {
@@ -146,6 +152,10 @@ func (h *Index) BulkLoad(entries []index.Entry) error {
 	st, err := h.build(entries)
 	if err != nil {
 		return err
+	}
+	if h.eg != nil {
+		h.eBulkLoad(st, len(entries))
+		return nil
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()

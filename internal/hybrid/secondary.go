@@ -28,6 +28,10 @@ type Secondary struct {
 	static  *btree.CompactMulti
 	filter  *bloom.Filter
 
+	// es is non-nil iff Config.EpochReads: the epoch-mode state
+	// (secondary_epoch.go). The lock-mode fields above are then unused.
+	es *sEpochState
+
 	// Written under the write lock; read them only when no writer is active.
 	Merges         int
 	LastMergeTime  time.Duration
@@ -42,7 +46,12 @@ func NewSecondary(cfg Config) *Secondary {
 	if cfg.BloomBitsPerKey == 0 {
 		cfg.BloomBitsPerKey = 10
 	}
-	s := &Secondary{cfg: cfg, dynamic: btree.NewMulti()}
+	s := &Secondary{cfg: cfg}
+	if cfg.EpochReads {
+		s.initEpoch()
+		return s
+	}
+	s.dynamic = btree.NewMulti()
 	s.resetFilter(0)
 	return s
 }
@@ -59,6 +68,9 @@ func (s *Secondary) resetFilter(expected int) {
 
 // Len returns the number of stored (key, value) pairs.
 func (s *Secondary) Len() int {
+	if s.es != nil {
+		return int(s.es.pairs.Load())
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := s.dynamic.Len()
@@ -70,6 +82,9 @@ func (s *Secondary) Len() int {
 
 // Insert adds one (key, value) pair; duplicates are expected.
 func (s *Secondary) Insert(key []byte, value uint64) bool {
+	if s.es != nil {
+		return s.eInsert(key, value)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dynamic.Insert(key, value)
@@ -82,6 +97,9 @@ func (s *Secondary) Insert(key []byte, value uint64) bool {
 
 // GetAll returns every value stored under key across both stages.
 func (s *Secondary) GetAll(key []byte) []uint64 {
+	if s.es != nil {
+		return s.eGetAll(key)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []uint64
@@ -107,6 +125,9 @@ func (s *Secondary) Get(key []byte) (uint64, bool) {
 // stage holds it (§5.1: secondary indexes update in place to keep a key's
 // value list in one stage).
 func (s *Secondary) Update(key []byte, old, new uint64) bool {
+	if s.es != nil {
+		return s.eUpdate(key, old, new)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.filter == nil || s.filter.Contains(key) {
@@ -129,6 +150,9 @@ func (s *Secondary) Update(key []byte, old, new uint64) bool {
 
 // Scan visits (key, value) pairs in key order from the smallest key >= start.
 func (s *Secondary) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if s.es != nil {
+		return s.eScan(start, fn)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	dyn := index.Snapshot2(s.dynamic, start)
@@ -171,6 +195,12 @@ func (s *Secondary) maybeMergeLocked() {
 
 // Merge migrates all dynamic pairs into a rebuilt static stage.
 func (s *Secondary) Merge() {
+	if s.es != nil {
+		s.es.mu.Lock()
+		defer s.es.mu.Unlock()
+		s.eMergeLocked(s.es.gen.Load())
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mergeLocked()
@@ -211,6 +241,9 @@ func (s *Secondary) mergeLocked() {
 
 // MemoryUsage sums both stages and the Bloom filter.
 func (s *Secondary) MemoryUsage() int64 {
+	if s.es != nil {
+		return s.eMemoryUsage()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	m := s.dynamic.MemoryUsage()

@@ -1,0 +1,250 @@
+package hybrid
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/bloom"
+	"mets/internal/btree"
+	"mets/internal/epoch"
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/skiplist"
+)
+
+// Epoch-mode read path for the secondary (non-unique) hybrid, mirroring the
+// primary index's scheme in epoch.go:
+//
+//   - The dynamic stage is the concurrent memtable in multimap mode: every
+//     Insert links a fresh node (PutDup), so equal keys coexist, and a
+//     dynamic-side value replacement tombstones the (key, value) node
+//     (TombValue) before linking the replacement. Multimap tombstones never
+//     suppress lower stages — a secondary delete only ever targets a
+//     dynamic-resident pair — so merges simply drop them.
+//   - The static stage keeps the §5.3.5 in-place value updates, but through
+//     CompactMulti's atomic accessors: the packed value list is mutated with
+//     atomic stores and read by lock-free readers with atomic loads.
+//   - Generations (sgen) publish through an atomic pointer; retired
+//     generations go to the shared epoch manager.
+//
+// Merges stay in the foreground as in lock mode (§5.3.5 is
+// merge-time-insensitive): the triggering writer blocks, readers never do.
+
+// sgen is one generation of the epoch-mode secondary index.
+type sgen struct {
+	mem    *skiplist.Concurrent // multimap mode
+	filter *bloom.Filter
+	static *btree.CompactMulti
+}
+
+type sEpochState struct {
+	mgr *epoch.Manager
+	gen atomic.Pointer[sgen]
+
+	mu    sync.Mutex
+	pairs atomic.Int64 // live (key, value) pair count
+}
+
+// initEpoch wires the epoch read path into a freshly constructed Secondary.
+func (s *Secondary) initEpoch() {
+	mgr := s.cfg.Epochs
+	if mgr == nil {
+		mgr = epoch.NewManager()
+	}
+	s.es = &sEpochState{mgr: mgr}
+	gen := &sgen{mem: skiplist.NewConcurrent(), filter: s.eNewFilter(0)}
+	s.es.gen.Store(gen)
+}
+
+// EpochManager returns the epoch manager, or nil in lock mode.
+func (s *Secondary) EpochManager() *epoch.Manager {
+	if s.es == nil {
+		return nil
+	}
+	return s.es.mgr
+}
+
+func (s *Secondary) eNewFilter(expected int) *bloom.Filter {
+	if s.cfg.DisableBloom {
+		return nil
+	}
+	if expected < 4096 {
+		expected = 4096
+	}
+	return bloom.New(expected, s.cfg.BloomBitsPerKey)
+}
+
+func (s *Secondary) ePublishLocked(next, old *sgen) {
+	s.es.gen.Store(next)
+	s.es.mgr.Retire(func() {
+		old.mem = nil
+		old.static = nil
+	})
+}
+
+// memRun appends the live values of key's multimap run to dst.
+func (g *sgen) memRun(dst []uint64, key []byte) []uint64 {
+	for cur := g.mem.Seek(key); cur.Valid() && keys.Compare(cur.Key(), key) == 0; cur.Next() {
+		if _, v, tomb := cur.Entry(); !tomb {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func (s *Secondary) eInsert(key []byte, value uint64) bool {
+	s.es.mu.Lock()
+	defer s.es.mu.Unlock()
+	gen := s.es.gen.Load()
+	gen.mem.PutDup(key, value)
+	if gen.filter != nil {
+		gen.filter.AddAtomic(key)
+	}
+	s.es.pairs.Add(1)
+	s.eMaybeMergeLocked(gen)
+	return true
+}
+
+func (s *Secondary) eGetAll(key []byte) []uint64 {
+	g := s.es.mgr.Pin()
+	defer g.Unpin()
+	gen := s.es.gen.Load()
+	var out []uint64
+	if gen.filter == nil || gen.filter.ContainsAtomic(key) {
+		out = gen.memRun(out, key)
+	}
+	if gen.static != nil {
+		out = gen.static.GetAllAtomic(out, key)
+	}
+	return out
+}
+
+func (s *Secondary) eUpdate(key []byte, old, new uint64) bool {
+	s.es.mu.Lock()
+	defer s.es.mu.Unlock()
+	gen := s.es.gen.Load()
+	if gen.filter == nil || gen.filter.ContainsAtomic(key) {
+		if gen.mem.TombValue(key, old) {
+			gen.mem.PutDup(key, new)
+			return true
+		}
+	}
+	if gen.static != nil {
+		return gen.static.UpdateValueAtomic(key, old, new)
+	}
+	return false
+}
+
+// eScan mirrors the lock-mode interleave — on equal keys, dynamic pairs
+// before static pairs — over a materialized memtable snapshot and an atomic
+// static scan, with the epoch pin held throughout.
+func (s *Secondary) eScan(start []byte, fn func(key []byte, value uint64) bool) int {
+	g := s.es.mgr.Pin()
+	defer g.Unpin()
+	gen := s.es.gen.Load()
+	var dyn []index.Entry
+	gen.mem.ScanStates(start, func(k []byte, v uint64, tomb bool) bool {
+		if !tomb {
+			dyn = append(dyn, index.Entry{Key: k, Value: v})
+		}
+		return true
+	})
+	di := 0
+	count := 0
+	cont := true
+	emit := func(k []byte, v uint64) bool {
+		count++
+		return fn(k, v)
+	}
+	if gen.static != nil {
+		gen.static.ScanAtomic(start, func(k []byte, v uint64) bool {
+			for di < len(dyn) && keys.Compare(dyn[di].Key, k) <= 0 {
+				if cont = emit(dyn[di].Key, dyn[di].Value); !cont {
+					return false
+				}
+				di++
+			}
+			cont = emit(k, v)
+			return cont
+		})
+	}
+	for cont && di < len(dyn) {
+		cont = emit(dyn[di].Key, dyn[di].Value)
+		di++
+	}
+	return count
+}
+
+func (s *Secondary) eMaybeMergeLocked(gen *sgen) {
+	d := gen.mem.Nodes()
+	if d < s.cfg.MinDynamic {
+		return
+	}
+	if gen.static != nil && d*s.cfg.MergeRatio < gen.static.Len() {
+		return
+	}
+	s.eMergeLocked(gen)
+}
+
+// eMergeLocked rebuilds the static stage from the memtable's live pairs
+// layered over the old static stage (dynamic pairs first on equal keys, the
+// lock-mode merge order) and publishes a fresh-memtable generation.
+// Multimap tombstones are dropped. Requires es.mu.
+func (s *Secondary) eMergeLocked(gen *sgen) {
+	startT := time.Now()
+	var dyn []index.Entry
+	gen.mem.ScanStates(nil, func(k []byte, v uint64, tomb bool) bool {
+		if !tomb {
+			dyn = append(dyn, index.Entry{Key: k, Value: v})
+		}
+		return true
+	})
+	var merged []index.Entry
+	if gen.static == nil {
+		merged = dyn
+	} else {
+		merged = make([]index.Entry, 0, len(dyn)+gen.static.Len())
+		di := 0
+		// The merge runs under the same mutex as UpdateValueAtomic, so plain
+		// reads of the packed values are ordered after every store.
+		gen.static.Scan(nil, func(k []byte, v uint64) bool {
+			for di < len(dyn) && keys.Compare(dyn[di].Key, k) <= 0 {
+				merged = append(merged, dyn[di])
+				di++
+			}
+			kk := make([]byte, len(k))
+			copy(kk, k)
+			merged = append(merged, index.Entry{Key: kk, Value: v})
+			return true
+		})
+		merged = append(merged, dyn[di:]...)
+	}
+	st, err := btree.NewCompactMulti(merged)
+	if err != nil {
+		panic("hybrid: secondary static build failed: " + err.Error())
+	}
+	next := &sgen{
+		mem:    skiplist.NewConcurrent(),
+		filter: s.eNewFilter(len(merged) / s.cfg.MergeRatio),
+		static: st,
+	}
+	s.ePublishLocked(next, gen)
+	s.LastMergeTime = time.Since(startT)
+	s.TotalMergeTime += s.LastMergeTime
+	s.Merges++
+}
+
+func (s *Secondary) eMemoryUsage() int64 {
+	g := s.es.mgr.Pin()
+	defer g.Unpin()
+	gen := s.es.gen.Load()
+	m := gen.mem.MemoryUsage()
+	if gen.static != nil {
+		m += gen.static.MemoryUsage()
+	}
+	if gen.filter != nil {
+		m += gen.filter.MemoryUsage()
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package sharded
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/obs"
+)
+
+// benchShardReadUnderMerge is the sharded-layer twin of the hybrid
+// ReadUnderMerge benchmark: point reads against an 8-shard index while a
+// writer churns inserts and updates across all shards, with per-shard
+// merges triggering naturally. Epoch mode additionally removes the
+// per-shard RWMutex from the read path.
+func benchShardReadUnderMerge(b *testing.B, epoch bool) {
+	const n = 1 << 17
+	s := NewBTree(Config{
+		Shards: 8,
+		Hybrid: hybrid.Config{MergeRatio: 4, MinDynamic: 1 << 13, BloomBitsPerKey: 10,
+			BackgroundMerge: true, EpochReads: epoch},
+	})
+	ks := make([][]byte, n)
+	entries := make([]index.Entry, n)
+	for i := range ks {
+		ks[i] = keys.Uint64(uint64(i) * 3)
+		entries[i] = index.Entry{Key: ks[i], Value: uint64(i)}
+	}
+	if err := s.BulkLoad(entries); err != nil {
+		b.Fatal(err)
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		state := uint64(1)
+		next := uint64(n)
+		for i := 0; !stop.Load(); i++ {
+			state = state*2862933555777941757 + 3037000493
+			if state%4 == 0 {
+				s.Insert(keys.Uint64(next*3+1), next)
+				next++
+			} else {
+				s.Update(ks[state%n], state)
+			}
+			// Yield regularly so the measured reader isn't starved by this
+			// spin loop on small GOMAXPROCS — the pause metric should reflect
+			// read-path blocking, not scheduler oversubscription.
+			if i&15 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	hist := obs.NewHistogram()
+	state := uint64(99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = state*2862933555777941757 + 3037000493
+		k := ks[state%n]
+		t0 := time.Now()
+		s.Get(k)
+		hist.Observe(time.Since(t0))
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+	s.WaitMerges()
+	snap := hist.Snapshot()
+	b.ReportMetric(float64(snap.P99), "p99-ns")
+	b.ReportMetric(float64(snap.Max), "worst-read-pause-ns")
+}
+
+func BenchmarkShardReadUnderMerge(b *testing.B) {
+	b.Run("mode=lock", func(b *testing.B) { benchShardReadUnderMerge(b, false) })
+	b.Run("mode=epoch", func(b *testing.B) { benchShardReadUnderMerge(b, true) })
+}

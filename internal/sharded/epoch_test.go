@@ -1,0 +1,159 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mets/internal/dstest"
+	"mets/internal/hope"
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+)
+
+func epochSmallCfg(shards int) Config {
+	return Config{
+		Shards: shards,
+		Hybrid: hybrid.Config{
+			MergeRatio: 2, MinDynamic: 32, BloomBitsPerKey: 10,
+			BackgroundMerge: true, EpochReads: true,
+		},
+	}
+}
+
+// TestEpochDifferential runs the shared oracle harness over the epoch-mode
+// sharded index (wait-free shard reads behind the atomic core swap).
+func TestEpochDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := NewBTree(epochSmallCfg(shards))
+			if s.EpochManager() == nil {
+				t.Fatal("epoch mode index returned nil manager")
+			}
+			dstest.Run(t, s, dstest.Config{Ops: 6000, KeySpace: 600, Seed: 5})
+			s.WaitMerges()
+		})
+	}
+}
+
+// TestEpochSharedManager checks that all shards and the sharded layer share
+// one epoch manager, so a single reader pin holds back retirement of any
+// generation it could reach.
+func TestEpochSharedManager(t *testing.T) {
+	s := NewBTree(epochSmallCfg(4))
+	mgr := s.EpochManager()
+	for i := 0; i < 2000; i++ {
+		s.Insert(keys.Uint64(uint64(i)*2654435761), uint64(i))
+	}
+	s.WaitMerges()
+	s.Merge()
+	mgr.Reclaim()
+	if n := mgr.InFlight(); n != 0 {
+		t.Fatalf("%d retired generations in flight with no readers", n)
+	}
+	if mgr.Reclaimed() == 0 {
+		t.Fatal("shard merges retired nothing through the shared manager")
+	}
+	g := mgr.Pin()
+	s.Merge() // every shard publishes + retires under the pin
+	if mgr.InFlight() == 0 {
+		t.Fatal("shard generations reclaimed under a live pin")
+	}
+	g.Unpin()
+	mgr.Reclaim()
+	if n := mgr.InFlight(); n != 0 {
+		t.Fatalf("%d generations in flight after unpin", n)
+	}
+}
+
+// TestEpochRetrainStress is the full-stack epoch stress the issue calls
+// for: readers pinned across shard merges, a codec retrain, and the shard
+// rebalance that comes with it, while writers keep mutating. The retired
+// cores (old codec+router+shards triples) must drain once readers do.
+func TestEpochRetrainStress(t *testing.T) {
+	ks := keys.Dedup(keys.Emails(3000, 77))
+	sort.Slice(ks, func(i, j int) bool { return keys.Compare(ks[i], ks[j]) < 0 })
+	entries := make([]index.Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	hc := hybrid.Config{
+		MergeRatio: 4, MinDynamic: 256, BloomBitsPerKey: 10,
+		BackgroundMerge: true, EpochReads: true,
+	}
+	s := NewBTree(Config{
+		Shards:       4,
+		Hybrid:       hc,
+		CodecTrainer: keycodec.HOPETrainer(hope.DoubleChar, 1<<10),
+	})
+	if err := s.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(len(ks))
+				if v, ok := s.Get(ks[i]); ok && v != uint64(i) && v != uint64(i)+1<<32 {
+					panic(fmt.Sprintf("reader saw impossible value %d for key %d", v, i))
+				}
+				if rng.Intn(8) == 0 {
+					var prev []byte
+					n := 0
+					s.Scan(ks[rng.Intn(len(ks))], func(k []byte, _ uint64) bool {
+						if prev != nil && keys.Compare(prev, k) >= 0 {
+							panic("epoch sharded scan out of order")
+						}
+						prev = append(prev[:0], k...)
+						n++
+						return n < 50
+					})
+				}
+				if rng.Intn(16) == 0 {
+					s.ScanN(ks[rng.Intn(len(ks))], 20)
+				}
+			}
+		}(int64(r) + 11)
+	}
+
+	rounds := 4
+	if raceEnabled {
+		rounds = 2
+	}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < rounds; round++ {
+		// Writer churn (updates only keep the value invariant checkable).
+		for w := 0; w < 3000; w++ {
+			i := rng.Intn(len(ks))
+			s.Update(ks[i], uint64(i)+1<<32)
+		}
+		s.MergeAsync()
+		// Codec retrain + quantile rebalance + core swap under live readers.
+		if err := s.BulkLoad(entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.WaitMerges()
+	mgr := s.EpochManager()
+	mgr.Reclaim()
+	if n := mgr.InFlight(); n != 0 {
+		t.Fatalf("%d retired generations leaked after stress", n)
+	}
+	for i, k := range ks {
+		if v, ok := s.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("post-stress Get(%q) = %d,%v (bulk reload should reset values)", k, v, ok)
+		}
+	}
+}

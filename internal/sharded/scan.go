@@ -92,6 +92,12 @@ func kwayMerge(srcs []entrySource, fn func(key []byte, value uint64) bool) int {
 // retain; with a codec they are decoded into a reused scratch buffer and are
 // valid only for the duration of the callback (copy to retain).
 func (s *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if s.epochs != nil {
+		// One pin for the whole scan keeps the core triple (codec, router,
+		// shards) from being reclaimed mid-iteration under a concurrent
+		// codec-retraining bulk load.
+		defer s.epochs.Pin().Unpin()
+	}
 	c := s.load()
 	if c.codec != nil {
 		if start != nil {
@@ -133,6 +139,9 @@ func (s *Index) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
 func (s *Index) ScanN(start []byte, n int) []index.Entry {
 	if n <= 0 {
 		return nil
+	}
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
 	}
 	c := s.load()
 	if c.codec != nil && start != nil {

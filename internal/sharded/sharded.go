@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mets/internal/epoch"
 	"mets/internal/hybrid"
 	"mets/internal/index"
 	"mets/internal/keycodec"
@@ -99,6 +100,12 @@ type Index struct {
 	// bulkMu serializes core rebuilds (concurrent BulkLoads would otherwise
 	// race their swaps); ordinary operations never take it.
 	bulkMu sync.Mutex
+
+	// epochs is non-nil iff Hybrid.EpochReads: one manager shared by this
+	// layer and every shard across every core generation, so a single reader
+	// pin covers the core triple and any shard generation reachable from it.
+	// Retired cores (codec-retraining bulk loads) drain through it too.
+	epochs *epoch.Manager
 }
 
 // New builds a sharded index; newShard creates one hybrid index per range
@@ -113,12 +120,21 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 	}
 	hc := cfg.Hybrid
 	hc.Codec = nil // the sharded layer owns the codec boundary
+	var mgr *epoch.Manager
+	if hc.EpochReads {
+		mgr = hc.Epochs
+		if mgr == nil {
+			mgr = epoch.NewManager()
+		}
+		hc.Epochs = mgr
+	}
 	s := &Index{
 		obs:       cfg.Obs,
 		hybridCfg: hc,
 		newShard:  newShard,
 		trainer:   cfg.CodecTrainer,
 		nshards:   n,
+		epochs:    mgr,
 	}
 	var codec keycodec.Codec
 	if !keycodec.IsIdentity(cfg.Codec) {
@@ -178,6 +194,9 @@ func (s *Index) newCore(codec keycodec.Codec, r *Router) *core {
 
 func (s *Index) load() *core { return s.core.Load() }
 
+// EpochManager returns the shared epoch manager, or nil in lock mode.
+func (s *Index) EpochManager() *epoch.Manager { return s.epochs }
+
 // encodeKey maps key into c's encoded space (no-op without a codec).
 func (c *core) encodeKey(key []byte) []byte {
 	if c.codec == nil {
@@ -203,8 +222,14 @@ func (s *Index) ShardFor(key []byte) int {
 	return c.router.Shard(c.encodeKey(key))
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. In epoch mode one pin covers the
+// core load and the shard's generation resolution (the shard skips its own
+// pin: nested pins on a shared manager are redundant but harmless — this one
+// simply outlives the inner one).
 func (s *Index) Get(key []byte) (uint64, bool) {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
 	c := s.load()
 	ek := c.encodeKey(key)
 	return c.shards[c.router.Shard(ek)].Get(ek)
@@ -389,6 +414,7 @@ func (s *Index) BulkLoad(entries []index.Entry) error {
 
 	c := s.load()
 	if s.trainer != nil {
+		old := c
 		codec, err := s.trainer(sampleKeys(entries, bulkSampleCap))
 		if err != nil {
 			return fmt.Errorf("sharded: codec training failed: %w", err)
@@ -405,6 +431,11 @@ func (s *Index) BulkLoad(entries []index.Entry) error {
 			return err
 		}
 		s.core.Store(next)
+		if s.epochs != nil {
+			// The old codec/router/shards triple drains once every reader
+			// epoch that could have loaded it has unpinned.
+			s.epochs.Retire(func() { old.shards = nil })
+		}
 		return nil
 	}
 	return bulkLoadCore(c, encodeEntries(entries, c.codec))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package skiplist
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package skiplist
+
+// raceEnabled scales the concurrent stress workload down under the race
+// detector (interleavings matter, not op count).
+const raceEnabled = true

@@ -19,6 +19,7 @@
 package mets
 
 import (
+	"mets/internal/epoch"
 	"mets/internal/fst"
 	"mets/internal/hope"
 	"mets/internal/hybrid"
@@ -90,7 +91,18 @@ func UnmarshalFST(data []byte) (*FST, error) { return fst.UnmarshalTrie(data) }
 type HybridIndex = hybrid.Index
 
 // HybridConfig tunes the merge trigger and auxiliary structures.
+// Set EpochReads for the wait-free read path: Get/Scan pin an epoch and
+// resolve against an atomically published generation instead of taking the
+// RWMutex, so merges and compactions never block a reader (see DESIGN.md
+// "Wait-free reads"). EpochManager exposes the reclamation manager; a
+// ShardedConfig with EpochReads shares one manager across shards.
 type HybridConfig = hybrid.Config
+
+// EpochManager coordinates epoch-based reclamation for EpochReads indexes.
+type EpochManager = epoch.Manager
+
+// NewEpochManager creates a manager to share across indexes (HybridConfig.Epochs).
+func NewEpochManager() *EpochManager { return epoch.NewManager() }
 
 // Hybrid index constructors over the four substrates.
 var (
