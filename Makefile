@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause benchdiff obs-overhead fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause bench-putsync benchdiff obs-overhead fuzz-smoke crash-smoke
 
 all: tier1
 
@@ -55,6 +55,12 @@ bench-pause:
 benchdiff: bench-pause
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS)
 
+# bench-putsync captures the durable write path: synced Put p50/p99 under
+# group commit at 1/8/64 concurrent writers, through benchjson into the
+# BENCH_<date>.json artifact so benchdiff guards the fsync path too.
+bench-putsync:
+	$(GO) run ./cmd/mets-bench lsm.putsync | $(GO) run ./cmd/benchjson -out BENCH_$(BENCHDATE).json
+
 # obs-overhead is the instrumentation-cost guard: the hybrid-index microbench
 # with an enabled registry must stay within 10% of the nil-registry (no-op)
 # path. Run without the race detector — timing under -race is meaningless.
@@ -71,3 +77,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreserving$$' -fuzztime $(FUZZTIME) ./internal/keycodec
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecOrderPreservingBinary$$' -fuzztime $(FUZZTIME) ./internal/keycodec
 	$(GO) test -run '^$$' -fuzz '^FuzzNodeSearchSWAR$$' -fuzztime $(FUZZTIME) ./internal/btree
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplayRawSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzSSTableOpen$$' -fuzztime $(FUZZTIME) ./internal/lsm
+
+# crash-smoke runs the durability matrix on its own: the differential
+# crash-recovery sweep (a crash injected at every k-th filesystem op, in
+# drop/torn/corrupt unsynced-byte modes), the out-of-band damage cases
+# (bit-flipped table header, truncated and torn WAL segments), tombstone
+# resurrection, and the journal replay tests — all under the race detector.
+crash-smoke:
+	$(GO) test -race -count=1 -run '^(TestCrashRecovery|TestCrashMatrix.*|TestTombstonesDoNotResurrect|TestDurable.*)$$' ./internal/lsm
+	$(GO) test -race -count=1 -run '^(TestTornTailStopsAtAckedPrefix|TestCorruptTailDetected|TestStickyErrorAfterCrash)$$' ./internal/wal
+	$(GO) test -race -count=1 -run '^TestMemFSCrash' ./internal/vfs
+	$(GO) test -race -count=1 -run '^(TestJournal.*|TestSharded(JournalReopen|DirWithTrainerPanics))$$' ./internal/hybrid ./internal/sharded

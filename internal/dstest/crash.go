@@ -1,0 +1,233 @@
+package dstest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mets/internal/keys"
+	"mets/internal/vfs"
+)
+
+// CrashStore is the surface the differential crash-recovery harness drives:
+// a durable ordered store whose Put/Delete return the durability verdict
+// (nil = acked). Scan enumerates the full live state in key order.
+type CrashStore interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	Get(key []byte) ([]byte, bool)
+	Scan(fn func(key, value []byte) bool)
+	Close() error
+}
+
+// CrashOp is one mutation in the deterministic op stream.
+type CrashOp struct {
+	Del        bool
+	Key, Value []byte
+}
+
+// CrashConfig tunes one crash-recovery sweep.
+type CrashConfig struct {
+	// Ops is the mutation count per run (default 300).
+	Ops int
+	// KeySpace is the number of distinct candidate keys (default Ops/4).
+	KeySpace int
+	// Seed makes the op stream and injected damage reproducible.
+	Seed int64
+	// Step is the crash-point stride: the sweep reruns the same op stream
+	// with a crash armed at VFS op Step, 2*Step, ... until a run survives
+	// uninterrupted (default 13).
+	Step int64
+	// Mode is the unsynced-byte damage applied at each crash.
+	Mode vfs.CrashMode
+}
+
+func (c *CrashConfig) fill() {
+	if c.Ops <= 0 {
+		c.Ops = 300
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = c.Ops / 4
+		if c.KeySpace < 16 {
+			c.KeySpace = 16
+		}
+	}
+	if c.Step <= 0 {
+		c.Step = 13
+	}
+}
+
+// crashOps generates the deterministic mutation stream. Every Put carries a
+// value unique to its op index, so the oracle state after t ops differs for
+// every t — the prefix check below can therefore identify exactly which
+// prefix survived.
+func crashOps(cfg *CrashConfig) []CrashOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := keySpace(cfg.KeySpace, rng)
+	ops := make([]CrashOp, cfg.Ops)
+	for i := range ops {
+		k := space[rng.Intn(len(space))]
+		if rng.Intn(4) == 0 {
+			ops[i] = CrashOp{Del: true, Key: k}
+		} else {
+			ops[i] = CrashOp{Key: k, Value: []byte(fmt.Sprintf("v%06d-%x", i, rng.Uint64()))}
+		}
+	}
+	return ops
+}
+
+// applyOp folds one op into an oracle state.
+func applyOp(oracle map[string][]byte, op CrashOp) {
+	if op.Del {
+		delete(oracle, string(op.Key))
+	} else {
+		oracle[string(op.Key)] = op.Value
+	}
+}
+
+// storeEquals compares the store's full state to the oracle: same key set
+// (no lost writes, no phantoms), same values, and Get agrees with Scan.
+func storeEquals(st CrashStore, oracle map[string][]byte) (bool, string) {
+	want := make([][]byte, 0, len(oracle))
+	for k := range oracle {
+		want = append(want, []byte(k))
+	}
+	sort.Slice(want, func(i, j int) bool { return keys.Compare(want[i], want[j]) < 0 })
+	i := 0
+	diff := ""
+	st.Scan(func(k, v []byte) bool {
+		if diff != "" {
+			return false
+		}
+		if i >= len(want) {
+			diff = fmt.Sprintf("phantom key %q past oracle end", k)
+			return false
+		}
+		if !bytes.Equal(k, want[i]) {
+			diff = fmt.Sprintf("scan[%d] = %q, oracle %q", i, k, want[i])
+			return false
+		}
+		if !bytes.Equal(v, oracle[string(k)]) {
+			diff = fmt.Sprintf("value for %q = %q, oracle %q", k, v, oracle[string(k)])
+			return false
+		}
+		i++
+		return true
+	})
+	if diff != "" {
+		return false, diff
+	}
+	if i != len(want) {
+		return false, fmt.Sprintf("scan visited %d keys, oracle has %d (first missing %q)", i, len(want), want[i])
+	}
+	for k, v := range oracle {
+		got, ok := st.Get([]byte(k))
+		if !ok || !bytes.Equal(got, v) {
+			return false, fmt.Sprintf("Get(%q) = (%q,%v), oracle %q", k, got, ok, v)
+		}
+	}
+	return true, ""
+}
+
+// RunCrash is the differential crash-recovery harness: it reruns one
+// deterministic op stream with a simulated crash armed at every Step-th VFS
+// operation, recovers the filesystem, reopens the store, and checks the
+// recovery invariant —
+//
+//	recovered state == fold(ops[:t]) for some t with acked <= t <= issued
+//
+// where acked counts the ops whose Put/Delete returned nil before the crash
+// and issued additionally includes the op that observed it. That is exactly
+// prefix durability: no acked write is ever lost, no suffix survives a lost
+// middle (no gaps), and nothing that was never written appears (no
+// phantoms). An op past the acked count may legitimately survive (its WAL
+// record can reach durable media before its ack fails on a later step), but
+// only as part of a contiguous prefix.
+//
+// The sweep stops after the first run that completes without tripping the
+// crash; that run also checks clean-shutdown durability (close, reopen,
+// full-state equality).
+func RunCrash(t *testing.T, open func(fs *vfs.MemFS) (CrashStore, error), cfg CrashConfig) {
+	t.Helper()
+	cfg.fill()
+	ops := crashOps(&cfg)
+
+	for crash := cfg.Step; ; crash += cfg.Step {
+		fs := vfs.NewMemFS()
+		st, err := open(fs)
+		if err != nil {
+			t.Fatalf("initial open: %v", err)
+		}
+		fs.CrashAt(crash, cfg.Mode, cfg.Seed^crash)
+		acked, issued := 0, 0
+		for _, op := range ops {
+			issued++
+			var err error
+			if op.Del {
+				err = st.Delete(op.Key)
+			} else {
+				err = st.Put(op.Key, op.Value)
+			}
+			if err != nil {
+				break
+			}
+			acked = issued
+		}
+		if !fs.Crashed() {
+			// Crash point beyond the whole stream (Close may still trip it).
+			st.Close()
+		}
+		if !fs.Crashed() {
+			// Clean full run: reopen must reproduce the complete final state.
+			fs.Recover() // clean restart, nothing at risk
+			st2, err := open(fs)
+			if err != nil {
+				t.Fatalf("clean reopen: %v", err)
+			}
+			oracle := make(map[string][]byte, cfg.KeySpace)
+			for _, op := range ops {
+				applyOp(oracle, op)
+			}
+			if ok, diff := storeEquals(st2, oracle); !ok {
+				t.Fatalf("mode=%v: clean-shutdown state diverged: %s", cfg.Mode, diff)
+			}
+			st2.Close()
+			return
+		}
+
+		st.Close() // tear down goroutines; errors expected on a crashed FS
+		fs.Recover()
+		st2, err := open(fs)
+		if err != nil {
+			t.Fatalf("mode=%v crash@%d: recovery open failed: %v", cfg.Mode, crash, err)
+		}
+		// Find the surviving prefix: fold ops[:acked] first, then extend one
+		// op at a time through issued until the store matches.
+		oracle := make(map[string][]byte, cfg.KeySpace)
+		for i := 0; i < acked; i++ {
+			applyOp(oracle, ops[i])
+		}
+		matched := false
+		var firstDiff string
+		for tlen := acked; tlen <= issued; tlen++ {
+			if tlen > acked {
+				applyOp(oracle, ops[tlen-1])
+			}
+			ok, diff := storeEquals(st2, oracle)
+			if tlen == acked {
+				firstDiff = diff
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("mode=%v crash@%d: recovered state matches no prefix in [acked=%d, issued=%d]; vs acked: %s",
+				cfg.Mode, crash, acked, issued, firstDiff)
+		}
+		st2.Close()
+	}
+}

@@ -175,6 +175,7 @@ func (h *Index) eInsert(key []byte, value uint64) bool {
 		gen.filter.AddAtomic(key)
 	}
 	h.eg.live.Add(1)
+	h.jlog(jopInsert, key, value)
 	h.eMaybeMergeLocked(gen)
 	return true
 }
@@ -188,6 +189,7 @@ func (h *Index) eUpdate(key []byte, value uint64) bool {
 	if gen.filter == nil || gen.filter.ContainsAtomic(key) {
 		if _, ok, tomb := gen.mem.Get(key); ok {
 			gen.mem.Put(key, value)
+			h.jlog(jopUpdate, key, value)
 			return true
 		} else if tomb {
 			return false
@@ -202,6 +204,7 @@ func (h *Index) eUpdate(key []byte, value uint64) bool {
 	if gen.filter != nil {
 		gen.filter.AddAtomic(key)
 	}
+	h.jlog(jopUpdate, key, value)
 	h.eMaybeMergeLocked(gen)
 	return true
 }
@@ -222,6 +225,7 @@ func (h *Index) eDelete(key []byte) bool {
 			// shadowed lower copy at once.
 			gen.mem.Tomb(key)
 			h.eg.live.Add(-1)
+			h.jlog(jopDelete, key, 0)
 			return true
 		}
 	} else {
@@ -235,6 +239,7 @@ func (h *Index) eDelete(key []byte) bool {
 		gen.filter.AddAtomic(key)
 	}
 	h.eg.live.Add(-1)
+	h.jlog(jopDelete, key, 0)
 	return true
 }
 
@@ -437,12 +442,13 @@ func (h *Index) eMerge() {
 
 // eBulkLoad publishes a generation holding only the prebuilt static stage.
 // The caller already encoded the entries and built st.
-func (h *Index) eBulkLoad(st index.Static, n int) {
+func (h *Index) eBulkLoad(st index.Static, entries []index.Entry) {
 	h.eg.mu.Lock()
 	defer h.eg.mu.Unlock()
 	for h.eg.merging {
 		h.eg.mergeDone.Wait()
 	}
+	n := len(entries)
 	old := h.eg.gen.Load()
 	next := &egen{
 		mem:    skiplist.NewConcurrent(),
@@ -451,6 +457,7 @@ func (h *Index) eBulkLoad(st index.Static, n int) {
 	}
 	h.ePublishLocked(next, old)
 	h.eg.live.Store(int64(n))
+	h.jresetLocked(entries)
 }
 
 // eMemoryUsage sums the generation's stages and filters (memtable tombstones

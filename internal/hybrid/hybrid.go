@@ -19,6 +19,7 @@
 package hybrid
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -28,6 +29,8 @@ import (
 	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
+	"mets/internal/vfs"
+	"mets/internal/wal"
 )
 
 // Config tunes the dual-stage behaviour.
@@ -76,6 +79,15 @@ type Config struct {
 	// valid for the duration of the callback (they live in a reused decode
 	// buffer); ScanN and Iterator still return retainable copies.
 	Codec keycodec.Codec
+	// Dir, when non-empty, makes the index journal every successful write to
+	// a segmented op journal in that directory and replay it on New, so the
+	// in-memory index survives restarts (journal.go). The journal is
+	// buffered: SyncJournal (or Close) is the durability barrier. New panics
+	// if the directory cannot be opened or replayed.
+	Dir string
+	// FS overrides the journal's filesystem (default the real OS). Tests
+	// inject a fault-injecting in-memory filesystem here.
+	FS vfs.FS
 }
 
 // DefaultConfig returns the thesis defaults.
@@ -131,6 +143,12 @@ type Index struct {
 	LastMergeTime  time.Duration
 	TotalMergeTime time.Duration
 
+	// jl is the op journal, nil without Config.Dir (journal.go).
+	jl *wal.Log
+	// JournalRecovery reports what New's journal replay found. Written once
+	// in New, read-only afterwards.
+	JournalRecovery wal.ReplayStats
+
 	// Metric handles, resolved once from cfg.Obs (all nil when disabled).
 	obsGet       *obs.Counter
 	obsInsert    *obs.Counter
@@ -181,12 +199,17 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 	}
 	if cfg.EpochReads {
 		h.initEpoch()
-		return h
+	} else {
+		h.dynamic = newDynamic()
+		h.tombstones = make(map[string]struct{})
+		h.mergeDone = sync.NewCond(&h.mu)
+		h.resetFilter(0)
 	}
-	h.dynamic = newDynamic()
-	h.tombstones = make(map[string]struct{})
-	h.mergeDone = sync.NewCond(&h.mu)
-	h.resetFilter(0)
+	if cfg.Dir != "" {
+		if err := h.openJournal(); err != nil {
+			panic(fmt.Sprintf("hybrid: journal open: %v", err))
+		}
+	}
 	return h
 }
 
@@ -348,6 +371,7 @@ func (h *Index) Insert(key []byte, value uint64) bool {
 	if h.filter != nil {
 		h.filter.Add(key)
 	}
+	h.jlog(jopInsert, key, value)
 	h.maybeMergeLocked()
 	return true
 }
@@ -365,6 +389,7 @@ func (h *Index) Update(key []byte, value uint64) bool {
 	defer h.mu.Unlock()
 	if h.mayBeDynamic(key) {
 		if h.dynamic.Update(key, value) {
+			h.jlog(jopUpdate, key, value)
 			return true
 		}
 	}
@@ -376,6 +401,7 @@ func (h *Index) Update(key []byte, value uint64) bool {
 	if h.filter != nil {
 		h.filter.Add(key)
 	}
+	h.jlog(jopUpdate, key, value)
 	h.maybeMergeLocked()
 	return true
 }
@@ -399,6 +425,9 @@ func (h *Index) Delete(key []byte) bool {
 			h.shadows-- // the removed dynamic copy was a shadow
 		}
 		deleted = true
+	}
+	if deleted {
+		h.jlog(jopDelete, key, 0)
 	}
 	return deleted
 }

@@ -154,7 +154,7 @@ func (h *Index) BulkLoad(entries []index.Entry) error {
 		return err
 	}
 	if h.eg != nil {
-		h.eBulkLoad(st, len(entries))
+		h.eBulkLoad(st, entries)
 		return nil
 	}
 	h.mu.Lock()
@@ -167,6 +167,7 @@ func (h *Index) BulkLoad(entries []index.Entry) error {
 	h.tombstones = make(map[string]struct{})
 	h.shadows = 0
 	h.resetFilter(len(entries) / h.cfg.MergeRatio)
+	h.jresetLocked(entries)
 	return nil
 }
 

@@ -1,0 +1,162 @@
+// Op journal: the durability seam for the in-memory hybrid index. With
+// Config.Dir set, every successful Insert/Update/Delete appends one record to
+// a segmented write-ahead journal (internal/wal) from inside the write
+// critical section, so journal order always equals apply order. New replays
+// an existing journal before the index serves its first operation.
+//
+// The journal is buffered (wal.SyncNone): writes are acked as soon as the
+// record reaches the OS, and an explicit SyncJournal (or Close) is the
+// durability barrier. A crash can therefore lose a suffix of recent ops —
+// never a middle — matching the prefix-durability contract the LSM layer
+// pins with its fault-injection harness.
+//
+// Records hold keys in encoded (codec) space, the same space every stage
+// uses. The codec is frozen for the index lifetime (sharded.Config panics on
+// Dir+CodecTrainer for exactly this reason), so one encoded space covers the
+// whole journal.
+package hybrid
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mets/internal/index"
+	"mets/internal/vfs"
+	"mets/internal/wal"
+)
+
+// Journal record opcodes.
+const (
+	jopInsert = 1
+	jopUpdate = 2
+	jopDelete = 3
+)
+
+// jrec encodes one journal record: op byte, uvarint-framed key, and (for
+// insert/update) the uvarint value.
+func jrec(op byte, key []byte, value uint64) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key))
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	if op != jopDelete {
+		buf = binary.AppendUvarint(buf, value)
+	}
+	return buf
+}
+
+// jlog appends one op to the journal, fire-and-forget. Callers hold the
+// writer lock (h.mu or h.eg.mu), which fixes the journal order.
+func (h *Index) jlog(op byte, key []byte, value uint64) {
+	if h.jl == nil {
+		return
+	}
+	h.jl.Enqueue(jrec(op, key, value))
+}
+
+// applyJournalRecord replays one CRC-verified record. Only successful ops
+// were journaled, so the replayed op succeeds too; results are still ignored
+// defensively (a reset-then-crash can leave a prefix whose tail ops no longer
+// apply cleanly, and replay must take what it can).
+func (h *Index) applyJournalRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("hybrid: empty journal record")
+	}
+	op, rest := rec[0], rec[1:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 || n > uint64(len(rest)-w) {
+		return fmt.Errorf("hybrid: malformed journal key")
+	}
+	key := append([]byte(nil), rest[w:w+int(n)]...)
+	rest = rest[w+int(n):]
+	var value uint64
+	if op != jopDelete {
+		v, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return fmt.Errorf("hybrid: malformed journal value")
+		}
+		value = v
+	}
+	switch op {
+	case jopInsert:
+		if !h.Insert(key, value) {
+			h.Update(key, value)
+		}
+	case jopUpdate:
+		h.Update(key, value)
+	case jopDelete:
+		h.Delete(key)
+	default:
+		return fmt.Errorf("hybrid: unknown journal op %d", op)
+	}
+	return nil
+}
+
+// openJournal replays cfg.Dir and opens the live journal. Called once from
+// New before the index is shared; a failure panics there (New predates the
+// durability option and returns no error).
+func (h *Index) openJournal() error {
+	fs := h.cfg.FS
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	if err := fs.MkdirAll(h.cfg.Dir); err != nil {
+		return fmt.Errorf("hybrid: mkdir %s: %w", h.cfg.Dir, err)
+	}
+	// Journal keys are already encoded; disable the codec so the replayed
+	// public calls do not encode twice. The index is not shared yet.
+	codec := h.codec
+	h.codec = nil
+	stats, err := wal.Replay(fs, h.cfg.Dir, 0, h.applyJournalRecord)
+	h.codec = codec
+	if err != nil {
+		return err
+	}
+	h.JournalRecovery = stats
+	l, err := wal.Open(wal.Options{
+		FS:   fs,
+		Dir:  h.cfg.Dir,
+		Mode: wal.SyncNone,
+		Obs:  h.obsReg,
+	})
+	if err != nil {
+		return err
+	}
+	h.jl = l
+	return nil
+}
+
+// jresetLocked restarts the journal to represent exactly the given (encoded)
+// entries — the BulkLoad path. The caller holds the writer lock, so no other
+// op can interleave between the reset and the re-journal.
+func (h *Index) jresetLocked(entries []index.Entry) {
+	if h.jl == nil {
+		return
+	}
+	if sealed, err := h.jl.Rotate(); err == nil {
+		h.jl.DeleteBelow(sealed + 1)
+	}
+	for _, e := range entries {
+		h.jl.Enqueue(jrec(jopInsert, e.Key, e.Value))
+	}
+}
+
+// SyncJournal is the explicit durability barrier: it returns once every op
+// journaled so far is fsynced. A no-op without Config.Dir.
+func (h *Index) SyncJournal() error {
+	if h.jl == nil {
+		return nil
+	}
+	return h.jl.Sync()
+}
+
+// Close settles background merges and closes the journal (final fsync), so a
+// reopen of the same Dir replays the complete final state. A no-op without
+// Config.Dir.
+func (h *Index) Close() error {
+	if h.jl == nil {
+		return nil
+	}
+	h.WaitMerges()
+	return h.jl.Close()
+}

@@ -1,0 +1,447 @@
+package lsm
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"testing"
+
+	"mets/internal/dstest"
+	"mets/internal/hope"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+	"mets/internal/surf"
+	"mets/internal/vfs"
+	"mets/internal/wal"
+)
+
+// crashStore adapts a durable DB to the dstest crash-recovery harness.
+type crashStore struct{ db *DB }
+
+func (s crashStore) Put(key, value []byte) error { return s.db.Put(key, value) }
+func (s crashStore) Delete(key []byte) error     { return s.db.Delete(key) }
+func (s crashStore) Get(key []byte) ([]byte, bool) {
+	return s.db.Get(key)
+}
+func (s crashStore) Close() error { return s.db.Close() }
+
+func (s crashStore) Scan(fn func(key, value []byte) bool) {
+	lo := []byte{}
+	for {
+		e, ok := s.db.Seek(lo, nil)
+		if !ok {
+			return
+		}
+		if !fn(e.Key, e.Value) {
+			return
+		}
+		lo = keys.Next(e.Key)
+	}
+}
+
+// tinyDurableConfig forces constant flushes, compactions, and WAL rotations
+// inside a few hundred ops, so crash points land in every phase of the
+// write path.
+func tinyDurableConfig(fs vfs.FS) Config {
+	return Config{
+		Dir:              "data",
+		FS:               fs,
+		MemTableBytes:    1 << 10,
+		BlockSize:        256,
+		TargetTableBytes: 1 << 10,
+		BlockCacheBytes:  64 << 10,
+		WALSegmentBytes:  2 << 10,
+	}
+}
+
+// TestCrashRecovery is the differential crash suite (the PR's pin): one
+// deterministic op stream, a simulated crash at every k-th VFS operation,
+// reopen, and the recovered state must equal the fold of a contiguous op
+// prefix no shorter than the acked writes — for every crash mode.
+func TestCrashRecovery(t *testing.T) {
+	cfg := dstest.CrashConfig{Ops: 260, KeySpace: 60, Seed: 11, Step: 13}
+	if raceEnabled {
+		cfg.Ops = 120
+		cfg.Step = 41
+	}
+	modes := []vfs.CrashMode{vfs.DropUnsynced, vfs.TornTail, vfs.CorruptTail}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			c := cfg
+			c.Mode = mode
+			dstest.RunCrash(t, func(fs *vfs.MemFS) (dstest.CrashStore, error) {
+				db, err := OpenDurable(tinyDurableConfig(fs))
+				if err != nil {
+					return nil, err
+				}
+				return crashStore{db}, nil
+			}, c)
+		})
+	}
+	// SuRF filters add a persisted filter payload to every table file; the
+	// crash points then also land inside filter marshal/validate paths.
+	t.Run("drop-surf", func(t *testing.T) {
+		c := cfg
+		c.Mode = vfs.DropUnsynced
+		dstest.RunCrash(t, func(fs *vfs.MemFS) (dstest.CrashStore, error) {
+			dc := tinyDurableConfig(fs)
+			dc.Filter = SuRFFilterBuilder(surf.MixedConfig(4, 4))
+			db, err := OpenDurable(dc)
+			if err != nil {
+				return nil, err
+			}
+			return crashStore{db}, nil
+		}, c)
+	})
+	// A 300-byte segment limit forces a WAL rotation every couple of
+	// records, so crashes land mid-rotation (the matrix's
+	// "rotation mid-batch" case) on every sweep.
+	t.Run("drop-tiny-segments", func(t *testing.T) {
+		c := cfg
+		c.Mode = vfs.DropUnsynced
+		dstest.RunCrash(t, func(fs *vfs.MemFS) (dstest.CrashStore, error) {
+			dc := tinyDurableConfig(fs)
+			dc.WALSegmentBytes = 300
+			db, err := OpenDurable(dc)
+			if err != nil {
+				return nil, err
+			}
+			return crashStore{db}, nil
+		}, c)
+	})
+}
+
+// durablePut writes and requires ack.
+func durablePut(t *testing.T, db *DB, k, v string) {
+	t.Helper()
+	if err := db.Put([]byte(k), []byte(v)); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+// TestDurableReopenRoundTrip checks clean-shutdown durability through every
+// storage tier: memtable-only (WAL replay), flushed tables, and compacted
+// levels.
+func TestDurableReopenRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		durablePut(t, db, fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Recovery.Tables == 0 {
+		t.Fatal("no tables recovered despite tiny memtable")
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v, ok := db2.Get([]byte(k))
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("after reopen Get(%s) = (%q,%v)", k, v, ok)
+		}
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableMemtableOnlyReplay pins pure WAL recovery: no flush ever
+// happens, so reopening must rebuild the state from the log alone.
+func TestDurableMemtableOnlyReplay(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cfg := tinyDurableConfig(fs)
+	cfg.MemTableBytes = 1 << 20 // never flush
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durablePut(t, db, "a", "1")
+	durablePut(t, db, "b", "2")
+	if err := db.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Recovery.WALRecords != 3 {
+		t.Fatalf("replayed %d records, want 3", db2.Recovery.WALRecords)
+	}
+	if _, ok := db2.Get([]byte("a")); ok {
+		t.Fatal("deleted key resurrected by WAL replay")
+	}
+	if v, ok := db2.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = (%q,%v)", v, ok)
+	}
+	db2.Close()
+}
+
+// fillAndClose writes n sequential keys through a tiny-config DB and closes
+// it, returning the key format string.
+func fillAndClose(t *testing.T, fs vfs.FS, n int) {
+	t.Helper()
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		durablePut(t, db, fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashMatrixBitFlippedTableHeader flips a header byte in one table
+// file: reopen must quarantine that file (rename to .corrupt) and keep
+// serving, never crash the process.
+func TestCrashMatrixBitFlippedTableHeader(t *testing.T) {
+	fs := vfs.NewMemFS()
+	fillAndClose(t, fs, 200)
+	names, _ := fs.List("data")
+	var ssts []string
+	for _, n := range names {
+		if strings.HasSuffix(n, sstExt) {
+			ssts = append(ssts, n)
+		}
+	}
+	if len(ssts) < 2 {
+		t.Fatalf("want >= 2 table files, got %v", names)
+	}
+	// Flip a bit in the first table's meta checksum field.
+	if err := fs.Corrupt(path.Join("data", ssts[0]), 13, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatalf("open with corrupt table must not fail: %v", err)
+	}
+	if db.Recovery.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", db.Recovery.Quarantined)
+	}
+	names, _ = fs.List("data")
+	foundCorrupt := false
+	for _, n := range names {
+		if n == ssts[0] {
+			t.Fatalf("corrupt file %s still present under its own name", n)
+		}
+		if n == ssts[0]+corruptExt {
+			foundCorrupt = true
+		}
+	}
+	if !foundCorrupt {
+		t.Fatalf("no quarantine file in %v", names)
+	}
+	// The DB still serves reads (some keys are gone with the quarantined
+	// table; the rest must be intact).
+	served := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := db.Get([]byte(fmt.Sprintf("key-%04d", i))); ok {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("no keys served after quarantine")
+	}
+	db.Close()
+}
+
+// walPutFrameLen is the exact framed size of one of this test's records.
+func walPutFrameLen(k, v string) int64 {
+	return int64(8 + len(encodeWALPut([]byte(k), []byte(v))))
+}
+
+// TestCrashMatrixTruncatedSegment cuts a WAL segment at a frame boundary
+// (out-of-band damage, e.g. a truncated backup): replay recovers exactly
+// the surviving record prefix, without the torn flag.
+func TestCrashMatrixTruncatedSegment(t *testing.T) {
+	testWALDamage(t, 0, false)
+}
+
+// TestCrashMatrixTornTail cuts mid-frame: same prefix recovery, and the
+// torn tail is reported.
+func TestCrashMatrixTornTail(t *testing.T) {
+	testWALDamage(t, 5, true)
+}
+
+func testWALDamage(t *testing.T, extraBytes int64, wantTorn bool) {
+	fs := vfs.NewMemFS()
+	cfg := tinyDurableConfig(fs)
+	cfg.MemTableBytes = 1 << 20 // keep everything in the WAL
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	key := func(i int) string { return fmt.Sprintf("key-%04d", i) }
+	val := func(i int) string { return fmt.Sprintf("val-%04d", i) }
+	for i := 0; i < n; i++ {
+		durablePut(t, db, key(i), val(i))
+	}
+	db.Close()
+
+	segs, err := wal.ListSegments(fs, "data")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	// All records are equal-sized; keep 10 frames (+ extraBytes of the 11th).
+	seg := path.Join("data", wal.SegmentName(segs[0]))
+	keep := 10*walPutFrameLen(key(0), val(0)) + extraBytes
+	if err := fs.Truncate(seg, keep); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("open after segment damage: %v", err)
+	}
+	if db2.Recovery.WALTorn != wantTorn {
+		t.Fatalf("WALTorn = %v, want %v", db2.Recovery.WALTorn, wantTorn)
+	}
+	if db2.Recovery.WALRecords != 10 {
+		t.Fatalf("replayed %d records, want 10", db2.Recovery.WALRecords)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := db2.Get([]byte(key(i)))
+		if i < 10 && (!ok || string(v) != val(i)) {
+			t.Fatalf("surviving key %d = (%q,%v)", i, v, ok)
+		}
+		if i >= 10 && ok {
+			t.Fatalf("key %d survived past the truncation point", i)
+		}
+	}
+	db2.Close()
+}
+
+// TestTombstonesDoNotResurrect is the tombstone pin: a delete-heavy
+// workload, flushed and compacted across levels and reopened, must never
+// bring a deleted key back — tombstones may only be dropped once the merge
+// output is the bottom level.
+func TestTombstonesDoNotResurrect(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	key := func(i int) string { return fmt.Sprintf("key-%04d", i) }
+	// Seed everything, pushing old versions deep into the tree.
+	for i := 0; i < n; i++ {
+		durablePut(t, db, key(i), "old")
+		if i%50 == 49 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Delete every even key, then churn more writes so the tombstones are
+	// themselves flushed and merged downwards.
+	for i := 0; i < n; i += 2 {
+		if err := db.Delete([]byte(key(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		durablePut(t, db, key(i), "new")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(db *DB, when string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			v, ok := db.Get([]byte(key(i)))
+			if i%2 == 0 {
+				if ok {
+					t.Fatalf("%s: deleted key %s resurrected (value %q)", when, key(i), v)
+				}
+			} else if !ok || string(v) != "new" {
+				t.Fatalf("%s: live key %s = (%q,%v)", when, key(i), v, ok)
+			}
+		}
+	}
+	check(db, "before close")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db2, "after reopen")
+	// Deleted keys must also be invisible to range reads.
+	if e, ok := db2.Seek([]byte(key(0)), []byte(key(1))); ok {
+		t.Fatalf("Seek found deleted key %q", e.Key)
+	}
+	db2.Close()
+}
+
+// TestDurableCodecMismatchRejected pins the codec-generation guard: a data
+// directory written under one codec must refuse to open under another.
+func TestDurableCodecMismatchRejected(t *testing.T) {
+	fs := vfs.NewMemFS()
+	fillAndClose(t, fs, 50)
+	cfg := tinyDurableConfig(fs)
+	var ks [][]byte
+	for i := 0; i < 64; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("key-%04d", i)))
+	}
+	codec, err := keycodec.TrainHOPE(ks, hope.SingleChar, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Codec = codec
+	if _, err := OpenDurable(cfg); err == nil {
+		t.Fatal("open with different codec succeeded")
+	} else if !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDurableBackgroundCompaction smokes the durable engine with the
+// background flush/compaction pipeline (no crash injection — goroutines and
+// fault injection are exercised separately) and verifies a reopen.
+func TestDurableBackgroundCompaction(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cfg := tinyDurableConfig(fs)
+	cfg.BackgroundCompaction = true
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		durablePut(t, db, fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		if v, ok := db2.Get([]byte(k)); !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = (%q,%v)", k, v, ok)
+		}
+	}
+	db2.Close()
+}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"bytes"
 	"fmt"
+	"path"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,8 @@ import (
 	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
+	"mets/internal/vfs"
+	"mets/internal/wal"
 )
 
 // Config tunes the engine.
@@ -55,8 +58,27 @@ type Config struct {
 	// I/O and filter-effectiveness gauges (including a live point-lookup FPR
 	// derived from false positives vs filter negatives), MemTable/backlog
 	// gauges, and a span per background flush and per compaction job. Nil
-	// disables instrumentation.
+	// disables instrumentation. The durable engine adds "wal." counters
+	// (appends, bytes, fsyncs, rotations, a group-commit latency histogram)
+	// and a "recovery" span on open.
 	Obs *obs.Registry
+	// Dir, when non-empty, makes the engine durable: writes go through a
+	// write-ahead log in Dir (group-committed, fsynced per WALSync),
+	// SSTables persist as checksummed files, and OpenDurable recovers the
+	// exact acked state after a crash. Empty keeps the historical in-memory
+	// engine. Use OpenDurable to open with a Dir; Put/Delete/Flush report
+	// I/O errors through their error returns.
+	Dir string
+	// FS is the filesystem under Dir (default the real OS). Tests inject
+	// vfs.MemFS to simulate crashes and corruption.
+	FS vfs.FS
+	// WALSync is the WAL ack durability contract (default wal.SyncEach: an
+	// acked write survives any crash). See wal.SyncMode.
+	WALSync wal.SyncMode
+	// WALSegmentBytes is the WAL rotation threshold (default 4 MB).
+	WALSegmentBytes int64
+	// GroupCommitDelay is the wal.SyncBatch coalescing window.
+	GroupCommitDelay time.Duration
 }
 
 // DefaultConfig returns the §4.4-style configuration.
@@ -115,10 +137,32 @@ type DB struct {
 
 	codec   keycodec.Codec // nil when identity: keys stored raw
 	codecID string         // stamped into every SSTable this DB builds
+
+	// dur is non-nil for a durable DB (Config.Dir set); durErr (under mu)
+	// is the sticky first hard failure — once set, every write returns it.
+	dur    *durableState
+	durErr error
+	// Recovery describes what OpenDurable found on disk; informational.
+	Recovery RecoveryStats
 }
 
-// Open creates an empty DB.
+// Open creates a DB, panicking on error — the historical constructor, fine
+// for in-memory use where opening cannot fail. Durable callers (Config.Dir
+// set) should prefer OpenDurable, whose recovery can legitimately fail.
 func Open(cfg Config) *DB {
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		panic("lsm: open: " + err.Error())
+	}
+	return db
+}
+
+// OpenDurable creates a DB; with Config.Dir set it first recovers the
+// on-disk state: manifest, table files (corrupt ones quarantined as
+// *.corrupt rather than failing the open), orphan GC, then WAL replay into
+// the memtable — stopping at a torn tail, which under the crash model is
+// never behind an acked write.
+func OpenDurable(cfg Config) (*DB, error) {
 	def := DefaultConfig()
 	if cfg.MemTableBytes == 0 {
 		cfg.MemTableBytes = def.MemTableBytes
@@ -187,7 +231,16 @@ func Open(cfg Config) *DB {
 		r.GaugeFunc("levels", func() float64 { return float64(db.NumLevels()) })
 		r.GaugeFunc("disk_bytes", func() float64 { return float64(db.DiskUsage()) })
 	}
-	return db
+	if cfg.Dir != "" {
+		fs := cfg.FS
+		if fs == nil {
+			fs = vfs.OS{}
+		}
+		if err := db.recoverLocked(fs, cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // encodeKey maps key into the DB's stored key space (no-op without a
@@ -212,13 +265,34 @@ func (db *DB) encodeBound(b []byte) []byte {
 // Codec returns the DB's key codec (nil when keys are stored raw).
 func (db *DB) Codec() keycodec.Codec { return db.codec }
 
-// Put inserts or overwrites a record.
-func (db *DB) Put(key, value []byte) {
+// Put inserts or overwrites a record. On a durable DB the write is
+// WAL-logged and the returned error is the durability verdict: nil means
+// the record is acked per Config.WALSync (fsynced, by default) and will
+// survive a crash. In-memory DBs always return nil.
+func (db *DB) Put(key, value []byte) error {
 	key = db.encodeKey(key)
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.durErr != nil {
+		err := db.durErr
+		db.mu.Unlock()
+		return err
+	}
+	var ack *wal.Ack
+	if db.dur != nil {
+		// Enqueue under mu so WAL order matches memtable apply order; the
+		// blocking Wait happens after unlock (group commit runs elsewhere).
+		ack = db.dur.wal.Enqueue(encodeWALPut(key, value))
+	}
 	db.mem.put(key, value)
-	db.maybeFlushLocked()
+	ferr := db.maybeFlushLocked()
+	db.mu.Unlock()
+	if ack != nil {
+		if err := ack.Wait(); err != nil {
+			db.fail(err)
+			return err
+		}
+	}
+	return ferr
 }
 
 // tombstoneMarker is the value stored for deleted keys until compaction
@@ -234,99 +308,176 @@ func isTombstone(stored []byte) bool { return len(stored) == 1 && stored[0] == 0
 func userValue(stored []byte) []byte { return stored[1:] }
 
 // Delete removes key by writing a tombstone; the space is reclaimed when a
-// compaction merges the tombstone past the key's last live version.
-func (db *DB) Delete(key []byte) {
+// compaction merges the tombstone past the key's last live version. The
+// error is the durability verdict, as for Put.
+func (db *DB) Delete(key []byte) error {
 	key = db.encodeKey(key)
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.durErr != nil {
+		err := db.durErr
+		db.mu.Unlock()
+		return err
+	}
+	var ack *wal.Ack
+	if db.dur != nil {
+		ack = db.dur.wal.Enqueue(encodeWALDelete(key))
+	}
 	db.mem.putRaw(key, tombstoneMarker)
-	db.maybeFlushLocked()
+	ferr := db.maybeFlushLocked()
+	db.mu.Unlock()
+	if ack != nil {
+		if err := ack.Wait(); err != nil {
+			db.fail(err)
+			return err
+		}
+	}
+	return ferr
 }
 
 // maybeFlushLocked checks the MemTable size trigger after a write.
-func (db *DB) maybeFlushLocked() {
+func (db *DB) maybeFlushLocked() error {
 	if db.mem.bytes < db.cfg.MemTableBytes {
-		return
+		return nil
 	}
 	if !db.cfg.BackgroundCompaction {
-		db.flushLocked()
-		return
+		return db.flushLocked()
 	}
 	// Backpressure: with an immutable MemTable already in flight, wait for
 	// the flusher rather than stacking sealed tables. Wait releases the
 	// lock, so another writer may seal (or drain) the MemTable meanwhile.
 	for db.imm != nil {
+		if db.durErr != nil {
+			return db.durErr
+		}
 		if db.mem.bytes < db.cfg.MemTableBytes {
-			return
+			return nil
 		}
 		db.bgCond.Wait()
 	}
-	db.sealLocked()
+	return db.sealLocked()
 }
 
-// sealLocked moves the MemTable into the immutable slot (which must be free)
-// and hands it to a background flusher.
-func (db *DB) sealLocked() {
+// sealLocked rotates the WAL (durable mode: every logged record covering
+// the sealed MemTable now sits in fsynced segments <= sealed), moves the
+// MemTable into the immutable slot (which must be free), and hands it to a
+// background flusher.
+func (db *DB) sealLocked() error {
 	if db.mem.bytes == 0 {
-		return
+		return nil
+	}
+	var sealed uint64
+	if db.dur != nil {
+		s, err := db.dur.wal.Rotate()
+		if err != nil {
+			return db.failLocked(err)
+		}
+		sealed = s
 	}
 	db.imm = db.mem
 	db.mem = newMemTable()
 	db.bg.Add(1)
-	go db.flushWorker(db.imm)
+	go db.flushWorker(db.imm, sealed)
+	return nil
 }
 
 // Flush forces the MemTable to level 0. With background compaction enabled
 // it is a full barrier: it returns once the flush and any triggered
 // compactions have settled.
-func (db *DB) Flush() {
+func (db *DB) Flush() error {
 	if !db.cfg.BackgroundCompaction {
 		db.mu.Lock()
-		db.flushLocked()
-		db.mu.Unlock()
-		return
+		defer db.mu.Unlock()
+		if db.durErr != nil {
+			return db.durErr
+		}
+		return db.flushLocked()
 	}
 	db.mu.Lock()
-	for db.imm != nil {
+	for db.imm != nil && db.durErr == nil {
 		db.bgCond.Wait()
 	}
-	db.sealLocked()
+	if db.durErr != nil {
+		err := db.durErr
+		db.mu.Unlock()
+		return err
+	}
+	err := db.sealLocked()
 	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	db.WaitIdle()
+	db.mu.Lock()
+	err = db.durErr
+	db.mu.Unlock()
+	return err
 }
 
-// WaitIdle blocks until no background flush or compaction is in flight. The
-// level shape and Stats are stable afterwards (until the next write).
+// WaitIdle blocks until no background flush or compaction is in flight (or
+// the DB has failed). The level shape and Stats are stable afterwards
+// (until the next write).
 func (db *DB) WaitIdle() {
 	db.mu.Lock()
-	for db.imm != nil || db.compacting {
+	for (db.imm != nil || db.compacting) && db.durErr == nil {
 		db.bgCond.Wait()
 	}
 	db.mu.Unlock()
 }
 
 // flushLocked is the inline (foreground) flush + compaction path.
-func (db *DB) flushLocked() {
+func (db *DB) flushLocked() error {
 	entries := db.mem.sorted()
 	if len(entries) == 0 {
-		return
+		return nil
+	}
+	var sealed uint64
+	if db.dur != nil {
+		s, err := db.dur.wal.Rotate()
+		if err != nil {
+			return db.failLocked(err)
+		}
+		sealed = s
 	}
 	db.mem = newMemTable()
-	t := db.buildTable(entries)
+	t, err := db.buildTable(entries)
+	if err != nil {
+		return db.failLocked(err)
+	}
 	db.installFlushedLocked(t)
-	db.maybeCompactLocked()
+	if db.dur != nil {
+		// The memtable's covering segments (<= sealed) are no longer needed
+		// once the table's membership is manifest-committed.
+		if err := db.advanceWALLocked(sealed + 1); err != nil {
+			return db.failLocked(err)
+		}
+	}
+	return db.maybeCompactLocked()
 }
 
 // flushWorker builds the SSTable from the sealed MemTable off-lock, installs
-// it under a short write lock, and kicks the compactor if needed.
-func (db *DB) flushWorker(imm *memTable) {
+// it under a short write lock, and kicks the compactor if needed. On a hard
+// failure the immutable MemTable stays in place (reads keep seeing its
+// records; recovery replays them from the sealed WAL segments) and the DB
+// is marked failed.
+func (db *DB) flushWorker(imm *memTable, sealed uint64) {
 	defer db.bg.Done()
 	sp := db.obs.StartSpan("flush")
 	sp.Phase("build")
-	t := db.buildTable(imm.sorted())
+	t, err := db.buildTable(imm.sorted())
 	sp.Phase("install")
 	db.mu.Lock()
-	db.installFlushedLocked(t)
+	if err == nil {
+		db.installFlushedLocked(t)
+		if db.dur != nil {
+			err = db.advanceWALLocked(sealed + 1)
+		}
+	}
+	if err != nil {
+		db.failLocked(err)
+		db.mu.Unlock()
+		sp.End()
+		return
+	}
 	db.imm = nil
 	if !db.compacting && db.hasCompactionWorkLocked() {
 		db.compacting = true
@@ -338,13 +489,17 @@ func (db *DB) flushWorker(imm *memTable) {
 	sp.End()
 }
 
-func (db *DB) buildTable(entries []Entry) *SSTable {
+// buildTable builds (and, in durable mode, persists and fsyncs) one table.
+func (db *DB) buildTable(entries []Entry) (*SSTable, error) {
 	t, err := buildSSTable(db.nextID.Add(1)-1, entries, db.cfg.BlockSize, db.cfg.Filter)
 	if err != nil {
-		panic("lsm: filter build failed: " + err.Error())
+		return nil, fmt.Errorf("lsm: filter build: %w", err)
 	}
 	t.codecID = db.codecID
-	return t
+	if db.dur == nil {
+		return t, nil
+	}
+	return writeSSTableFile(db.dur.fs, db.dur.dir, t)
 }
 
 func (db *DB) installFlushedLocked(t *SSTable) {
@@ -356,7 +511,10 @@ func (db *DB) installFlushedLocked(t *SSTable) {
 }
 
 // readBlock fetches (and decodes) one block, consulting the cache. Callers
-// hold at least the read lock; the cache has its own mutex.
+// hold at least the read lock; the cache has its own mutex. A read I/O
+// failure or a block that fails its checksum after passing open-time
+// validation is unrecoverable mid-read (Get/Seek have no error channel)
+// and panics; the recovery path re-validates every block before serving.
 func (db *DB) readBlock(t *SSTable, idx int) []Entry {
 	if e := db.cache.get(t.id, idx); e != nil {
 		atomic.AddInt64(&db.Stats.CacheHits, 1)
@@ -366,8 +524,12 @@ func (db *DB) readBlock(t *SSTable, idx int) []Entry {
 	if db.cfg.IOLatency > 0 {
 		time.Sleep(db.cfg.IOLatency)
 	}
-	e := decodeBlock(t.blocks[idx])
-	db.cache.put(t.id, idx, e, int64(len(t.blocks[idx])))
+	raw, err := t.readBlockRaw(idx)
+	if err != nil {
+		panic(fmt.Sprintf("lsm: table %d: %v", t.id, err))
+	}
+	e := decodeBlock(raw)
+	db.cache.put(t.id, idx, e, t.blockBytes(idx))
 	return e
 }
 
@@ -587,7 +749,7 @@ func (db *DB) tableSeek(t *SSTable, lo []byte) (Entry, bool) {
 			return Entry{}, false
 		}
 	}
-	for ; b < len(t.blocks); b++ {
+	for ; b < t.numBlocks(); b++ {
 		entries := db.readBlock(t, b)
 		if i := firstGE(entries, lo); i < len(entries) {
 			return entries[i], true
@@ -617,7 +779,7 @@ func (db *DB) Count(lo, hi []byte) int {
 				return
 			}
 		}
-		for b := t.blockFor(lo); b >= 0 && b < len(t.blocks); b++ {
+		for b := t.blockFor(lo); b >= 0 && b < t.numBlocks(); b++ {
 			entries := db.readBlock(t, b)
 			done := false
 			for i := firstGE(entries, lo); i < len(entries); i++ {
@@ -722,15 +884,21 @@ func (db *DB) pickCompactionLocked() *compactJob {
 
 // executeJob merges the job's inputs and builds the output tables. L0 inputs
 // are newest-last, so later tables correctly win on duplicate keys.
-func (db *DB) executeJob(job *compactJob) []*SSTable {
-	merged := db.mergeTables(append(append([]*SSTable(nil), job.merge...), job.inputs...), job.bottom)
+func (db *DB) executeJob(job *compactJob) ([]*SSTable, error) {
+	merged, err := db.mergeTables(append(append([]*SSTable(nil), job.merge...), job.inputs...), job.bottom)
+	if err != nil {
+		return nil, err
+	}
 	return db.splitIntoTables(merged)
 }
 
 // installLocked swaps the job's output into the level structure. Tables
 // flushed to L0 while an L0 job was merging sit after the consumed prefix
-// and survive the swap.
-func (db *DB) installLocked(job *compactJob, out []*SSTable) {
+// and survive the swap. In durable mode the new shape is manifest-committed
+// before the replaced input files are deleted: a crash between the two
+// leaves orphan files that open-time GC removes, never a manifest pointing
+// at missing tables.
+func (db *DB) installLocked(job *compactJob, out []*SSTable) error {
 	if job.srcLevel == 0 {
 		db.levels[0] = append([]*SSTable(nil), db.levels[0][len(job.inputs):]...)
 	} else {
@@ -740,17 +908,35 @@ func (db *DB) installLocked(job *compactJob, out []*SSTable) {
 		db.levels = append(db.levels, nil)
 	}
 	db.levels[job.srcLevel+1] = sortTables(append(append([]*SSTable(nil), job.keep...), out...))
+	if db.dur == nil {
+		return nil
+	}
+	if err := db.commitManifestLocked(); err != nil {
+		return err
+	}
+	for _, t := range append(append([]*SSTable(nil), job.inputs...), job.merge...) {
+		t.Close()
+		// Best-effort: a failed remove just leaves an orphan for GC.
+		_ = db.dur.fs.Remove(path.Join(db.dur.dir, sstName(t.id)))
+	}
+	return nil
 }
 
 // maybeCompactLocked runs compactions inline until the shape invariants
 // hold (the foreground path).
-func (db *DB) maybeCompactLocked() {
+func (db *DB) maybeCompactLocked() error {
 	for {
 		job := db.pickCompactionLocked()
 		if job == nil {
-			return
+			return nil
 		}
-		db.installLocked(job, db.executeJob(job))
+		out, err := db.executeJob(job)
+		if err != nil {
+			return db.failLocked(err)
+		}
+		if err := db.installLocked(job, out); err != nil {
+			return db.failLocked(err)
+		}
 	}
 }
 
@@ -771,10 +957,20 @@ func (db *DB) compactWorker() {
 		db.mu.Unlock()
 		sp := db.obs.StartSpan("compaction")
 		sp.Phase("merge")
-		out := db.executeJob(job)
+		out, err := db.executeJob(job)
 		sp.Phase("install")
 		db.mu.Lock()
-		db.installLocked(job, out)
+		if err == nil {
+			err = db.installLocked(job, out)
+		}
+		if err != nil {
+			db.failLocked(err)
+			db.compacting = false
+			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			sp.End()
+			return
+		}
 		db.mu.Unlock()
 		sp.End()
 	}
@@ -800,7 +996,7 @@ func (db *DB) levelTarget(l int) int64 {
 // charging I/O: compaction reads are sequential background work, not the
 // foreground I/O the experiments count. When the output is the bottom
 // level, tombstones are garbage-collected.
-func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) []Entry {
+func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) ([]Entry, error) {
 	var all []Entry
 	seen := make(map[string]int)
 	for _, t := range tables {
@@ -812,7 +1008,11 @@ func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) []Entry {
 			panic(fmt.Sprintf("lsm: compaction mixing codec generations %q and %q",
 				t.codecID, db.codecID))
 		}
-		for _, raw := range t.blocks {
+		for b := 0; b < t.numBlocks(); b++ {
+			raw, err := t.readBlockRaw(b)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: compaction read table %d: %w", t.id, err)
+			}
 			for _, e := range decodeBlock(raw) {
 				if i, ok := seen[string(e.Key)]; ok {
 					all[i] = e
@@ -833,22 +1033,26 @@ func (db *DB) mergeTables(tables []*SSTable, dropTombstones bool) []Entry {
 		all = live
 	}
 	sort.Slice(all, func(i, j int) bool { return keys.Compare(all[i].Key, all[j].Key) < 0 })
-	return all
+	return all, nil
 }
 
-func (db *DB) splitIntoTables(entries []Entry) []*SSTable {
+func (db *DB) splitIntoTables(entries []Entry) ([]*SSTable, error) {
 	var out []*SSTable
 	var size int64
 	start := 0
 	for i, e := range entries {
 		size += int64(len(e.Key) + len(e.Value))
 		if size >= db.cfg.TargetTableBytes || i == len(entries)-1 {
-			out = append(out, db.buildTable(entries[start:i+1]))
+			t, err := db.buildTable(entries[start : i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
 			start = i + 1
 			size = 0
 		}
 	}
-	return out
+	return out, nil
 }
 
 func sortTables(ts []*SSTable) []*SSTable {

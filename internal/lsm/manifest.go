@@ -1,0 +1,173 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
+	"path"
+
+	"mets/internal/vfs"
+)
+
+// isNotExist matches not-found errors from both FS implementations.
+func isNotExist(err error) bool {
+	return errors.Is(err, vfs.ErrNotExist) || errors.Is(err, iofs.ErrNotExist)
+}
+
+// The MANIFEST is the LSM's atomically-committed root pointer: which table
+// files make up each level, the next table id, the WAL low-water mark, and
+// the codec generation. It is rewritten in full on every flush/compaction
+// install via write-tmp → sync → rename, so a crash always leaves either
+// the old or the new manifest — never a torn one. Layout:
+//
+//	u32 magic "MMAN" | u32 version | u32 payloadLen | u32 payloadCRC
+//	payload:
+//	    u64 nextID | u64 walMin
+//	    u16 codecIDLen | codecID
+//	    u32 numLevels | per level: u32 numTables | u64 tableID...
+
+const (
+	manMagic      = 0x4e414d4d // "MMAN"
+	manVersion    = 1
+	manifestName  = "MANIFEST"
+	manifestTmp   = "MANIFEST.tmp"
+	manMaxPayload = 1 << 26
+)
+
+type manifest struct {
+	nextID  uint64
+	walMin  uint64 // lowest WAL segment still needed for recovery
+	codecID string
+	levels  [][]uint64 // table ids per level, oldest level first
+}
+
+// writeManifest atomically replaces dir's MANIFEST.
+func writeManifest(fs vfs.FS, dir string, m *manifest) error {
+	var p []byte
+	p = binary.LittleEndian.AppendUint64(p, m.nextID)
+	p = binary.LittleEndian.AppendUint64(p, m.walMin)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(m.codecID)))
+	p = append(p, m.codecID...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(m.levels)))
+	for _, lvl := range m.levels {
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(lvl)))
+		for _, id := range lvl {
+			p = binary.LittleEndian.AppendUint64(p, id)
+		}
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], manMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], manVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(p, castagnoli))
+
+	tmp := path.Join(dir, manifestTmp)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lsm: create manifest tmp: %w", err)
+	}
+	if _, err := f.Write(append(hdr[:], p...)); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lsm: close manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, path.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("lsm: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads dir's MANIFEST; a missing file returns (nil, nil) —
+// a fresh database. A present-but-invalid manifest is an open error: under
+// the crash model it can only mean out-of-band damage, and guessing at
+// tree structure risks resurrecting deleted keys.
+func readManifest(fs vfs.FS, dir string) (*manifest, error) {
+	name := path.Join(dir, manifestName)
+	rf, err := fs.Open(name)
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lsm: open manifest: %w", err)
+	}
+	defer rf.Close()
+	size := rf.Size()
+	if size < 16 {
+		return nil, fmt.Errorf("lsm: manifest too short (%d bytes)", size)
+	}
+	var hdr [16]byte
+	if _, err := rf.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != manMagic {
+		return nil, fmt.Errorf("lsm: manifest bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != manVersion {
+		return nil, fmt.Errorf("lsm: manifest unsupported version %d", v)
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+	if plen > manMaxPayload || 16+plen > size {
+		return nil, fmt.Errorf("lsm: manifest payload length %d out of bounds", plen)
+	}
+	p := make([]byte, plen)
+	if _, err := rf.ReadAt(p, 16); err != nil {
+		return nil, fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("lsm: manifest checksum mismatch")
+	}
+	r := &metaReader{b: p}
+	m := &manifest{}
+	if m.nextID, err = r.u64(); err != nil {
+		return nil, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if m.walMin, err = r.u64(); err != nil {
+		return nil, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	idLen, err := r.u16()
+	if err != nil {
+		return nil, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	idBytes, err := r.take(int(idLen))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	m.codecID = string(idBytes)
+	nLevels, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if nLevels > 64 {
+		return nil, fmt.Errorf("lsm: manifest level count %d out of bounds", nLevels)
+	}
+	for l := uint32(0); l < nLevels; l++ {
+		nTabs, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("lsm: manifest: %w", err)
+		}
+		if int64(nTabs)*8 > int64(len(p)) {
+			return nil, fmt.Errorf("lsm: manifest table count %d out of bounds", nTabs)
+		}
+		lvl := make([]uint64, 0, nTabs)
+		for i := uint32(0); i < nTabs; i++ {
+			id, err := r.u64()
+			if err != nil {
+				return nil, fmt.Errorf("lsm: manifest: %w", err)
+			}
+			lvl = append(lvl, id)
+		}
+		m.levels = append(m.levels, lvl)
+	}
+	if r.off != len(p) {
+		return nil, fmt.Errorf("lsm: manifest trailing bytes")
+	}
+	return m, nil
+}

@@ -9,10 +9,16 @@ package lsm
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"mets/internal/keys"
+	"mets/internal/vfs"
 )
+
+// castagnoli is the CRC-32C table shared by the SSTable file format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Entry is a key-value record.
 type Entry struct {
@@ -54,6 +60,18 @@ type SSTable struct {
 	// fences, filter) were encoded with; stamped by the owning DB at build
 	// time and checked by compactions ("identity" for raw keys).
 	codecID string
+	// File backing (durable mode). When rf is non-nil, blocks is nil and
+	// payloads are pread through binfo with per-block CRC verification.
+	rf      vfs.ReadFile
+	binfo   []blockInfo
+	dataOff int64 // file offset of the blocks region
+}
+
+// blockInfo locates one block inside a table file's data region.
+type blockInfo struct {
+	off    int64
+	length uint32
+	crc    uint32
 }
 
 // NumEntries returns the number of records.
@@ -108,26 +126,44 @@ func buildSSTable(id uint64, entries []Entry, blockSize int, fb FilterBuilder) (
 	return t, nil
 }
 
-// decodeBlock parses a serialized block.
+// decodeBlock parses a serialized block known to be well-formed (built by
+// this process or CRC-verified on open).
 func decodeBlock(raw []byte) []Entry {
+	out, err := parseBlock(raw)
+	if err != nil {
+		panic(fmt.Sprintf("lsm: corrupt block passed validation: %v", err))
+	}
+	return out
+}
+
+// parseBlock is the bounds-checked block decoder used when validating
+// untrusted bytes (sstable open); malformed input returns an error instead
+// of panicking.
+func parseBlock(raw []byte) ([]Entry, error) {
 	var out []Entry
 	for off := 0; off < len(raw); {
 		kl, n := binary.Uvarint(raw[off:])
+		if n <= 0 || kl > uint64(len(raw)-off-n) {
+			return nil, fmt.Errorf("malformed key frame at %d", off)
+		}
 		off += n
 		k := raw[off : off+int(kl)]
 		off += int(kl)
 		vl, n := binary.Uvarint(raw[off:])
+		if n <= 0 || vl > uint64(len(raw)-off-n) {
+			return nil, fmt.Errorf("malformed value frame at %d", off)
+		}
 		off += n
 		v := raw[off : off+int(vl)]
 		off += int(vl)
 		out = append(out, Entry{Key: k, Value: v})
 	}
-	return out
+	return out, nil
 }
 
 // blockFor returns the index of the block that may contain key, or -1.
 func (t *SSTable) blockFor(key []byte) int {
-	if len(t.blocks) == 0 || keys.Compare(key, t.maxKey) > 0 {
+	if t.numBlocks() == 0 || keys.Compare(key, t.maxKey) > 0 {
 		return -1
 	}
 	i := sort.Search(len(t.fence), func(i int) bool {
@@ -142,7 +178,7 @@ func (t *SSTable) blockFor(key []byte) int {
 // overlaps reports whether the table's key range intersects [lo, hi]; nil
 // hi means +infinity.
 func (t *SSTable) overlaps(lo, hi []byte) bool {
-	if len(t.blocks) == 0 {
+	if t.numBlocks() == 0 {
 		return false
 	}
 	if hi != nil && keys.Compare(t.minKey, hi) > 0 {
@@ -167,8 +203,8 @@ func (t *SSTable) MemoryUsage() int64 {
 // DiskUsage returns the total serialized block bytes.
 func (t *SSTable) DiskUsage() int64 {
 	var m int64
-	for _, b := range t.blocks {
-		m += int64(len(b))
+	for i := 0; i < t.numBlocks(); i++ {
+		m += t.blockBytes(i)
 	}
 	return m
 }

@@ -1,0 +1,79 @@
+package sharded
+
+import (
+	"fmt"
+	"testing"
+
+	"mets/internal/hope"
+	"mets/internal/hybrid"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+	"mets/internal/vfs"
+)
+
+// TestShardedJournalReopen pins the per-shard data-dir plumbing: writes to a
+// Dir-configured sharded index survive close + reopen, with each shard
+// journaling under its own Dir/shardNNN subdirectory.
+func TestShardedJournalReopen(t *testing.T) {
+	for _, epochs := range []bool{false, true} {
+		t.Run(fmt.Sprintf("epoch=%v", epochs), func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			hc := hybrid.DefaultConfig()
+			hc.MinDynamic = 16
+			hc.MergeRatio = 2
+			hc.EpochReads = epochs
+			hc.FS = fs
+			cfg := Config{Shards: 4, Hybrid: hc, Dir: "data"}
+			s := NewBTree(cfg)
+			want := map[string]uint64{}
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%05d", i)
+				s.Insert([]byte(k), uint64(i))
+				want[k] = uint64(i)
+				if i%5 == 0 {
+					s.Delete([]byte(k))
+					delete(want, k)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			// Every shard directory must exist (the router spreads this
+			// keyspace across all of them).
+			names, err := fs.List("data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 0 {
+				t.Fatalf("data dir should hold only subdirectories, saw files %v", names)
+			}
+			s2 := NewBTree(cfg)
+			defer s2.Close()
+			if s2.Len() != len(want) {
+				t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(want))
+			}
+			for k, v := range want {
+				got, ok := s2.Get([]byte(k))
+				if !ok || got != v {
+					t.Fatalf("Get(%q) = (%d,%v), want %d", k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDirWithTrainerPanics pins the incompatibility: shard journals
+// hold encoded-space keys, so a codec-retraining BulkLoad would invalidate
+// them and New must refuse the combination outright.
+func TestShardedDirWithTrainerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted Dir + CodecTrainer; want panic")
+		}
+	}()
+	trainer := func(sample [][]byte) (keycodec.Codec, error) {
+		return keycodec.TrainHOPE(keys.Dedup(sample), hope.SingleChar, 0)
+	}
+	NewBTree(Config{Shards: 2, Dir: "data", CodecTrainer: trainer,
+		Hybrid: hybrid.Config{FS: vfs.NewMemFS()}})
+}

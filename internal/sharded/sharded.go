@@ -27,6 +27,7 @@ package sharded
 
 import (
 	"fmt"
+	"path"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,7 +67,15 @@ type Config struct {
 	// quantiles in the new encoded space, and swap codec+router+shards in
 	// one atomic step. Point and range operations concurrent with the swap
 	// see either the old or the new generation, never a mix.
+	// Incompatible with Dir (New panics): shard journals hold keys in
+	// encoded space, so swapping the codec would invalidate them.
 	CodecTrainer keycodec.Trainer
+	// Dir, when non-empty, gives every shard an op journal under
+	// Dir/shardNNN (see hybrid.Config.Dir): writes are journaled and a new
+	// index over the same Dir replays them. Hybrid.Dir is ignored — the
+	// sharded layer owns the per-shard directories. Hybrid.FS still selects
+	// the filesystem. Use SyncJournals/Close as the durability barriers.
+	Dir string
 }
 
 // DefaultConfig returns 8 uniform shards with background merges enabled.
@@ -97,6 +106,8 @@ type Index struct {
 	newShard  func(hybrid.Config) *hybrid.Index
 	trainer   keycodec.Trainer
 	nshards   int
+	// dir is Config.Dir; each shard journals under dir/shardNNN.
+	dir string
 	// bulkMu serializes core rebuilds (concurrent BulkLoads would otherwise
 	// race their swaps); ordinary operations never take it.
 	bulkMu sync.Mutex
@@ -118,8 +129,12 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 	if cfg.Router != nil {
 		n = cfg.Router.NumShards()
 	}
+	if cfg.Dir != "" && cfg.CodecTrainer != nil {
+		panic("sharded: Dir cannot be combined with CodecTrainer (a codec swap would invalidate the encoded-space shard journals)")
+	}
 	hc := cfg.Hybrid
 	hc.Codec = nil // the sharded layer owns the codec boundary
+	hc.Dir = ""    // per-shard journal dirs are assigned in newCore
 	var mgr *epoch.Manager
 	if hc.EpochReads {
 		mgr = hc.Epochs
@@ -135,6 +150,7 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 		trainer:   cfg.CodecTrainer,
 		nshards:   n,
 		epochs:    mgr,
+		dir:       cfg.Dir,
 	}
 	var codec keycodec.Codec
 	if !keycodec.IsIdentity(cfg.Codec) {
@@ -187,9 +203,35 @@ func (s *Index) newCore(codec keycodec.Codec, r *Router) *core {
 		if s.obs != nil {
 			hc.Obs = s.obs.Sub(fmt.Sprintf("shard%d.", i))
 		}
+		if s.dir != "" {
+			hc.Dir = path.Join(s.dir, fmt.Sprintf("shard%03d", i))
+		}
 		c.shards[i] = s.newShard(hc)
 	}
 	return c
+}
+
+// SyncJournals is the explicit durability barrier across every shard
+// journal. A no-op without Config.Dir.
+func (s *Index) SyncJournals() error {
+	for _, sh := range s.load().shards {
+		if err := sh.SyncJournal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close settles background merges and closes every shard journal (final
+// fsync each). A no-op without Config.Dir.
+func (s *Index) Close() error {
+	var first error
+	for _, sh := range s.load().shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (s *Index) load() *core { return s.core.Load() }

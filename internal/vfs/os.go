@@ -1,0 +1,93 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// OS is the production FS: a thin adapter over the os package. The zero
+// value is ready to use.
+type OS struct{}
+
+func hostPath(name string) string { return filepath.FromSlash(name) }
+
+func (OS) Create(name string) (File, error) {
+	f, err := os.OpenFile(hostPath(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OS) Open(name string) (ReadFile, error) {
+	f, err := os.Open(hostPath(name))
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osReadFile{f: f, size: st.Size()}, nil
+}
+
+func (OS) Remove(name string) error { return os.Remove(hostPath(name)) }
+
+// Rename renames and then best-effort-syncs the parent directory, so the
+// new directory entry survives a crash (the POSIX contract behind the
+// write-tmp-sync-rename manifest commit).
+func (OS) Rename(oldname, newname string) error {
+	if err := os.Rename(hostPath(oldname), hostPath(newname)); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(hostPath(newname))); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(hostPath(dir), 0o755) }
+
+func (OS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(hostPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (OS) Size(name string) (int64, error) {
+	st, err := os.Stat(hostPath(name))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+type osFile struct{ f *os.File }
+
+func (w osFile) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w osFile) Sync() error                 { return w.f.Sync() }
+func (w osFile) Close() error                { return w.f.Close() }
+
+type osReadFile struct {
+	f    *os.File
+	size int64
+}
+
+func (r *osReadFile) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *osReadFile) Size() int64                             { return r.size }
+func (r *osReadFile) Close() error                            { return r.f.Close() }

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"mets/internal/vfs"
+)
+
+// frame builds one valid WAL frame.
+func frame(rec []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, rec)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	return append(hdr[:], rec...)
+}
+
+// FuzzWALReplay pins the recovery contract on arbitrary bytes: build a
+// segment whose prefix is valid frames and whose tail is fuzz input, then
+// require that Replay (a) never panics, (b) yields every valid-prefix
+// record unchanged, and (c) yields nothing after the first invalid frame —
+// no phantom records.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{}, 3)
+	f.Add([]byte{0, 0, 0, 0}, 0)
+	f.Add(frame([]byte("next")), 1)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4}, 2)
+	f.Add(bytes.Repeat([]byte{0xAA}, 100), 5)
+	f.Fuzz(func(t *testing.T, tail []byte, nValid int) {
+		if nValid < 0 || nValid > 32 {
+			return
+		}
+		fs := vfs.NewMemFS()
+		fs.MkdirAll("wal")
+		var seg []byte
+		var want [][]byte
+		for i := 0; i < nValid; i++ {
+			rec := []byte(fmt.Sprintf("valid-%d", i))
+			want = append(want, rec)
+			seg = append(seg, frame(rec)...)
+		}
+		validLen := len(seg)
+		seg = append(seg, tail...)
+		w, err := fs.Create("wal/" + SegmentName(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(seg)
+		w.Sync()
+		w.Close()
+
+		var got [][]byte
+		st, err := Replay(fs, "wal", 0, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay error on arbitrary bytes: %v", err)
+		}
+		if len(got) < len(want) {
+			t.Fatalf("lost valid records: %d < %d", len(got), len(want))
+		}
+		for i, rec := range want {
+			if !bytes.Equal(got[i], rec) {
+				t.Fatalf("record %d = %q, want %q", i, got[i], rec)
+			}
+		}
+		// Extra records beyond the valid prefix are legitimate only when the
+		// tail itself parses as valid frames from validLen; verify each one
+		// is exactly the frames a sequential parse of the tail yields.
+		extra := got[len(want):]
+		off := 0
+		for _, rec := range extra {
+			fr := frame(rec)
+			if off+len(fr) > len(tail) || !bytes.Equal(tail[off:off+len(fr)], fr) {
+				t.Fatalf("phantom record %q not a valid tail frame at %d", rec, off)
+			}
+			off += len(fr)
+		}
+		_ = validLen
+		_ = st
+	})
+}
+
+// FuzzWALReplayRawSegment feeds entirely arbitrary bytes as a segment:
+// replay must never panic and never return an error (torn detection is a
+// stats field, not a failure).
+func FuzzWALReplayRawSegment(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(frame([]byte("ok")))
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := vfs.NewMemFS()
+		fs.MkdirAll("wal")
+		w, _ := fs.Create("wal/" + SegmentName(7))
+		w.Write(data)
+		w.Sync()
+		w.Close()
+		if _, err := Replay(fs, "wal", 0, func([]byte) error { return nil }); err != nil {
+			t.Fatalf("replay error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,496 @@
+// Package wal implements the append-only segmented write-ahead log under
+// the durable LSM engine (and the hybrid index's op journal). Records are
+// opaque byte payloads framed as
+//
+//	u32 payload length | u32 CRC-32C over (length bytes ‖ payload) | payload
+//
+// in little-endian, appended to numbered segment files ("000001.wal"). A
+// single committer goroutine drains enqueued records into the current
+// segment and fsyncs once per batch — group commit: every writer blocked in
+// Ack.Wait for that batch is acked by one fsync, so the fsync cost
+// amortizes across concurrent writers. Segments rotate at a size threshold
+// (or on demand, which is how the LSM ties "memtable sealed" to "WAL
+// position"), and DeleteBelow truncates the log once a covering memtable
+// has been flushed durably.
+//
+// Replay tolerates a torn tail: it applies records in segment order and
+// stops at the first frame that is short, oversized, or fails its CRC —
+// which, under the vfs crash model, is always at or after the last synced
+// (acked) record, never behind it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sync"
+	"time"
+
+	"mets/internal/obs"
+	"mets/internal/vfs"
+)
+
+// SegmentExt is the WAL segment file suffix.
+const SegmentExt = ".wal"
+
+// frameHeaderLen is the per-record framing overhead.
+const frameHeaderLen = 8
+
+// MaxRecordBytes bounds a single record (and, during replay, rejects
+// absurd lengths decoded from a corrupt frame before any allocation).
+const MaxRecordBytes = 1 << 26 // 64 MB
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncMode selects the durability contract of Ack.Wait.
+type SyncMode int
+
+const (
+	// SyncEach acks a record only after the fsync of the batch containing
+	// it: an acked write survives any crash. Concurrent writers still
+	// share fsyncs (the committer batches whatever queued while the
+	// previous fsync ran). The durable default.
+	SyncEach SyncMode = iota
+	// SyncBatch is SyncEach plus a fixed coalescing window: the committer
+	// waits GroupDelay after the first record of a batch before writing,
+	// trading a bounded ack-latency floor for fewer, larger fsyncs.
+	SyncBatch
+	// SyncNone acks as soon as the record is written to the OS (no fsync):
+	// a crash may lose acked records. Sync() remains available as an
+	// explicit barrier.
+	SyncNone
+)
+
+// Options configures Open.
+type Options struct {
+	FS  vfs.FS // nil = vfs.OS{}
+	Dir string // segment directory (created if missing)
+	// SegmentBytes is the rotation threshold (default 4 MB).
+	SegmentBytes int64
+	// Mode is the ack durability contract (default SyncEach).
+	Mode SyncMode
+	// GroupDelay is the SyncBatch coalescing window (default 200µs).
+	GroupDelay time.Duration
+	// Obs hooks the log into a metrics registry under "wal.": appended
+	// records/bytes, fsyncs, rotations, a group-commit latency histogram
+	// (enqueue → durable, i.e. what a committed writer actually waits),
+	// and a batch-size histogram. Nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Ack is one record's durability promise.
+type Ack struct {
+	seq  uint64 // 1-based enqueue index of the record
+	done chan struct{}
+	err  error
+	t0   time.Time
+}
+
+// Wait blocks until the record is durable per the log's SyncMode and
+// returns the write/sync error, if any.
+func (a *Ack) Wait() error {
+	<-a.done
+	return a.err
+}
+
+// Log is a segmented write-ahead log. Enqueue is cheap and safe to call
+// under a caller-side mutex; the committer goroutine does all file I/O.
+type Log struct {
+	fs    vfs.FS
+	dir   string
+	limit int64
+	mode  SyncMode
+	delay time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond // committer wakeup
+	pending []pendingRec
+	synchs  []*syncReq
+	rotates []*rotateReq
+	closing bool
+	closed  chan struct{}
+	err     error // sticky: first write/sync failure kills the log
+
+	enqSeq     uint64 // records enqueued
+	durableSeq uint64 // records durable (written, and synced unless SyncNone)
+
+	seg     uint64   // current segment sequence number
+	segFile vfs.File // current segment handle
+	segSize int64
+
+	obsAppends *obs.Counter
+	obsBytes   *obs.Counter
+	obsFsyncs  *obs.Counter
+	obsRotates *obs.Counter
+	obsCommit  *obs.Histogram // group-commit latency (enqueue → ack)
+}
+
+type pendingRec struct {
+	rec []byte
+	ack *Ack
+}
+
+type syncReq struct {
+	target uint64 // durableSeq to reach (with an fsync, even under SyncNone)
+	done   chan struct{}
+	err    error
+}
+
+type rotateReq struct {
+	done   chan struct{}
+	sealed uint64
+	err    error
+}
+
+// SegmentName returns the file name of segment seq.
+func SegmentName(seq uint64) string { return vfs.SegmentedName(seq, SegmentExt) }
+
+// ListSegments returns the segment sequence numbers present in dir,
+// ascending.
+func ListSegments(fs vfs.FS, dir string) ([]uint64, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, n := range names {
+		if seq, ok := vfs.ParseSegmentedName(n, SegmentExt); ok {
+			segs = append(segs, seq)
+		}
+	}
+	return segs, nil
+}
+
+// Open creates a log writing to a fresh segment numbered one past the
+// highest existing segment in dir (existing segments are left for Replay
+// and DeleteBelow). The committer goroutine starts immediately.
+func Open(o Options) (*Log, error) {
+	if o.FS == nil {
+		o.FS = vfs.OS{}
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.GroupDelay <= 0 {
+		o.GroupDelay = 200 * time.Microsecond
+	}
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", o.Dir, err)
+	}
+	segs, err := ListSegments(o.FS, o.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", o.Dir, err)
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1] + 1
+	}
+	l := &Log{
+		fs:     o.FS,
+		dir:    o.Dir,
+		limit:  o.SegmentBytes,
+		mode:   o.Mode,
+		delay:  o.GroupDelay,
+		closed: make(chan struct{}),
+		seg:    next,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	if r := o.Obs; r != nil {
+		w := r.Sub("wal.")
+		l.obsAppends = w.Counter("appends")
+		l.obsBytes = w.Counter("bytes")
+		l.obsFsyncs = w.Counter("fsyncs")
+		l.obsRotates = w.Counter("rotations")
+		l.obsCommit = w.Histogram("group_commit")
+	}
+	f, err := l.fs.Create(path.Join(l.dir, SegmentName(l.seg)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segFile = f
+	go l.commitLoop()
+	return l, nil
+}
+
+// Enqueue stages rec for the committer and returns its Ack. The record
+// contents are captured by reference; callers must not mutate rec
+// afterwards. Safe (and intended) to call under a caller mutex so that WAL
+// order matches in-memory apply order; do the blocking Wait after
+// unlocking.
+func (l *Log) Enqueue(rec []byte) *Ack {
+	a := &Ack{done: make(chan struct{})}
+	if l.obsCommit != nil {
+		a.t0 = time.Now()
+	}
+	l.mu.Lock()
+	if l.err != nil || l.closing {
+		err := l.err
+		if err == nil {
+			err = ErrClosed
+		}
+		l.mu.Unlock()
+		a.err = err
+		close(a.done)
+		return a
+	}
+	l.enqSeq++
+	a.seq = l.enqSeq
+	l.pending = append(l.pending, pendingRec{rec: rec, ack: a})
+	l.cond.Signal()
+	l.mu.Unlock()
+	return a
+}
+
+// Append is Enqueue + Wait.
+func (l *Log) Append(rec []byte) error { return l.Enqueue(rec).Wait() }
+
+// Sync blocks until every record enqueued so far is written and fsynced —
+// an explicit durability barrier valid in every mode, including SyncNone.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.err != nil {
+		defer l.mu.Unlock()
+		return l.err
+	}
+	if l.closing {
+		defer l.mu.Unlock()
+		return ErrClosed
+	}
+	r := &syncReq{target: l.enqSeq, done: make(chan struct{})}
+	l.synchs = append(l.synchs, r)
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-r.done
+	return r.err
+}
+
+// Rotate seals the current segment — every record enqueued before the call
+// is written and fsynced into segments <= the returned sequence — and
+// starts a fresh one. Callers must not race Rotate with Enqueue for
+// records whose covering state depends on the rotation point (the LSM
+// calls both under its own write lock).
+func (l *Log) Rotate() (sealed uint64, err error) {
+	l.mu.Lock()
+	if l.err != nil {
+		defer l.mu.Unlock()
+		return 0, l.err
+	}
+	if l.closing {
+		defer l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r := &rotateReq{done: make(chan struct{})}
+	l.rotates = append(l.rotates, r)
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-r.done
+	return r.sealed, r.err
+}
+
+// DeleteBelow removes every segment with sequence < minKeep. Called after
+// a manifest commit advances the WAL low-water mark; a failure leaves
+// harmless garbage that the next successful call removes.
+func (l *Log) DeleteBelow(minKeep uint64) error {
+	segs, err := ListSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq >= minKeep {
+			break
+		}
+		l.mu.Lock()
+		cur := l.seg
+		l.mu.Unlock()
+		if seq == cur {
+			break // never the live segment
+		}
+		if err := l.fs.Remove(path.Join(l.dir, SegmentName(seq))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seq returns the current (live) segment sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Err returns the sticky error, if the log has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close drains pending records (with a final fsync in syncing modes),
+// stops the committer, and closes the segment file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		<-l.closed
+		return l.err
+	}
+	l.closing = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.closed
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.segFile != nil {
+		l.segFile.Close()
+		l.segFile = nil
+	}
+	return l.err
+}
+
+// commitLoop is the single committer: it steals the pending batch, writes
+// each record (rotating mid-batch when the segment fills), fsyncs once,
+// and completes the batch's acks and any barrier requests.
+func (l *Log) commitLoop() {
+	defer close(l.closed)
+	for {
+		l.mu.Lock()
+		for len(l.pending) == 0 && len(l.synchs) == 0 && len(l.rotates) == 0 && !l.closing {
+			l.cond.Wait()
+		}
+		if l.closing && len(l.pending) == 0 && len(l.synchs) == 0 && len(l.rotates) == 0 {
+			// Final fsync so buffered bytes of SyncNone-mode records are not
+			// lost by a clean Close.
+			if l.err == nil && l.segSize > 0 {
+				if err := l.segFile.Sync(); err == nil {
+					l.obsFsyncs.Inc()
+				}
+			}
+			l.mu.Unlock()
+			return
+		}
+		if l.mode == SyncBatch && len(l.pending) > 0 && l.err == nil {
+			// Coalescing window: let concurrent writers join this batch.
+			l.mu.Unlock()
+			time.Sleep(l.delay)
+			l.mu.Lock()
+		}
+		batch := l.pending
+		l.pending = nil
+		synchs := l.synchs
+		l.synchs = nil
+		rotates := l.rotates
+		l.rotates = nil
+		err := l.err
+		l.mu.Unlock()
+
+		var wrote int64
+		if err == nil {
+			for _, p := range batch {
+				if err = l.writeRecord(p.rec); err != nil {
+					break
+				}
+				wrote += int64(frameHeaderLen + len(p.rec))
+			}
+		}
+		needSync := l.mode != SyncNone || len(synchs) > 0 || len(rotates) > 0
+		if err == nil && needSync {
+			if serr := l.segFile.Sync(); serr != nil {
+				err = serr
+			} else {
+				l.obsFsyncs.Inc()
+			}
+		}
+		for _, r := range rotates {
+			if err == nil {
+				r.sealed = l.seg
+				err = l.openNextSegment()
+			}
+			r.err = err
+			close(r.done)
+		}
+
+		l.mu.Lock()
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		if err == nil && len(batch) > 0 {
+			l.durableSeq = batch[len(batch)-1].ack.seq
+		}
+		l.mu.Unlock()
+
+		now := time.Time{}
+		if l.obsCommit != nil {
+			now = time.Now()
+		}
+		for _, p := range batch {
+			p.ack.err = err
+			close(p.ack.done)
+			l.obsAppends.Inc()
+			if l.obsCommit != nil && !p.ack.t0.IsZero() {
+				l.obsCommit.ObserveNs(now.Sub(p.ack.t0).Nanoseconds())
+			}
+		}
+		l.obsBytes.Add(wrote)
+		for _, r := range synchs {
+			r.err = err
+			close(r.done)
+		}
+	}
+}
+
+// writeRecord frames and writes one record, rotating first when the
+// current segment is full. Only the committer calls it.
+func (l *Log) writeRecord(rec []byte) error {
+	if int64(len(rec)) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(rec))
+	}
+	if l.segSize > 0 && l.segSize+int64(frameHeaderLen+len(rec)) > l.limit {
+		// Mid-batch rotation: sync and seal the full segment, open the next.
+		if err := l.segFile.Sync(); err != nil {
+			return err
+		}
+		l.obsFsyncs.Inc()
+		if err := l.openNextSegment(); err != nil {
+			return err
+		}
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, rec)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	buf := make([]byte, 0, frameHeaderLen+len(rec))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, rec...)
+	if _, err := l.segFile.Write(buf); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.segSize += int64(len(buf))
+	l.mu.Unlock()
+	return nil
+}
+
+// openNextSegment closes the current segment file and creates seg+1. Only
+// the committer calls it (callers have already synced the old segment).
+func (l *Log) openNextSegment() error {
+	l.segFile.Close()
+	l.mu.Lock()
+	l.seg++
+	seq := l.seg
+	l.segSize = 0
+	l.mu.Unlock()
+	f, err := l.fs.Create(path.Join(l.dir, SegmentName(seq)))
+	if err != nil {
+		return err
+	}
+	l.segFile = f
+	l.obsRotates.Inc()
+	return nil
+}

@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mets/internal/vfs"
+)
+
+func collect(t *testing.T, fs vfs.FS, dir string, minSeg uint64) ([][]byte, ReplayStats) {
+	t.Helper()
+	var recs [][]byte
+	st, err := Replay(fs, dir, minSeg, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, rec)
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collect(t, fs, "wal", 0)
+	if st.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal", Mode: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, fs, "wal", 0)
+	if len(got) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*per)
+	}
+}
+
+func TestSizeRotation(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal", SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append(make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected size rotation, got segments %v", segs)
+	}
+	got, _ := collect(t, fs, "wal", 0)
+	if len(got) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(got))
+	}
+}
+
+func TestExplicitRotateAndDeleteBelow(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("old-1"))
+	l.Append([]byte("old-2"))
+	sealed, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("new-1"))
+	// Replay from past the sealed segment sees only the new record.
+	got, _ := collect(t, fs, "wal", sealed+1)
+	if len(got) != 1 || string(got[0]) != "new-1" {
+		t.Fatalf("post-rotate replay = %q", got)
+	}
+	if err := l.DeleteBelow(sealed + 1); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := ListSegments(fs, "wal")
+	for _, s := range segs {
+		if s <= sealed {
+			t.Fatalf("segment %d survived DeleteBelow(%d)", s, sealed+1)
+		}
+	}
+	got, _ = collect(t, fs, "wal", 0)
+	if len(got) != 1 || string(got[0]) != "new-1" {
+		t.Fatalf("full replay after truncation = %q", got)
+	}
+	l.Close()
+}
+
+func TestReopenContinuesNumbering(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _ := Open(Options{FS: fs, Dir: "wal"})
+	l.Append([]byte("first"))
+	first := l.Seq()
+	l.Close()
+	l2, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Seq() <= first {
+		t.Fatalf("reopen segment %d not past %d", l2.Seq(), first)
+	}
+	l2.Append([]byte("second"))
+	l2.Close()
+	got, _ := collect(t, fs, "wal", 0)
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("replay across restarts = %q", got)
+	}
+}
+
+func TestTornTailStopsAtAckedPrefix(t *testing.T) {
+	// Crash with unsynced bytes in TornTail mode: replay must recover every
+	// acked record and stop cleanly at the torn frame.
+	for seed := int64(1); seed <= 20; seed++ {
+		fs := vfs.NewMemFS()
+		l, err := Open(Options{FS: fs, Dir: "wal", Mode: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			l.Append([]byte(fmt.Sprintf("acked-%d", i)))
+		}
+		if err := l.Sync(); err != nil { // acked-durable barrier
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			l.Append([]byte(fmt.Sprintf("risky-%d", i))) // written, not synced
+		}
+		fs.CrashAt(1, vfs.TornTail, seed)
+		// Log dies on its next write; ignore the error.
+		l.Append([]byte("boom"))
+		fs.Recover()
+		got, _ := collect(t, fs, "wal", 0)
+		if len(got) < 5 {
+			t.Fatalf("seed %d: lost acked records: got %d", seed, len(got))
+		}
+		for i := 0; i < 5; i++ {
+			if string(got[i]) != fmt.Sprintf("acked-%d", i) {
+				t.Fatalf("seed %d: record %d = %q", seed, i, got[i])
+			}
+		}
+		// Any extra records must be the issued prefix, in order.
+		for i := 5; i < len(got); i++ {
+			if string(got[i]) != fmt.Sprintf("risky-%d", i-5) {
+				t.Fatalf("seed %d: phantom record %q at %d", seed, got[i], i)
+			}
+		}
+		l.Close()
+	}
+}
+
+func TestCorruptTailDetected(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		fs := vfs.NewMemFS()
+		l, _ := Open(Options{FS: fs, Dir: "wal", Mode: SyncNone})
+		l.Append([]byte("acked"))
+		l.Sync()
+		l.Append([]byte("risky-record-with-some-length"))
+		fs.CrashAt(1, vfs.CorruptTail, seed)
+		l.Append([]byte("boom"))
+		fs.Recover()
+		got, st := collect(t, fs, "wal", 0)
+		if len(got) < 1 || string(got[0]) != "acked" {
+			t.Fatalf("seed %d: acked record lost: %q", seed, got)
+		}
+		// The corrupted risky record must either be dropped (CRC caught it:
+		// torn) or — if the flipped bit landed in a frame not yet written —
+		// absent entirely; it must never be replayed with altered contents.
+		if len(got) > 1 {
+			if string(got[1]) != "risky-record-with-some-length" {
+				t.Fatalf("seed %d: corrupt record replayed: %q (stats %+v)", seed, got[1], st)
+			}
+		}
+		l.Close()
+	}
+}
+
+func TestSyncBarrierAfterClose(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _ := Open(Options{FS: fs, Dir: "wal"})
+	l.Close()
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync on closed log = %v", err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log = %v", err)
+	}
+	if _, err := l.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Rotate on closed log = %v", err)
+	}
+}
+
+func TestStickyErrorAfterCrash(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _ := Open(Options{FS: fs, Dir: "wal"})
+	l.Append([]byte("ok"))
+	fs.CrashAt(1, vfs.DropUnsynced, 1)
+	if err := l.Append([]byte("boom")); err == nil {
+		t.Fatal("append on crashed fs succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("no sticky error")
+	}
+	if err := l.Append([]byte("later")); err == nil {
+		t.Fatal("append after sticky error succeeded")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"mets/internal/lsm"
 	"mets/internal/obs"
 	"mets/internal/sharded"
+	"mets/internal/wal"
 	"mets/internal/surf"
 )
 
@@ -205,6 +206,21 @@ type LSMConfig = lsm.Config
 // OpenLSM creates an empty engine; use lsm filter builders via
 // NewBloomSSTFilter / NewSuRFSSTFilter.
 func OpenLSM(cfg LSMConfig) *LSM { return lsm.Open(cfg) }
+
+// OpenDurableLSM opens (or creates) a durable engine rooted at
+// LSMConfig.Dir: every acked write is covered by a checksummed write-ahead
+// log, SSTables persist as validated files, and reopening the directory
+// recovers exactly the acked state (see DESIGN.md, Durability). The sync
+// modes below pick the WAL ack contract; WALSyncBatch is the group-commit
+// sweet spot under concurrent writers.
+func OpenDurableLSM(cfg LSMConfig) (*LSM, error) { return lsm.OpenDurable(cfg) }
+
+// WAL ack durability contracts for LSMConfig.WALSync.
+const (
+	WALSyncEach  = wal.SyncEach
+	WALSyncBatch = wal.SyncBatch
+	WALSyncNone  = wal.SyncNone
+)
 
 // Per-SSTable filter builders. The WithCodec variant pairs with
 // LSMConfig.Codec: built filters index the (encoded) stored keys and carry
