@@ -88,6 +88,6 @@ fuzz-smoke:
 # resurrection, and the journal replay tests — all under the race detector.
 crash-smoke:
 	$(GO) test -race -count=1 -run '^(TestCrashRecovery|TestCrashMatrix.*|TestTombstonesDoNotResurrect|TestDurable.*)$$' ./internal/lsm
-	$(GO) test -race -count=1 -run '^(TestTornTailStopsAtAckedPrefix|TestCorruptTailDetected|TestStickyErrorAfterCrash)$$' ./internal/wal
+	$(GO) test -race -count=1 -run '^(TestTornTailStopsAtAckedPrefix|TestCorruptTailDetected|TestStickyErrorAfterCrash|TestRepairTornSegmentThenContinue|TestRepairQuarantinesUntrustedSuffix)$$' ./internal/wal
 	$(GO) test -race -count=1 -run '^TestMemFSCrash' ./internal/vfs
 	$(GO) test -race -count=1 -run '^(TestJournal.*|TestSharded(JournalReopen|DirWithTrainerPanics))$$' ./internal/hybrid ./internal/sharded

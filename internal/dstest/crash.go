@@ -42,6 +42,13 @@ type CrashConfig struct {
 	Step int64
 	// Mode is the unsynced-byte damage applied at each crash.
 	Mode vfs.CrashMode
+	// Crashes is the number of crash/recover/reopen cycles injected per run
+	// (default 1). With Crashes > 1, after each recovery the same store is
+	// driven on with the remaining ops and a fresh crash armed Step*k VFS
+	// ops later — pinning that recovery itself leaves the log appendable
+	// (e.g. a torn segment must be repaired, or writes acked after the
+	// first recovery are lost at the second crash).
+	Crashes int
 }
 
 func (c *CrashConfig) fill() {
@@ -56,6 +63,9 @@ func (c *CrashConfig) fill() {
 	}
 	if c.Step <= 0 {
 		c.Step = 13
+	}
+	if c.Crashes <= 0 {
+		c.Crashes = 1
 	}
 }
 
@@ -146,9 +156,15 @@ func storeEquals(st CrashStore, oracle map[string][]byte) (bool, string) {
 // record can reach durable media before its ack fails on a later step), but
 // only as part of a contiguous prefix.
 //
-// The sweep stops after the first run that completes without tripping the
-// crash; that run also checks clean-shutdown durability (close, reopen,
-// full-state equality).
+// With cfg.Crashes > 1 the recovered store is driven on with the remaining
+// ops under another armed crash, up to Crashes cycles per run — so the
+// invariant is also checked for writes acked *after* a recovery (the
+// torn-tail-then-crash-again scenario, where an unrepaired log would lose
+// them).
+//
+// The sweep stops after the first run whose initial round completes without
+// tripping the crash; every completed run also checks clean-shutdown
+// durability (close, reopen, full-state equality).
 func RunCrash(t *testing.T, open func(fs *vfs.MemFS) (CrashStore, error), cfg CrashConfig) {
 	t.Helper()
 	cfg.fill()
@@ -160,74 +176,91 @@ func RunCrash(t *testing.T, open func(fs *vfs.MemFS) (CrashStore, error), cfg Cr
 		if err != nil {
 			t.Fatalf("initial open: %v", err)
 		}
-		fs.CrashAt(crash, cfg.Mode, cfg.Seed^crash)
-		acked, issued := 0, 0
-		for _, op := range ops {
-			issued++
-			var err error
-			if op.Del {
-				err = st.Delete(op.Key)
-			} else {
-				err = st.Put(op.Key, op.Value)
+		// base is the op-stream prefix already folded into st's state by
+		// earlier rounds' recoveries; round 0 starts from scratch.
+		base := 0
+		for round := 0; ; round++ {
+			if round < cfg.Crashes {
+				fs.CrashAt(crash, cfg.Mode, cfg.Seed^crash^int64(round))
 			}
-			if err != nil {
-				break
+			acked, issued := base, base
+			for _, op := range ops[base:] {
+				issued++
+				var err error
+				if op.Del {
+					err = st.Delete(op.Key)
+				} else {
+					err = st.Put(op.Key, op.Value)
+				}
+				if err != nil {
+					break
+				}
+				acked = issued
 			}
-			acked = issued
-		}
-		if !fs.Crashed() {
-			// Crash point beyond the whole stream (Close may still trip it).
-			st.Close()
-		}
-		if !fs.Crashed() {
-			// Clean full run: reopen must reproduce the complete final state.
-			fs.Recover() // clean restart, nothing at risk
+			if !fs.Crashed() {
+				// Ran out of ops before the crash point (Close may still
+				// trip it).
+				st.Close()
+			}
+			if !fs.Crashed() {
+				// Clean completion: reopen must reproduce the full final
+				// state, whether or not earlier rounds crashed.
+				fs.Recover() // clean restart, nothing at risk
+				st2, err := open(fs)
+				if err != nil {
+					t.Fatalf("mode=%v crash@%d round %d: clean reopen: %v", cfg.Mode, crash, round, err)
+				}
+				oracle := make(map[string][]byte, cfg.KeySpace)
+				for _, op := range ops {
+					applyOp(oracle, op)
+				}
+				if ok, diff := storeEquals(st2, oracle); !ok {
+					t.Fatalf("mode=%v crash@%d round %d: clean-shutdown state diverged: %s",
+						cfg.Mode, crash, round, diff)
+				}
+				st2.Close()
+				if round == 0 {
+					// The crash point is past the whole stream: sweep done.
+					return
+				}
+				break // next crash point
+			}
+
+			st.Close() // tear down goroutines; errors expected on a crashed FS
+			fs.Recover()
 			st2, err := open(fs)
 			if err != nil {
-				t.Fatalf("clean reopen: %v", err)
+				t.Fatalf("mode=%v crash@%d round %d: recovery open failed: %v", cfg.Mode, crash, round, err)
 			}
+			// Find the surviving prefix: fold ops[:acked] first, then extend
+			// one op at a time through issued until the store matches.
 			oracle := make(map[string][]byte, cfg.KeySpace)
-			for _, op := range ops {
-				applyOp(oracle, op)
+			for i := 0; i < acked; i++ {
+				applyOp(oracle, ops[i])
 			}
-			if ok, diff := storeEquals(st2, oracle); !ok {
-				t.Fatalf("mode=%v: clean-shutdown state diverged: %s", cfg.Mode, diff)
+			matched := -1
+			var firstDiff string
+			for tlen := acked; tlen <= issued; tlen++ {
+				if tlen > acked {
+					applyOp(oracle, ops[tlen-1])
+				}
+				ok, diff := storeEquals(st2, oracle)
+				if tlen == acked {
+					firstDiff = diff
+				}
+				if ok {
+					matched = tlen
+					break
+				}
 			}
-			st2.Close()
-			return
-		}
-
-		st.Close() // tear down goroutines; errors expected on a crashed FS
-		fs.Recover()
-		st2, err := open(fs)
-		if err != nil {
-			t.Fatalf("mode=%v crash@%d: recovery open failed: %v", cfg.Mode, crash, err)
-		}
-		// Find the surviving prefix: fold ops[:acked] first, then extend one
-		// op at a time through issued until the store matches.
-		oracle := make(map[string][]byte, cfg.KeySpace)
-		for i := 0; i < acked; i++ {
-			applyOp(oracle, ops[i])
-		}
-		matched := false
-		var firstDiff string
-		for tlen := acked; tlen <= issued; tlen++ {
-			if tlen > acked {
-				applyOp(oracle, ops[tlen-1])
+			if matched < 0 {
+				t.Fatalf("mode=%v crash@%d round %d: recovered state matches no prefix in [acked=%d, issued=%d]; vs acked: %s",
+					cfg.Mode, crash, round, acked, issued, firstDiff)
 			}
-			ok, diff := storeEquals(st2, oracle)
-			if tlen == acked {
-				firstDiff = diff
-			}
-			if ok {
-				matched = true
-				break
-			}
+			// Drive the recovered store through the remaining ops (with
+			// another crash armed, if the budget allows).
+			st = st2
+			base = matched
 		}
-		if !matched {
-			t.Fatalf("mode=%v crash@%d: recovered state matches no prefix in [acked=%d, issued=%d]; vs acked: %s",
-				cfg.Mode, crash, acked, issued, firstDiff)
-		}
-		st2.Close()
 	}
 }

@@ -45,13 +45,30 @@ func jrec(op byte, key []byte, value uint64) []byte {
 	return buf
 }
 
-// jlog appends one op to the journal, fire-and-forget. Callers hold the
-// writer lock (h.mu or h.eg.mu), which fixes the journal order.
+// jlog appends one op to the journal, fire-and-forget: the Ack is not
+// awaited (the Insert/Update/Delete API has no error channel, and SyncNone
+// acks carry no durability anyway). A write failure is not silent, though —
+// the log's first error is sticky, every subsequent Enqueue is refused, and
+// the failure surfaces through JournalErr, SyncJournal, and Close. Callers
+// that need to know the journal is still tracking the index before the next
+// barrier poll JournalErr. Callers hold the writer lock (h.mu or h.eg.mu),
+// which fixes the journal order.
 func (h *Index) jlog(op byte, key []byte, value uint64) {
 	if h.jl == nil {
 		return
 	}
 	h.jl.Enqueue(jrec(op, key, value))
+}
+
+// JournalErr reports the journal's sticky failure, if any: non-nil means
+// some earlier op was not journaled (disk full, I/O error) and the on-disk
+// journal has diverged from the in-memory index — a reopen would replay
+// only the prefix up to the failure. Nil without Config.Dir.
+func (h *Index) JournalErr() error {
+	if h.jl == nil {
+		return nil
+	}
+	return h.jl.Err()
 }
 
 // applyJournalRecord replays one CRC-verified record. Only successful ops
@@ -113,6 +130,12 @@ func (h *Index) openJournal() error {
 		return err
 	}
 	h.JournalRecovery = stats
+	// Same repair contract as the LSM: truncate a torn tail to its valid
+	// prefix before appending, so ops synced after this recovery are not
+	// stranded behind the damaged frame at the next restart.
+	if err := wal.Repair(fs, h.cfg.Dir, stats); err != nil {
+		return err
+	}
 	l, err := wal.Open(wal.Options{
 		FS:   fs,
 		Dir:  h.cfg.Dir,

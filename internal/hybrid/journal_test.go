@@ -2,10 +2,13 @@ package hybrid
 
 import (
 	"fmt"
+	"path"
 	"testing"
+	"time"
 
 	"mets/internal/index"
 	"mets/internal/vfs"
+	"mets/internal/wal"
 )
 
 // driveJournalWorkload applies a deterministic mix of inserts, updates, and
@@ -134,6 +137,110 @@ func TestJournalBulkLoadReset(t *testing.T) {
 			defer h2.Close()
 			checkJournalState(t, h2, want)
 		})
+	}
+}
+
+// TestJournalErrSurfacesWriteFailure pins that a fire-and-forget journal
+// append failure is not silent: the log's sticky error must become visible
+// through JournalErr before the next explicit barrier, and SyncJournal must
+// return it.
+func TestJournalErrSurfacesWriteFailure(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cfg := Config{MergeRatio: 2, MinDynamic: 16, Dir: "idx", FS: fs}
+	h := NewBTree(cfg)
+	defer h.Close()
+	h.Insert([]byte("before"), 1)
+	if err := h.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JournalErr(); err != nil {
+		t.Fatalf("healthy journal reports %v", err)
+	}
+	// Every journal write from here on fails; the op still mutates the
+	// in-memory index (the API has no error channel), but the divergence
+	// must be observable without waiting for Close.
+	fs.CrashAt(1, vfs.DropUnsynced, 7)
+	h.Insert([]byte("unjournaled"), 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.JournalErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond) // committer fails asynchronously
+	}
+	if h.JournalErr() == nil {
+		t.Fatal("JournalErr still nil after failed append")
+	}
+	if err := h.SyncJournal(); err == nil {
+		t.Fatal("SyncJournal succeeded on a failed journal")
+	}
+	if _, ok := h.Get([]byte("unjournaled")); !ok {
+		t.Fatal("in-memory op lost (only its journaling should fail)")
+	}
+}
+
+// TestJournalSurvivesSecondCrash is the hybrid analogue of the LSM
+// double-crash case: a torn-tail crash, recovery (which must repair the
+// torn segment), more ops synced through the explicit barrier, and a second
+// crash. The ops synced after the first recovery must replay — an
+// unrepaired torn frame in the older segment would strand them.
+func TestJournalSurvivesSecondCrash(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		fs := vfs.NewMemFS()
+		cfg := Config{MergeRatio: 2, MinDynamic: 16, Dir: "idx", FS: fs}
+		h := NewBTree(cfg)
+		for i := 0; i < 50; i++ {
+			h.Insert([]byte(fmt.Sprintf("old-%04d", i)), uint64(i))
+		}
+		if err := h.SyncJournal(); err != nil {
+			t.Fatal(err)
+		}
+		seg := path.Join("idx", wal.SegmentName(1))
+		syncedSize, err := fs.Size(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 50; i < 80; i++ {
+			h.Insert([]byte(fmt.Sprintf("old-%04d", i)), uint64(i)) // unsynced
+		}
+		// Wait until the async committer has written (not synced) the tail,
+		// so Recover below has bytes to tear.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if sz, err := fs.Size(seg); err == nil && sz > syncedSize {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("journal tail never reached the filesystem")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		fs.CrashAt(1, vfs.TornTail, seed)
+		fs.Create("trip") // trip the armed crash deterministically
+		fs.Recover()      // tears the unsynced journal tail
+
+		h2 := NewBTree(cfg)
+		for i := 0; i < 20; i++ {
+			h2.Insert([]byte(fmt.Sprintf("new-%04d", i)), uint64(1000+i))
+		}
+		if err := h2.SyncJournal(); err != nil { // durability barrier: acked
+			t.Fatal(err)
+		}
+		fs.CrashAt(1, vfs.DropUnsynced, seed)
+		fs.Create("trip2")
+		fs.Recover()
+
+		h3 := NewBTree(cfg)
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("old-%04d", i)
+			if v, ok := h3.Get([]byte(k)); !ok || v != uint64(i) {
+				t.Fatalf("seed %d: synced pre-crash op %q = (%d,%v)", seed, k, v, ok)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("new-%04d", i)
+			if v, ok := h3.Get([]byte(k)); !ok || v != uint64(1000+i) {
+				t.Fatalf("seed %d: op %q synced after first recovery lost: (%d,%v)", seed, k, v, ok)
+			}
+		}
+		h3.Close()
 	}
 }
 

@@ -79,6 +79,26 @@ func TestCrashRecovery(t *testing.T) {
 			}, c)
 		})
 	}
+	// Double-crash rounds: after the first recovery the same store keeps
+	// taking writes with another crash armed. This pins that recovery leaves
+	// the log appendable — a torn tail must be truncated/repaired, or the
+	// records acked into the post-recovery segment are stranded behind the
+	// damaged frame and lost at the second crash.
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String()+"-double", func(t *testing.T) {
+			c := cfg
+			c.Mode = mode
+			c.Crashes = 2
+			dstest.RunCrash(t, func(fs *vfs.MemFS) (dstest.CrashStore, error) {
+				db, err := OpenDurable(tinyDurableConfig(fs))
+				if err != nil {
+					return nil, err
+				}
+				return crashStore{db}, nil
+			}, c)
+		})
+	}
 	// SuRF filters add a persisted filter payload to every table file; the
 	// crash points then also land inside filter marshal/validate paths.
 	t.Run("drop-surf", func(t *testing.T) {

@@ -269,6 +269,14 @@ func (db *DB) Codec() keycodec.Codec { return db.codec }
 // WAL-logged and the returned error is the durability verdict: nil means
 // the record is acked per Config.WALSync (fsynced, by default) and will
 // survive a crash. In-memory DBs always return nil.
+//
+// The record is applied to the memtable before the WAL ack resolves (so
+// WAL order equals apply order under one lock hold). When the ack fails,
+// the DB is marked failed — every later write returns the sticky error —
+// but the never-durable record remains visible to this process's reads
+// until restart. Callers that must not serve a failed write check Err()
+// before trusting reads; after a restart the recovered state is exactly
+// the acked prefix. See the read-your-failed-write note on Get.
 func (db *DB) Put(key, value []byte) error {
 	key = db.encodeKey(key)
 	db.mu.Lock()
@@ -546,6 +554,14 @@ func (db *DB) memGet(key []byte) ([]byte, bool) {
 
 // Get returns the value stored under key (Fig 4.3 left path). Tombstones
 // shadow older versions across all levels.
+//
+// Read-your-failed-write window: on a durable DB whose WAL has failed
+// (Err() != nil), Get/Seek/Count still serve the in-memory state — which
+// can include records whose Put/Delete returned an error and which will
+// not survive a restart. Reads have no error channel by design (the hot
+// path stays allocation- and branch-light); callers that need
+// durable-only reads must check Err() and treat a failed DB's contents
+// as advisory.
 func (db *DB) Get(key []byte) ([]byte, bool) {
 	key = db.encodeKey(key)
 	db.mu.RLock()

@@ -185,6 +185,14 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 	db.Recovery.WALSegments = stats.Segments
 	db.Recovery.WALRecords = stats.Records
 	db.Recovery.WALTorn = stats.Torn
+	// Commit the replay barrier before appending anything: truncate the torn
+	// segment to its valid prefix (and quarantine untrusted later segments)
+	// so the next replay reads past it into segments created from here on.
+	// Skipping this would strand every write acked after a torn-tail
+	// recovery behind the damaged frame at the second crash.
+	if err := wal.Repair(fs, dir, stats); err != nil {
+		return err
+	}
 
 	w, err := wal.Open(wal.Options{
 		FS:           fs,

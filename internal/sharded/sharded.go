@@ -222,6 +222,19 @@ func (s *Index) SyncJournals() error {
 	return nil
 }
 
+// JournalErr reports the first shard journal's sticky failure, if any:
+// non-nil means some op was not journaled and that shard's on-disk journal
+// has diverged from its in-memory state (see hybrid.Index.JournalErr). A
+// no-op (always nil) without Config.Dir.
+func (s *Index) JournalErr() error {
+	for _, sh := range s.load().shards {
+		if err := sh.JournalErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close settles background merges and closes every shard journal (final
 // fsync each). A no-op without Config.Dir.
 func (s *Index) Close() error {

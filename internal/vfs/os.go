@@ -12,12 +12,34 @@ type OS struct{}
 
 func hostPath(name string) string { return filepath.FromSlash(name) }
 
+// Create opens name for writing and fsyncs the parent directory, honoring
+// the FS contract that the new directory entry is durable when Create
+// returns. Without the dir sync, a WAL segment created here — and every
+// record fsynced into it — could vanish wholesale on power loss, because
+// POSIX only makes the *entry* durable once the directory itself is synced.
+// The extra fsync is per file creation (segment rotation, table build), not
+// per write, so it is off the hot path.
 func (OS) Create(name string) (File, error) {
 	f, err := os.OpenFile(hostPath(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	if err := syncDir(filepath.Dir(hostPath(name))); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return osFile{f}, nil
+}
+
+// syncDir fsyncs a directory so metadata changes inside it (created or
+// renamed entries) survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (OS) Open(name string) (ReadFile, error) {
@@ -35,18 +57,16 @@ func (OS) Open(name string) (ReadFile, error) {
 
 func (OS) Remove(name string) error { return os.Remove(hostPath(name)) }
 
-// Rename renames and then best-effort-syncs the parent directory, so the
-// new directory entry survives a crash (the POSIX contract behind the
-// write-tmp-sync-rename manifest commit).
+// Rename renames and then syncs the parent directory, so the new directory
+// entry survives a crash (the POSIX contract behind the
+// write-tmp-sync-rename manifest commit). A dir-sync failure is returned:
+// callers treat Rename as a commit point and must not ack on top of an
+// unsynced rename.
 func (OS) Rename(oldname, newname string) error {
 	if err := os.Rename(hostPath(oldname), hostPath(newname)); err != nil {
 		return err
 	}
-	if d, err := os.Open(filepath.Dir(hostPath(newname))); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return syncDir(filepath.Dir(hostPath(newname)))
 }
 
 func (OS) MkdirAll(dir string) error { return os.MkdirAll(hostPath(dir), 0o755) }

@@ -35,8 +35,11 @@ var ErrNotExist = errors.New("vfs: file does not exist")
 type FS interface {
 	// Create opens name for writing, truncating any existing file. Parent
 	// directories must exist (MkdirAll). The new file's existence is
-	// durable immediately (journaled metadata); its contents are durable
-	// only after Sync.
+	// durable when Create returns — MemFS models journaled metadata, and
+	// the OS implementation enforces it by fsyncing the parent directory
+	// (a plain open(O_CREAT) leaves the entry volatile until the directory
+	// is synced, which would let a whole WAL segment vanish on power
+	// loss). Contents are durable only after Sync.
 	Create(name string) (File, error)
 	// Open opens name read-only.
 	Open(name string) (ReadFile, error)

@@ -17,9 +17,11 @@ type ReplayStats struct {
 	Bytes    int64 // framed bytes consumed
 	// Torn is set when replay stopped at an invalid frame (short header,
 	// bad length, CRC mismatch) instead of a clean end-of-log. TornSegment
-	// is the segment it stopped in.
+	// is the segment it stopped in and TornOffset the byte length of that
+	// segment's valid frame prefix — the truncation point Repair commits.
 	Torn        bool
 	TornSegment uint64
+	TornOffset  int64
 }
 
 // Replay applies every intact record in dir's segments with sequence >=
@@ -52,14 +54,92 @@ func Replay(fs vfs.FS, dir string, minSeg uint64, fn func(rec []byte) error) (Re
 		if torn {
 			// A torn frame mid-log (not in the last segment) means synced
 			// data was damaged out-of-band; replay still stops here — the
-			// suffix cannot be trusted to be gap-free — and the caller sees
-			// Torn with the segment to quarantine or alert on.
+			// suffix cannot be trusted to be gap-free. The caller must run
+			// Repair before appending new records, or a second crash would
+			// leave this frame in place and a future replay would stop at it
+			// again, losing everything acked after it.
 			st.Torn = true
 			st.TornSegment = seq
+			st.TornOffset = bytes
 			break
 		}
 	}
 	return st, nil
+}
+
+// corruptSuffix marks quarantined segment files (same convention as the
+// LSM's corrupt-table quarantine): kept for forensics, invisible to
+// ListSegments.
+const corruptSuffix = ".corrupt"
+
+// Repair makes a torn log appendable again: it quarantines every segment
+// after the torn one (their records postdate a damaged frame, so they
+// cannot be trusted to be gap-free) and truncates the torn segment to its
+// valid frame prefix. After Repair, a future Replay reads the repaired
+// segment cleanly to end-of-file and continues into segments created later
+// — without it, replay would stop at the damaged frame forever and every
+// record acked into newer segments would be unreachable after the next
+// crash.
+//
+// The truncation is a write-tmp → sync → rename so a crash mid-repair
+// leaves either the torn segment (repair reruns) or the repaired one,
+// never a half-truncated file; quarantines happen first so the rename is
+// the commit point. A no-op when st.Torn is false.
+func Repair(fs vfs.FS, dir string, st ReplayStats) error {
+	if !st.Torn {
+		return nil
+	}
+	segs, err := ListSegments(fs, dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq <= st.TornSegment {
+			continue
+		}
+		name := path.Join(dir, SegmentName(seq))
+		if err := fs.Rename(name, name+corruptSuffix); err != nil {
+			return fmt.Errorf("wal: quarantine %s: %w", name, err)
+		}
+	}
+	name := path.Join(dir, SegmentName(st.TornSegment))
+	if err := truncateSegment(fs, name, st.TornOffset); err != nil {
+		return fmt.Errorf("wal: repair %s: %w", name, err)
+	}
+	return nil
+}
+
+// truncateSegment atomically rewrites name as its first keep bytes.
+func truncateSegment(fs vfs.FS, name string, keep int64) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, keep)
+	if keep > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	f.Close()
+	tmp := name + ".tmp"
+	w, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, name)
 }
 
 // replaySegment applies one segment's intact prefix. torn reports whether

@@ -232,6 +232,126 @@ func TestCorruptTailDetected(t *testing.T) {
 	}
 }
 
+// TestRepairTornSegmentThenContinue pins the double-crash recovery path: a
+// torn frame mid-segment must be truncated away by Repair so that records
+// appended (and synced) into later segments after the recovery are still
+// reached by the next replay. Without Repair, the second replay stops at
+// the old torn frame and the new acked records are lost.
+func TestRepairTornSegmentThenContinue(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(i int) []byte { return []byte(fmt.Sprintf("record-%03d", i)) }
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Tear the segment mid-frame: keep 2 whole frames plus 3 bytes.
+	frame := int64(frameHeaderLen + len(rec(0)))
+	seg := "wal/" + SegmentName(1)
+	if err := fs.Truncate(seg, 2*frame+3); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery: replay stops at the torn frame; Repair commits the
+	// truncation.
+	got, st := collect(t, fs, "wal", 0)
+	if !st.Torn || st.TornSegment != 1 || st.TornOffset != 2*frame {
+		t.Fatalf("stats after tear = %+v, want torn seg 1 at %d", st, 2*frame)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if err := Repair(fs, "wal", st); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := fs.Size(seg); err != nil || sz != 2*frame {
+		t.Fatalf("repaired segment size = %d,%v, want %d", sz, err, 2*frame)
+	}
+
+	// Post-recovery writes land in a new segment and are acked (fsynced).
+	l2, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("after-crash-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("after-crash-2")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	// Second recovery: the repaired segment reads cleanly to EOF, so replay
+	// continues into the new segment — no acked write lost.
+	got, st = collect(t, fs, "wal", 0)
+	if st.Torn {
+		t.Fatalf("replay after repair still torn: %+v", st)
+	}
+	want := []string{"record-000", "record-001", "after-crash-1", "after-crash-2"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records %q, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// TestRepairQuarantinesUntrustedSuffix covers the out-of-band case: a torn
+// frame in a non-final segment. Repair must move the later segments aside
+// (they cannot be proven gap-free) before truncating, so a replay after
+// repair sees exactly the valid prefix.
+func TestRepairQuarantinesUntrustedSuffix(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, err := Open(Options{FS: fs, Dir: "wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("seg1-rec"))
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("seg2-rec"))
+	l.Close()
+	// Corrupt the first segment's frame CRC (synced, mid-log damage).
+	if err := fs.Corrupt("wal/"+SegmentName(1), 5, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collect(t, fs, "wal", 0)
+	if !st.Torn || st.TornSegment != 1 || len(got) != 0 {
+		t.Fatalf("stats = %+v, records %q", st, got)
+	}
+	if err := Repair(fs, "wal", st); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("segments after repair = %v, want [1]", segs)
+	}
+	names, _ := fs.List("wal")
+	foundQuarantine := false
+	for _, n := range names {
+		if n == SegmentName(2)+corruptSuffix {
+			foundQuarantine = true
+		}
+	}
+	if !foundQuarantine {
+		t.Fatalf("segment 2 not quarantined: %v", names)
+	}
+	if got, st := collect(t, fs, "wal", 0); st.Torn || len(got) != 0 {
+		t.Fatalf("replay after repair: torn=%v records=%q", st.Torn, got)
+	}
+}
+
 func TestSyncBarrierAfterClose(t *testing.T) {
 	fs := vfs.NewMemFS()
 	l, _ := Open(Options{FS: fs, Dir: "wal"})
