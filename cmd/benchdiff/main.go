@@ -10,7 +10,10 @@
 // With no file arguments the two lexicographically newest BENCH_*.json in
 // -dir are compared (the date-stamped naming makes name order date order).
 // Exit status is 0 unless -fail is set and a regression was flagged, so the
-// CI step stays advisory by default.
+// CI step stays advisory by default. -gate narrows which regressions are
+// enforced: only benchmarks matching the regexp, and only their latency
+// metrics (ns/op and *-ns) — allocation noise on a gated benchmark, or any
+// movement on an ungated one, is still reported but never fails the run.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -145,11 +149,28 @@ func fmtVal(v float64) string {
 	return fmt.Sprintf("%.2f", v)
 }
 
+// latencyUnit reports whether a metric is a latency (the units -gate
+// enforces: run-to-run allocation counters are stable, but wall-clock units
+// on unrelated benchmarks are too noisy to gate CI on).
+func latencyUnit(unit string) bool {
+	return unit == "ns/op" || strings.HasSuffix(unit, "-ns")
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "percent change required to report (and to flag a regression)")
 	fail := flag.Bool("fail", false, "exit 1 when any regression is flagged")
+	gate := flag.String("gate", "", "regexp of benchmark names whose latency regressions (ns/op, *-ns) are enforced by -fail; empty enforces every regression")
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when no files are given")
 	flag.Parse()
+
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRe, err = regexp.Compile(*gate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -gate regexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var oldPath, newPath string
 	switch flag.NArg() {
@@ -179,7 +200,7 @@ func main() {
 
 	rows, added, removed := diff(oldDoc, newDoc, *threshold)
 	fmt.Printf("## benchdiff: %s → %s\n\n", filepath.Base(oldPath), filepath.Base(newPath))
-	regressions := 0
+	regressions, gated := 0, 0
 	if len(rows) == 0 {
 		fmt.Printf("No shared metric moved by ≥%.0f%%.\n", *threshold)
 	} else {
@@ -190,6 +211,11 @@ func main() {
 			if r.regressed {
 				note = "⚠ regression"
 				regressions++
+				if gateRe == nil || (gateRe.MatchString(r.name) && latencyUnit(r.unit)) {
+					gated++
+				} else {
+					note = "⚠ regression (ungated)"
+				}
 			}
 			fmt.Printf("| %s | %s | %s | %s | %+.1f%% | %s |\n",
 				r.name, r.unit, fmtVal(r.old), fmtVal(r.new), r.pct, note)
@@ -202,7 +228,10 @@ func main() {
 		fmt.Printf("\nRemoved benchmarks (%d): %s\n", len(removed), strings.Join(removed, ", "))
 	}
 	fmt.Printf("\n%d regression(s) flagged at ±%.0f%%.\n", regressions, *threshold)
-	if *fail && regressions > 0 {
+	if gateRe != nil {
+		fmt.Printf("%d gated by -gate %q.\n", gated, *gate)
+	}
+	if *fail && gated > 0 {
 		os.Exit(1)
 	}
 }

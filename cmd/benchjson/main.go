@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -31,15 +32,33 @@ type Result struct {
 // Doc is the whole run.
 type Doc struct {
 	Date      string   `json:"date"`
+	GitSHA    string   `json:"git_sha,omitempty"`
+	GitDirty  bool     `json:"git_dirty,omitempty"`
+	Flags     string   `json:"bench_flags,omitempty"`
 	GoVersion string   `json:"go_version,omitempty"`
 	Results   []Result `json:"results"`
 }
 
+// gitSHA stamps the artifact with the commit it measured. Best-effort: no
+// git binary or no repository just leaves the field empty — a benchmark
+// artifact must never fail to land because provenance was unavailable.
+func gitSHA() (sha string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	sha = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	return sha, err == nil && len(st) > 0
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	benchFlags := flag.String("flags", "", "bench invocation to record in the artifact (provenance only)")
 	flag.Parse()
 
-	doc := Doc{Date: time.Now().UTC().Format(time.RFC3339)}
+	doc := Doc{Date: time.Now().UTC().Format(time.RFC3339), Flags: *benchFlags}
+	doc.GitSHA, doc.GitDirty = gitSHA()
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -15,21 +15,29 @@ import (
 
 // startDebugServer publishes the registry snapshot as the expvar "mets"
 // variable and serves it (plus the stock expvar memstats and net/http/pprof
-// profiles) at addr:
+// profiles) at addr, with a Prometheus text-exposition rendering of the same
+// snapshot at /metrics:
 //
 //	curl http://addr/debug/vars | jq .mets
+//	curl http://addr/metrics
 //	go tool pprof http://addr/debug/pprof/profile
 //
 // The server runs for the lifetime of the process; experiments keep running
 // whether or not anything is scraping it.
 func startDebugServer(addr string, reg *obs.Registry) {
 	expvar.Publish("mets", expvar.Func(func() any { return reg.Snapshot() }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: /metrics: %v\n", err)
+		}
+	})
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 		}
 	}()
-	fmt.Printf("# debug server on http://%s/debug/vars (pprof at /debug/pprof)\n", addr)
+	fmt.Printf("# debug server on http://%s/debug/vars (pprof at /debug/pprof, Prometheus at /metrics)\n", addr)
 }
 
 // startStatsDump prints a compact registry digest every interval: counter

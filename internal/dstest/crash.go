@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mets/internal/keys"
+	"mets/internal/obs"
 	"mets/internal/vfs"
 )
 
@@ -49,6 +50,11 @@ type CrashConfig struct {
 	// (e.g. a torn segment must be repaired, or writes acked after the
 	// first recovery are lost at the second crash).
 	Crashes int
+	// FlightRec, when set, is the MemFS path of the store's flight-recorder
+	// dump (e.g. "data/flightrec.json"): after every post-crash recovery the
+	// harness asserts the dump exists, parses, and holds at least one event —
+	// pinning that every injected crash leaves a usable postmortem artifact.
+	FlightRec string
 }
 
 func (c *CrashConfig) fill() {
@@ -141,6 +147,23 @@ func storeEquals(st CrashStore, oracle map[string][]byte) (bool, string) {
 	return true, ""
 }
 
+// checkFlightRec asserts that the store's recovery left a parseable
+// flight-recorder dump with at least one event at the given MemFS path.
+func checkFlightRec(t *testing.T, fs *vfs.MemFS, name, context string) {
+	t.Helper()
+	data, err := vfs.ReadFileAll(fs, name)
+	if err != nil {
+		t.Fatalf("%s: flight-recorder dump %s missing after recovery: %v", context, name, err)
+	}
+	d, err := obs.ParseFlightDump(data)
+	if err != nil {
+		t.Fatalf("%s: flight-recorder dump %s unparseable: %v", context, name, err)
+	}
+	if len(d.Events) == 0 {
+		t.Fatalf("%s: flight-recorder dump %s has no events", context, name)
+	}
+}
+
 // RunCrash is the differential crash-recovery harness: it reruns one
 // deterministic op stream with a simulated crash armed at every Step-th VFS
 // operation, recovers the filesystem, reopens the store, and checks the
@@ -231,6 +254,10 @@ func RunCrash(t *testing.T, open func(fs *vfs.MemFS) (CrashStore, error), cfg Cr
 			st2, err := open(fs)
 			if err != nil {
 				t.Fatalf("mode=%v crash@%d round %d: recovery open failed: %v", cfg.Mode, crash, round, err)
+			}
+			if cfg.FlightRec != "" {
+				checkFlightRec(t, fs, cfg.FlightRec,
+					fmt.Sprintf("mode=%v crash@%d round %d", cfg.Mode, crash, round))
 			}
 			// Find the surviving prefix: fold ops[:acked] first, then extend
 			// one op at a time through issued until the store matches.

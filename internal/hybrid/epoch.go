@@ -108,7 +108,8 @@ func (h *Index) eNewFilter(expected int) *bloom.Filter {
 func (h *Index) ePublishLocked(next, old *egen) {
 	h.eg.gen.Store(next)
 	h.eg.gens.Add(1)
-	c := h.obsReclaims
+	c, fr := h.obsReclaims, h.fr
+	gen := h.eg.gens.Load()
 	h.eg.mgr.Retire(func() {
 		// The closure pins old until every reader epoch that could observe it
 		// has drained; dropping the stage pointers here makes the reclaim
@@ -117,6 +118,7 @@ func (h *Index) ePublishLocked(next, old *egen) {
 		old.frozen = nil
 		old.static = nil
 		c.Inc()
+		fr.Record("epoch.reclaim", obs.I64("gen", int64(gen)))
 	})
 }
 

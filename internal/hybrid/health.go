@@ -1,0 +1,41 @@
+package hybrid
+
+// Health is the hybrid index's point-in-time liveness summary, the analogue
+// of lsm.Health for the in-memory engine: is the journal still tracking the
+// index, and is the merge machinery keeping up?
+type Health struct {
+	// Healthy is false once the op journal has a sticky failure — the
+	// on-disk journal has diverged from the in-memory index. Always true
+	// without Config.Dir.
+	Healthy bool `json:"healthy"`
+	// JournalErr is the sticky journal failure message ("" while healthy).
+	JournalErr string `json:"journal_err,omitempty"`
+	// Merging reports an in-flight background merge.
+	Merging bool `json:"merging"`
+	// MergeBehind reports that the dynamic stage has grown past the merge
+	// trigger (MinDynamic reached and dynamic*MergeRatio >= static size) —
+	// reads are paying extra stage lookups until a merge lands.
+	MergeBehind bool `json:"merge_behind"`
+	// DynamicLen and StaticLen are the stage sizes behind MergeBehind.
+	DynamicLen int `json:"dynamic_len"`
+	StaticLen  int `json:"static_len"`
+}
+
+// Health reports the index's current health. Safe for concurrent use.
+func (h *Index) Health() Health {
+	d, s := h.DynamicLen(), h.StaticLen()
+	hs := Health{
+		Healthy:    true,
+		Merging:    h.Merging(),
+		DynamicLen: d,
+		StaticLen:  s,
+	}
+	if err := h.JournalErr(); err != nil {
+		hs.Healthy = false
+		hs.JournalErr = err.Error()
+	}
+	// Mirror maybeMergeLocked's trigger; the d > 0 guard keeps an empty
+	// index from reporting merge-behind when MinDynamic is 0.
+	hs.MergeBehind = d > 0 && d >= h.cfg.MinDynamic && (s == 0 || d*h.cfg.MergeRatio >= s)
+	return hs
+}

@@ -159,6 +159,14 @@ type Index struct {
 	obsMerges    *obs.Counter
 	obsReclaims  *obs.Counter // epoch mode: retired generations reclaimed
 	obsReg       *obs.Registry
+
+	// fr is the flight recorder: shared with Config.Obs's when a registry is
+	// attached, private when only Config.Dir is set (a durable index always
+	// leaves a postmortem), nil for a plain in-memory index without obs.
+	fr *obs.FlightRecorder
+	// jDumpOnce guards the one-shot journal-failure event + dump (the
+	// journal's error is sticky, so every later op would re-report it).
+	jDumpOnce sync.Once
 }
 
 // New creates a hybrid index from a dynamic-stage factory and a
@@ -196,6 +204,19 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 			}
 			return 0
 		})
+		// A sticky journal failure is otherwise invisible until the next
+		// explicit barrier; surface it in every snapshot.
+		r.GaugeFunc("journal_err", func() float64 {
+			if h.JournalErr() != nil {
+				return 1
+			}
+			return 0
+		})
+	}
+	if fr := cfg.Obs.FlightRecorder(); fr != nil {
+		h.fr = fr
+	} else if cfg.Dir != "" {
+		h.fr = obs.NewFlightRecorder(obs.DefaultFlightEvents)
 	}
 	if cfg.EpochReads {
 		h.initEpoch()
@@ -662,6 +683,7 @@ func (h *Index) mergeLocked() {
 	h.TotalMergeTime += h.LastMergeTime
 	h.Merges++
 	h.obsMerges.Inc()
+	h.fr.RecordSpan("merge.commit", sp.ID(), obs.I64("entries", int64(len(merged))))
 	sp.End()
 }
 
@@ -703,6 +725,7 @@ func (h *Index) sealAndSpawnLocked() bool {
 		expected += h.static.Len()
 	}
 	h.resetFilter(expected / h.cfg.MergeRatio)
+	h.fr.RecordSpan("merge.seal", sp.ID(), obs.I64("frozen", int64(h.frozen.Len())))
 	go h.backgroundMerge(h.frozen, h.static, h.frozenTombs, time.Now(), sp)
 	return true
 }
@@ -734,6 +757,7 @@ func (h *Index) backgroundMerge(frozen index.Dynamic, static index.Static, tombs
 	h.mergeDone.Broadcast()
 	h.mu.Unlock()
 	h.obsMerges.Inc()
+	h.fr.RecordSpan("merge.commit", sp.ID(), obs.I64("entries", int64(len(merged))))
 	sp.End()
 }
 

@@ -19,8 +19,10 @@ package hybrid
 import (
 	"encoding/binary"
 	"fmt"
+	"path"
 
 	"mets/internal/index"
+	"mets/internal/obs"
 	"mets/internal/vfs"
 	"mets/internal/wal"
 )
@@ -57,7 +59,39 @@ func (h *Index) jlog(op byte, key []byte, value uint64) {
 	if h.jl == nil {
 		return
 	}
-	h.jl.Enqueue(jrec(op, key, value))
+	a := h.jl.Enqueue(jrec(op, key, value))
+	// A healthy SyncNone log resolves acks asynchronously; a failed one
+	// resolves them immediately with the sticky error. The non-blocking probe
+	// therefore costs nothing on the happy path but catches a sticky failure
+	// on the very next op, so the postmortem dump lands while the failure is
+	// fresh instead of waiting for the next SyncJournal/Close barrier.
+	if err, done := a.Ready(); done && err != nil {
+		h.jfail(err)
+	}
+}
+
+// jfail records the journal's first sticky failure in the flight recorder
+// and dumps a postmortem, exactly once. Later calls (every subsequent op
+// also sees the sticky error) are no-ops.
+func (h *Index) jfail(err error) {
+	h.jDumpOnce.Do(func() {
+		h.fr.Record("journal.error", obs.Str("err", err.Error()))
+		h.dumpFlight("journal-error")
+	})
+}
+
+// dumpFlight writes the flight-recorder ring to <Dir>/flightrec.json,
+// best-effort: a postmortem that cannot be written (the usual case when the
+// underlying FS itself is the failure) must not mask the original error.
+func (h *Index) dumpFlight(reason string) {
+	if h.fr == nil || h.cfg.Dir == "" {
+		return
+	}
+	fs := h.cfg.FS
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	_ = vfs.WriteFileAtomic(fs, path.Join(h.cfg.Dir, "flightrec.json"), h.fr.DumpJSON(reason))
 }
 
 // JournalErr reports the journal's sticky failure, if any: non-nil means
@@ -130,22 +164,44 @@ func (h *Index) openJournal() error {
 		return err
 	}
 	h.JournalRecovery = stats
+	replayAttrs := []obs.Attr{
+		obs.I64("segments", int64(stats.Segments)),
+		obs.I64("records", int64(stats.Records)),
+		obs.I64("bytes", stats.Bytes),
+	}
+	if stats.Torn {
+		replayAttrs = append(replayAttrs,
+			obs.I64("torn_segment", int64(stats.TornSegment)),
+			obs.I64("torn_offset", stats.TornOffset))
+	}
+	h.fr.Record("journal.replay", replayAttrs...)
 	// Same repair contract as the LSM: truncate a torn tail to its valid
 	// prefix before appending, so ops synced after this recovery are not
 	// stranded behind the damaged frame at the next restart.
 	if err := wal.Repair(fs, h.cfg.Dir, stats); err != nil {
 		return err
 	}
+	if stats.Torn {
+		h.fr.Record("journal.repair",
+			obs.I64("segment", int64(stats.TornSegment)),
+			obs.I64("valid_bytes", stats.TornOffset))
+	}
 	l, err := wal.Open(wal.Options{
-		FS:   fs,
-		Dir:  h.cfg.Dir,
-		Mode: wal.SyncNone,
-		Obs:  h.obsReg,
+		FS:        fs,
+		Dir:       h.cfg.Dir,
+		Mode:      wal.SyncNone,
+		Obs:       h.obsReg,
+		FlightRec: h.fr,
 	})
 	if err != nil {
 		return err
 	}
 	h.jl = l
+	// Recovery postmortem: like the LSM, the dump written right after a
+	// successful replay is the artifact a crashed run leaves behind (a
+	// crashed MemFS refuses writes until Recover, so failure-time dumps may
+	// not land).
+	h.dumpFlight("recovery")
 	return nil
 }
 
@@ -170,7 +226,11 @@ func (h *Index) SyncJournal() error {
 	if h.jl == nil {
 		return nil
 	}
-	return h.jl.Sync()
+	if err := h.jl.Sync(); err != nil {
+		h.jfail(err)
+		return err
+	}
+	return nil
 }
 
 // Close settles background merges and closes the journal (final fsync), so a
@@ -181,5 +241,11 @@ func (h *Index) Close() error {
 		return nil
 	}
 	h.WaitMerges()
-	return h.jl.Close()
+	h.fr.Record("close")
+	h.dumpFlight("close")
+	err := h.jl.Close()
+	if err != nil {
+		h.jfail(err)
+	}
+	return err
 }

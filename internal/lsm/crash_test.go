@@ -59,7 +59,10 @@ func tinyDurableConfig(fs vfs.FS) Config {
 // reopen, and the recovered state must equal the fold of a contiguous op
 // prefix no shorter than the acked writes — for every crash mode.
 func TestCrashRecovery(t *testing.T) {
-	cfg := dstest.CrashConfig{Ops: 260, KeySpace: 60, Seed: 11, Step: 13}
+	// FlightRec makes every injected crash also assert that recovery left a
+	// parseable postmortem dump — the flight recorder's crash contract.
+	cfg := dstest.CrashConfig{Ops: 260, KeySpace: 60, Seed: 11, Step: 13,
+		FlightRec: path.Join("data", FlightRecName)}
 	if raceEnabled {
 		cfg.Ops = 120
 		cfg.Step = 41

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"path"
 	"sort"
@@ -134,6 +135,13 @@ type DB struct {
 	cache  *blockCache
 	Stats  Stats
 	obs    *obs.Registry // nil when Config.Obs is nil
+	// fr is the always-on flight recorder (shared with Config.Obs's when a
+	// registry is attached, private otherwise): the ring of lifecycle events
+	// dumped as <dir>/flightrec.json on recovery, sticky failure, and close.
+	fr *obs.FlightRecorder
+	// quarantined counts table files renamed aside as *.corrupt (recovery
+	// increments it; Stats()-style gauges and Health read it).
+	quarantined atomic.Int64
 
 	codec   keycodec.Codec // nil when identity: keys stored raw
 	codecID string         // stamped into every SSTable this DB builds
@@ -193,6 +201,14 @@ func OpenDurable(cfg Config) (*DB, error) {
 		db.codecID = cfg.Codec.ID()
 	}
 	db.bgCond = sync.NewCond(&db.mu)
+	// The flight recorder is always on — a durable engine must leave a
+	// postmortem even when nobody attached a registry. With a registry, share
+	// its recorder so one dump covers every layer writing to it.
+	if fr := cfg.Obs.FlightRecorder(); fr != nil {
+		db.fr = fr
+	} else {
+		db.fr = obs.NewFlightRecorder(obs.DefaultFlightEvents)
+	}
 	if cfg.Obs != nil {
 		r := cfg.Obs.Sub("lsm.")
 		db.obs = r
@@ -230,6 +246,18 @@ func OpenDurable(cfg Config) (*DB, error) {
 		})
 		r.GaugeFunc("levels", func() float64 { return float64(db.NumLevels()) })
 		r.GaugeFunc("disk_bytes", func() float64 { return float64(db.DiskUsage()) })
+		// Durability health in every snapshot: quarantined table files are
+		// no longer silent renames, and a sticky durable error shows up as a
+		// flag any scraper can alert on.
+		r.GaugeFunc("quarantined", func() float64 { return float64(db.quarantined.Load()) })
+		r.GaugeFunc("durable_err", func() float64 {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			if db.durErr != nil && !errors.Is(db.durErr, ErrClosed) {
+				return 1
+			}
+			return 0
+		})
 	}
 	if cfg.Dir != "" {
 		fs := cfg.FS
@@ -265,6 +293,16 @@ func (db *DB) encodeBound(b []byte) []byte {
 // Codec returns the DB's key codec (nil when keys are stored raw).
 func (db *DB) Codec() keycodec.Codec { return db.codec }
 
+// keyTag truncates an (encoded) key to a short exemplar tag. Non-UTF-8
+// bytes are fine — JSON encoding escapes them.
+func keyTag(key []byte) string {
+	const n = 8
+	if len(key) > n {
+		key = key[:n]
+	}
+	return string(key)
+}
+
 // Put inserts or overwrites a record. On a durable DB the write is
 // WAL-logged and the returned error is the durability verdict: nil means
 // the record is acked per Config.WALSync (fsynced, by default) and will
@@ -289,7 +327,13 @@ func (db *DB) Put(key, value []byte) error {
 	if db.dur != nil {
 		// Enqueue under mu so WAL order matches memtable apply order; the
 		// blocking Wait happens after unlock (group commit runs elsewhere).
-		ack = db.dur.wal.Enqueue(encodeWALPut(key, value))
+		// With a registry attached, tag the record with a key prefix so the
+		// group-commit histogram's slow-op exemplar names a concrete op.
+		if db.obs != nil {
+			ack = db.dur.wal.EnqueueTagged(encodeWALPut(key, value), keyTag(key))
+		} else {
+			ack = db.dur.wal.Enqueue(encodeWALPut(key, value))
+		}
 	}
 	db.mem.put(key, value)
 	ferr := db.maybeFlushLocked()
@@ -328,7 +372,11 @@ func (db *DB) Delete(key []byte) error {
 	}
 	var ack *wal.Ack
 	if db.dur != nil {
-		ack = db.dur.wal.Enqueue(encodeWALDelete(key))
+		if db.obs != nil {
+			ack = db.dur.wal.EnqueueTagged(encodeWALDelete(key), keyTag(key))
+		} else {
+			ack = db.dur.wal.Enqueue(encodeWALDelete(key))
+		}
 	}
 	db.mem.putRaw(key, tombstoneMarker)
 	ferr := db.maybeFlushLocked()
@@ -373,18 +421,26 @@ func (db *DB) sealLocked() error {
 	if db.mem.bytes == 0 {
 		return nil
 	}
+	// The flush span starts at the seal: its ID is the causal handle linking
+	// the WAL rotation, the built table, the manifest commit, and any
+	// compaction the flush triggers.
+	sp := db.obs.StartSpan("flush")
+	sp.Phase("seal")
 	var sealed uint64
 	if db.dur != nil {
 		s, err := db.dur.wal.Rotate()
 		if err != nil {
+			sp.End()
 			return db.failLocked(err)
 		}
 		sealed = s
 	}
+	db.fr.RecordSpan("flush.seal", sp.ID(),
+		obs.I64("mem_bytes", db.mem.bytes), obs.I64("wal_sealed", int64(sealed)))
 	db.imm = db.mem
 	db.mem = newMemTable()
 	db.bg.Add(1)
-	go db.flushWorker(db.imm, sealed)
+	go db.flushWorker(db.imm, sealed, sp)
 	return nil
 }
 
@@ -438,6 +494,9 @@ func (db *DB) flushLocked() error {
 	if len(entries) == 0 {
 		return nil
 	}
+	sp := db.obs.StartSpan("flush")
+	defer sp.End()
+	sp.Phase("seal")
 	var sealed uint64
 	if db.dur != nil {
 		s, err := db.dur.wal.Rotate()
@@ -446,11 +505,15 @@ func (db *DB) flushLocked() error {
 		}
 		sealed = s
 	}
+	db.fr.RecordSpan("flush.seal", sp.ID(),
+		obs.I64("entries", int64(len(entries))), obs.I64("wal_sealed", int64(sealed)))
 	db.mem = newMemTable()
+	sp.Phase("build")
 	t, err := db.buildTable(entries)
 	if err != nil {
 		return db.failLocked(err)
 	}
+	sp.Phase("install")
 	db.installFlushedLocked(t)
 	if db.dur != nil {
 		// The memtable's covering segments (<= sealed) are no longer needed
@@ -459,7 +522,10 @@ func (db *DB) flushLocked() error {
 			return db.failLocked(err)
 		}
 	}
-	return db.maybeCompactLocked()
+	sp.Annotate(obs.I64("table", int64(t.id)))
+	db.fr.RecordSpan("flush.commit", sp.ID(),
+		obs.I64("table", int64(t.id)), obs.I64("wal_min", int64(sealed+1)))
+	return db.compactUntilCleanLocked(sp.ID())
 }
 
 // flushWorker builds the SSTable from the sealed MemTable off-lock, installs
@@ -467,9 +533,8 @@ func (db *DB) flushLocked() error {
 // failure the immutable MemTable stays in place (reads keep seeing its
 // records; recovery replays them from the sealed WAL segments) and the DB
 // is marked failed.
-func (db *DB) flushWorker(imm *memTable, sealed uint64) {
+func (db *DB) flushWorker(imm *memTable, sealed uint64, sp *obs.Span) {
 	defer db.bg.Done()
-	sp := db.obs.StartSpan("flush")
 	sp.Phase("build")
 	t, err := db.buildTable(imm.sorted())
 	sp.Phase("install")
@@ -486,11 +551,15 @@ func (db *DB) flushWorker(imm *memTable, sealed uint64) {
 		sp.End()
 		return
 	}
+	sp.Annotate(obs.I64("table", int64(t.id)))
+	db.fr.RecordSpan("flush.commit", sp.ID(),
+		obs.I64("table", int64(t.id)), obs.I64("wal_min", int64(sealed+1)))
 	db.imm = nil
 	if !db.compacting && db.hasCompactionWorkLocked() {
 		db.compacting = true
 		db.bg.Add(1)
-		go db.compactWorker()
+		// The compactor's spans are parented to the flush that woke it.
+		go db.compactWorker(sp.ID())
 	}
 	db.bgCond.Broadcast()
 	db.mu.Unlock()
@@ -938,28 +1007,49 @@ func (db *DB) installLocked(job *compactJob, out []*SSTable) error {
 	return nil
 }
 
-// maybeCompactLocked runs compactions inline until the shape invariants
-// hold (the foreground path).
-func (db *DB) maybeCompactLocked() error {
+// compactUntilCleanLocked runs compactions inline until the shape invariants
+// hold (the foreground path). parent links the compaction spans and events to
+// the flush that triggered them (0 for none).
+func (db *DB) compactUntilCleanLocked(parent uint64) error {
 	for {
 		job := db.pickCompactionLocked()
 		if job == nil {
 			return nil
 		}
+		sp := db.obs.StartSpanChild("compaction", parent)
+		sp.Phase("merge")
 		out, err := db.executeJob(job)
 		if err != nil {
+			sp.End()
 			return db.failLocked(err)
 		}
+		sp.Phase("install")
 		if err := db.installLocked(job, out); err != nil {
+			sp.End()
 			return db.failLocked(err)
 		}
+		db.recordCompaction(sp, job, out)
+		sp.End()
 	}
+}
+
+// recordCompaction annotates a finished compaction's span and emits its
+// flight-recorder commit event.
+func (db *DB) recordCompaction(sp *obs.Span, job *compactJob, out []*SSTable) {
+	attrs := []obs.Attr{
+		obs.I64("src_level", int64(job.srcLevel)),
+		obs.I64("inputs", int64(len(job.inputs)+len(job.merge))),
+		obs.I64("outputs", int64(len(out))),
+	}
+	sp.Annotate(attrs...)
+	db.fr.RecordSpan("compaction.commit", sp.ID(), attrs...)
 }
 
 // compactWorker is the single background compactor: it picks a job under
 // the lock, merges off-lock while readers and the writer proceed, installs
 // the result under a short lock, and repeats until the shape is clean.
-func (db *DB) compactWorker() {
+// parent is the span ID of the flush that woke it.
+func (db *DB) compactWorker(parent uint64) {
 	defer db.bg.Done()
 	for {
 		db.mu.Lock()
@@ -971,7 +1061,7 @@ func (db *DB) compactWorker() {
 			return
 		}
 		db.mu.Unlock()
-		sp := db.obs.StartSpan("compaction")
+		sp := db.obs.StartSpanChild("compaction", parent)
 		sp.Phase("merge")
 		out, err := db.executeJob(job)
 		sp.Phase("install")
@@ -987,6 +1077,7 @@ func (db *DB) compactWorker() {
 			sp.End()
 			return
 		}
+		db.recordCompaction(sp, job, out)
 		db.mu.Unlock()
 		sp.End()
 	}

@@ -7,12 +7,32 @@ import (
 	"path"
 	"strings"
 
+	"mets/internal/obs"
 	"mets/internal/vfs"
 	"mets/internal/wal"
 )
 
 // ErrClosed is returned by writes against a closed DB.
 var ErrClosed = errors.New("lsm: db closed")
+
+// FlightRecName is the name of the postmortem artifact a durable DB writes
+// into its data directory: the flight-recorder ring, dumped at the end of
+// recovery, on the first sticky durable error, and on Close.
+const FlightRecName = "flightrec.json"
+
+// dumpFlightLocked atomically publishes the flight recorder as
+// <dir>/flightrec.json. Best-effort by design (`_ =`): dumps run on failure
+// paths where the filesystem may refuse writes (a crashed MemFS rejects
+// everything), and a failed postmortem must never mask the original error.
+// The end-of-recovery dump is the one that always lands: recovery runs on a
+// healthy filesystem and its events (replay stats, repairs, quarantines) are
+// the postmortem of the preceding crash.
+func (db *DB) dumpFlightLocked(reason string) {
+	if db.dur == nil {
+		return
+	}
+	_ = vfs.WriteFileAtomic(db.dur.fs, path.Join(db.dur.dir, FlightRecName), db.fr.DumpJSON(reason))
+}
 
 // durableState carries everything the durable engine adds over the
 // in-memory one: the FS, the data directory, the live WAL, and the WAL
@@ -111,6 +131,12 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 		return err
 	}
 	walMin := uint64(0)
+	if man == nil {
+		db.fr.Record("recovery.fresh", obs.Str("dir", dir))
+	} else {
+		db.fr.Record("recovery.manifest", obs.I64("wal_min", int64(man.walMin)),
+			obs.I64("levels", int64(len(man.levels))), obs.Str("codec", man.codecID))
+	}
 	if man != nil {
 		if man.codecID != db.codecID {
 			return fmt.Errorf("lsm: data dir was written with codec %q, opened with %q",
@@ -147,6 +173,8 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 					// simply absent; the DB stays up.
 					_ = fs.Rename(name, name+corruptExt)
 					db.Recovery.Quarantined++
+					db.quarantined.Add(1)
+					db.fr.Record("lsm.quarantine", obs.Str("file", base), obs.Str("err", err.Error()))
 					continue
 				}
 				lvl = append(lvl, t)
@@ -185,6 +213,17 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 	db.Recovery.WALSegments = stats.Segments
 	db.Recovery.WALRecords = stats.Records
 	db.Recovery.WALTorn = stats.Torn
+	replayAttrs := []obs.Attr{
+		obs.I64("segments", int64(stats.Segments)),
+		obs.I64("records", int64(stats.Records)),
+		obs.I64("bytes", stats.Bytes),
+	}
+	if stats.Torn {
+		replayAttrs = append(replayAttrs,
+			obs.I64("torn_segment", int64(stats.TornSegment)),
+			obs.I64("torn_offset", stats.TornOffset))
+	}
+	db.fr.Record("wal.replay", replayAttrs...)
 	// Commit the replay barrier before appending anything: truncate the torn
 	// segment to its valid prefix (and quarantine untrusted later segments)
 	// so the next replay reads past it into segments created from here on.
@@ -192,6 +231,10 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 	// recovery behind the damaged frame at the second crash.
 	if err := wal.Repair(fs, dir, stats); err != nil {
 		return err
+	}
+	if stats.Torn {
+		db.fr.Record("wal.repair", obs.I64("torn_segment", int64(stats.TornSegment)),
+			obs.I64("torn_offset", stats.TornOffset))
 	}
 
 	w, err := wal.Open(wal.Options{
@@ -201,6 +244,7 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 		Mode:         db.cfg.WALSync,
 		GroupDelay:   db.cfg.GroupCommitDelay,
 		Obs:          db.cfg.Obs,
+		FlightRec:    db.fr,
 	})
 	if err != nil {
 		return err
@@ -214,6 +258,10 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 			return err
 		}
 	}
+	// Publish the recovery story while the filesystem is known-healthy: this
+	// dump is the postmortem artifact of the crash that preceded this open
+	// (its last events show the torn tail, repairs, and quarantines found).
+	db.dumpFlightLocked("recovery")
 	return nil
 }
 
@@ -228,7 +276,12 @@ func (db *DB) commitManifestLocked() error {
 		}
 		m.levels = append(m.levels, ids)
 	}
-	return writeManifest(db.dur.fs, db.dur.dir, m)
+	if err := writeManifest(db.dur.fs, db.dur.dir, m); err != nil {
+		return err
+	}
+	db.fr.Record("manifest.commit", obs.I64("wal_min", int64(m.walMin)),
+		obs.I64("levels", int64(len(m.levels))), obs.I64("next_id", int64(m.nextID)))
+	return nil
 }
 
 // advanceWALLocked commits the manifest with the low-water mark raised to
@@ -245,9 +298,13 @@ func (db *DB) advanceWALLocked(minKeep uint64) error {
 }
 
 // failLocked records the first hard failure; every later write observes it.
+// The flight recorder dumps at the moment the error goes sticky — the ring
+// still holds the events leading up to it.
 func (db *DB) failLocked(err error) error {
 	if db.durErr == nil {
 		db.durErr = err
+		db.fr.Record("durable.error", obs.Str("err", err.Error()))
+		db.dumpFlightLocked("durable-error")
 	}
 	db.bgCond.Broadcast()
 	return err
@@ -307,6 +364,8 @@ func (db *DB) Close() error {
 			t.Close()
 		}
 	}
+	db.fr.Record("close")
+	db.dumpFlightLocked("close")
 	if db.durErr == nil {
 		db.durErr = ErrClosed
 	}

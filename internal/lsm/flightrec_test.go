@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"testing"
+
+	"mets/internal/obs"
+	"mets/internal/vfs"
+)
+
+// readDump reads and parses the engine's flightrec.json.
+func readDump(t *testing.T, fs vfs.FS) *obs.FlightDump {
+	t.Helper()
+	data, err := vfs.ReadFileAll(fs, path.Join("data", FlightRecName))
+	if err != nil {
+		t.Fatalf("read flight dump: %v", err)
+	}
+	d, err := obs.ParseFlightDump(data)
+	if err != nil {
+		t.Fatalf("parse flight dump: %v", err)
+	}
+	return d
+}
+
+// eventTypes collects the distinct event types in a dump.
+func eventTypes(d *obs.FlightDump) map[string]int {
+	m := make(map[string]int)
+	for _, ev := range d.Events {
+		m[ev.Type]++
+	}
+	return m
+}
+
+// TestDurableFlightRecorder pins the flight-recorder lifecycle on the
+// durable engine: Close dumps a postmortem whose events tell the engine's
+// story (recovery, WAL batches, flush and manifest commits, close), and a
+// reopen's recovery dump records the replay it performed.
+func TestDurableFlightRecorder(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		durablePut(t, db, fmt.Sprintf("key-%04d", i), fmt.Sprintf("val-%d", i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := readDump(t, fs)
+	if d.Reason != "close" {
+		t.Fatalf("dump reason = %q, want close", d.Reason)
+	}
+	types := eventTypes(d)
+	// The tiny config forces flushes and WAL activity inside 120 ops; their
+	// commit events must be in the ring, and the final event is the close.
+	for _, want := range []string{"recovery.fresh", "wal.fsync_batch", "flush.commit", "manifest.commit", "close"} {
+		if types[want] == 0 {
+			t.Fatalf("dump missing %q events; have %v", want, types)
+		}
+	}
+	if last := d.Events[len(d.Events)-1]; last.Type != "close" {
+		t.Fatalf("last event = %q, want close", last.Type)
+	}
+
+	// Reopen: the recovery dump must describe the manifest it loaded and the
+	// WAL replay it performed.
+	db2, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := readDump(t, fs)
+	if d2.Reason != "recovery" {
+		t.Fatalf("post-reopen dump reason = %q, want recovery", d2.Reason)
+	}
+	types = eventTypes(d2)
+	if types["recovery.manifest"] == 0 || types["wal.replay"] == 0 {
+		t.Fatalf("recovery dump missing manifest/replay events; have %v", types)
+	}
+	db2.Close()
+}
+
+// TestDurableFlightRecorderQuarantine pins that a quarantined table file
+// leaves its trace in the recovery dump.
+func TestDurableFlightRecorderQuarantine(t *testing.T) {
+	fs := vfs.NewMemFS()
+	fillAndClose(t, fs, 200)
+	names, _ := fs.List("data")
+	var sst string
+	for _, n := range names {
+		if strings.HasSuffix(n, sstExt) {
+			sst = n
+			break
+		}
+	}
+	if sst == "" {
+		t.Fatalf("no table files in %v", names)
+	}
+	if err := fs.Corrupt(path.Join("data", sst), 13, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	d := readDump(t, fs)
+	found := false
+	for _, ev := range d.Events {
+		if ev.Type == "lsm.quarantine" {
+			found = true
+			for _, a := range ev.Attrs {
+				if a.Key == "file" && a.Str != sst {
+					t.Fatalf("quarantine event names %q, corrupted %q", a.Str, sst)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no lsm.quarantine event in recovery dump; have %v", eventTypes(d))
+	}
+	if h := db.Health(); h.Quarantined != 1 || !h.Healthy {
+		t.Fatalf("Health = %+v, want healthy with 1 quarantined", h)
+	}
+}
+
+// TestDurableHealth pins the health surface: a fresh durable engine is
+// healthy with a single live WAL segment, and a sticky durable error flips
+// Healthy off with the error text attached.
+func TestDurableHealth(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := OpenDurable(tinyDurableConfig(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := db.Health()
+	if !h.Healthy || h.Err != "" || h.WALBacklogSegments < 1 {
+		t.Fatalf("fresh Health = %+v", h)
+	}
+	durablePut(t, db, "a", "1")
+	db.Close()
+	h = db.Health()
+	if h.Healthy || h.Err == "" {
+		t.Fatalf("closed Health = %+v, want unhealthy with error", h)
+	}
+
+	// In-memory engines are healthy with no WAL backlog.
+	mem := Open(Config{})
+	if h := mem.Health(); !h.Healthy || h.WALBacklogSegments != 0 {
+		t.Fatalf("in-memory Health = %+v", h)
+	}
+	mem.Close()
+}

@@ -1,0 +1,54 @@
+package lsm
+
+// Health is the engine's point-in-time liveness summary — the health surface
+// serving layers expose alongside metrics. Unlike the obs snapshot (numeric,
+// monotonic), Health answers the operator's first question directly: can this
+// engine still take writes, and is anything backed up?
+type Health struct {
+	// Healthy is false once writes are refused: a sticky durable error or a
+	// closed DB (Err tells which).
+	Healthy bool `json:"healthy"`
+	// Err is the sticky failure message ("" while healthy).
+	Err string `json:"err,omitempty"`
+	// Quarantined counts table files renamed aside as *.corrupt at recovery.
+	Quarantined int `json:"quarantined"`
+	// WALBacklogSegments is how many WAL segments a recovery would replay
+	// right now (low-water mark through the live segment); 0 for in-memory
+	// DBs. A growing backlog means flushes are not keeping up with writes.
+	WALBacklogSegments int `json:"wal_backlog_segments"`
+	// FlushBacklog reports a sealed memtable waiting on the background
+	// flusher — writers may be hitting backpressure.
+	FlushBacklog bool `json:"flush_backlog"`
+	// Compacting reports an in-flight background compaction.
+	Compacting bool `json:"compacting"`
+}
+
+// Health reports the engine's current health. Safe for concurrent use.
+func (db *DB) Health() Health {
+	db.mu.RLock()
+	dur, durErr := db.dur, db.durErr
+	flushBacklog, compacting := db.imm != nil, db.compacting
+	walMin := uint64(0)
+	if dur != nil {
+		walMin = dur.walMin
+	}
+	db.mu.RUnlock()
+	h := Health{
+		Healthy:      durErr == nil,
+		Quarantined:  int(db.quarantined.Load()),
+		FlushBacklog: flushBacklog,
+		Compacting:   compacting,
+	}
+	if durErr != nil {
+		h.Err = durErr.Error()
+	}
+	if dur != nil {
+		// Segments walMin..Seq() would all be read back by a reopen. Seq
+		// takes the WAL's own mutex; db.mu is already released, and dur is
+		// immutable after open, so there is no lock-order entanglement.
+		if lo, hi := max(walMin, 1), dur.wal.Seq(); hi >= lo {
+			h.WALBacklogSegments = int(hi - lo + 1)
+		}
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpanCausality pins the causal-span contract: StartChild links a span
+// to its parent's nonzero ID, annotations ride into the snapshot, and the
+// chain is reconstructable from SpanSnapshots alone.
+func TestSpanCausality(t *testing.T) {
+	r := NewRegistry()
+	flush := r.StartSpan("flush")
+	if flush.ID() == 0 {
+		t.Fatal("span got ID 0 (reserved for 'no parent')")
+	}
+	flush.Annotate(I64("mem_bytes", 4096))
+	comp := r.StartSpanChild("compaction", flush.ID())
+	if comp.ID() == 0 || comp.ID() == flush.ID() {
+		t.Fatalf("child ID %d vs parent %d", comp.ID(), flush.ID())
+	}
+	comp.Annotate(I64("inputs", 3), Str("level", "L0"))
+	comp.End()
+	flush.End()
+
+	snaps := r.Snapshot().Spans
+	byName := map[string]SpanSnapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	f, c := byName["flush"], byName["compaction"]
+	if f.ID != flush.ID() || f.Parent != 0 {
+		t.Fatalf("flush snapshot = id %d parent %d", f.ID, f.Parent)
+	}
+	if c.Parent != f.ID {
+		t.Fatalf("compaction parent = %d, want %d", c.Parent, f.ID)
+	}
+	if len(f.Attrs) != 1 || f.Attrs[0].Key != "mem_bytes" || f.Attrs[0].Val != 4096 {
+		t.Fatalf("flush attrs = %+v", f.Attrs)
+	}
+	if len(c.Attrs) != 2 || c.Attrs[1].Str != "L0" {
+		t.Fatalf("compaction attrs = %+v", c.Attrs)
+	}
+}
+
+// TestSpanCausalityNil pins that the nil disabled path extends to the new
+// surface: ID 0, Annotate no-op, StartSpanChild nil.
+func TestSpanCausalityNil(t *testing.T) {
+	var r *Registry
+	sp := r.StartSpanChild("x", 9)
+	if sp != nil {
+		t.Fatal("nil registry must hand out nil span")
+	}
+	if sp.ID() != 0 {
+		t.Fatal("nil span must report ID 0")
+	}
+	sp.Annotate(I64("n", 1)) // must not panic
+	sp.Phase("p")
+	sp.End()
+}
+
+// TestHistogramExemplar pins the slow-op exemplar contract: the exemplar
+// tracks the maximum observation (and only that — cheaper observations never
+// displace it), carrying the span ID and key tag that produced it.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("commit_ns")
+	h.ObserveExemplar(100, 1, "key-a")
+	h.ObserveExemplar(900, 2, "key-b")
+	h.ObserveExemplar(300, 3, "key-c")
+	s := h.Snapshot()
+	if s.Exemplar == nil {
+		t.Fatal("no exemplar captured")
+	}
+	if s.Exemplar.Ns != 900 || s.Exemplar.SpanID != 2 || s.Exemplar.Key != "key-b" {
+		t.Fatalf("exemplar = %+v, want the 900ns/span2/key-b op", *s.Exemplar)
+	}
+	if s.Count != 3 || s.Max != 900 {
+		t.Fatalf("histogram stats = count %d max %d", s.Count, s.Max)
+	}
+
+	// Merge keeps the slower exemplar.
+	h2 := NewRegistry().Histogram("other")
+	h2.ObserveExemplar(5000, 7, "key-z")
+	m := s
+	m.Merge(h2.Snapshot())
+	if m.Exemplar.Ns != 5000 || m.Exemplar.Key != "key-z" {
+		t.Fatalf("merged exemplar = %+v", *m.Exemplar)
+	}
+
+	// Plain observations and nil histograms stay exemplar-free and safe.
+	h3 := r.Histogram("plain")
+	h3.Observe(time.Millisecond)
+	if h3.Snapshot().Exemplar != nil {
+		t.Fatal("plain Observe must not fabricate an exemplar")
+	}
+	var hn *Histogram
+	hn.ObserveExemplar(1, 1, "k")
+}

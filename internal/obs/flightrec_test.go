@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderOrder pins the ring contract: events come back in
+// recording order, sequence numbers are strictly increasing, and attributes
+// survive the round trip.
+func TestFlightRecorderOrder(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record("a", I64("n", 1))
+	fr.RecordSpan("b", 42, Str("file", "x.sst"))
+	fr.Record("c")
+	evs := fr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() = %d events, want 3", len(evs))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if evs[i].Type != want {
+			t.Fatalf("event %d type = %q, want %q", i, evs[i].Type, want)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+		if evs[i].Time == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if evs[0].Attrs[0].Key != "n" || evs[0].Attrs[0].Val != 1 {
+		t.Fatalf("attr round trip: %+v", evs[0].Attrs)
+	}
+	if evs[1].Span != 42 || evs[1].Attrs[0].Str != "x.sst" {
+		t.Fatalf("span event round trip: %+v", evs[1])
+	}
+}
+
+// TestFlightRecorderWrap records past capacity: only the newest events
+// survive, still ordered.
+func TestFlightRecorderWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record("e", I64("i", int64(i)))
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() = %d, want capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Attrs[0].Val != want {
+			t.Fatalf("wrapped event %d = i=%d, want %d", i, ev.Attrs[0].Val, want)
+		}
+	}
+}
+
+// TestFlightRecorderDumpRoundTrip pins the postmortem format: DumpJSON
+// output parses back with the reason and every event intact, and the parser
+// rejects garbage.
+func TestFlightRecorderDumpRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record("wal.rotate", I64("sealed", 3), I64("next", 4))
+	fr.Record("durable.error", Str("err", "disk gone"))
+	d, err := ParseFlightDump(fr.DumpJSON("durable-error"))
+	if err != nil {
+		t.Fatalf("ParseFlightDump: %v", err)
+	}
+	if d.Reason != "durable-error" || len(d.Events) != 2 {
+		t.Fatalf("dump = reason %q, %d events", d.Reason, len(d.Events))
+	}
+	if d.Events[1].Type != "durable.error" || d.Events[1].Attrs[0].Str != "disk gone" {
+		t.Fatalf("last event = %+v", d.Events[1])
+	}
+	if _, err := ParseFlightDump([]byte("not json")); err == nil {
+		t.Fatal("ParseFlightDump accepted garbage")
+	}
+	// An empty recorder still dumps a valid (empty) postmortem.
+	if d, err := ParseFlightDump(NewFlightRecorder(2).DumpJSON("close")); err != nil || len(d.Events) != 0 {
+		t.Fatalf("empty dump: %v, %d events", err, len(d.Events))
+	}
+}
+
+// TestFlightRecorderNil pins that a nil recorder swallows records and dumps
+// an empty document — call sites stay unconditional.
+func TestFlightRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record("x", I64("n", 1))
+	fr.RecordSpan("y", 7)
+	if evs := fr.Events(); len(evs) != 0 {
+		t.Fatalf("nil recorder returned %d events", len(evs))
+	}
+	if !strings.Contains(string(fr.DumpJSON("r")), `"reason"`) {
+		t.Fatal("nil recorder dump is not a valid document")
+	}
+}
+
+// TestFlightRecorderConcurrentDump is the race-suite pin: many writers
+// append while other goroutines snapshot and dump the ring. Run under
+// -race this proves the per-slot locking keeps dumps readable mid-flight.
+func TestFlightRecorderConcurrentDump(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record("w", I64("writer", int64(w)), I64("i", int64(i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 50; r++ {
+		if _, err := ParseFlightDump(fr.DumpJSON("concurrent")); err != nil {
+			t.Errorf("dump %d unparseable: %v", r, err)
+			break
+		}
+	}
+	wg.Wait()
+	evs := fr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("final Events() = %d, want full ring 16", len(evs))
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -22,6 +23,20 @@ type Histogram struct {
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [NumBuckets]atomic.Int64
+
+	// Slow-op exemplar, updated only when an observation sets a new max —
+	// a rare, already-slow path, so the mutex never shows up in profiles.
+	exMu sync.Mutex
+	ex   Exemplar
+}
+
+// Exemplar identifies the op behind a histogram's current maximum: the causal
+// span it belonged to (e.g. the WAL group-commit batch) and a short
+// human-readable key tag (e.g. the Put's key prefix).
+type Exemplar struct {
+	Ns     int64  `json:"ns"`
+	SpanID uint64 `json:"span,omitempty"`
+	Key    string `json:"key,omitempty"`
 }
 
 // NewHistogram creates an empty histogram (usable standalone, without a
@@ -61,9 +76,12 @@ func BucketLower(i int) int64 {
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
 
 // ObserveNs records a raw nanosecond value. No-op on a nil histogram.
-func (h *Histogram) ObserveNs(ns int64) {
+func (h *Histogram) ObserveNs(ns int64) { h.observe(ns) }
+
+// observe does the recording and reports whether ns set a new max.
+func (h *Histogram) observe(ns int64) bool {
 	if h == nil {
-		return
+		return false
 	}
 	if ns < 0 {
 		ns = 0
@@ -73,10 +91,29 @@ func (h *Histogram) ObserveNs(ns int64) {
 	h.sum.Add(ns)
 	for {
 		cur := h.max.Load()
-		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			return
+		if ns <= cur {
+			return false
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			return true
 		}
 	}
+}
+
+// ObserveExemplar records ns like ObserveNs and, if it set a new max,
+// remembers (span, key) as the histogram's slow-op exemplar. The exemplar
+// update happens only on the new-max path, so the common case costs exactly
+// what ObserveNs costs. No-op on a nil histogram.
+func (h *Histogram) ObserveExemplar(ns int64, span uint64, key string) {
+	if !h.observe(ns) {
+		return
+	}
+	h.exMu.Lock()
+	// Racing new-max observers can interleave; keep the slowest.
+	if ns >= h.ex.Ns {
+		h.ex = Exemplar{Ns: ns, SpanID: span, Key: key}
+	}
+	h.exMu.Unlock()
 }
 
 // HistogramSnapshot is an immutable copy of a histogram, mergeable with
@@ -96,6 +133,9 @@ type HistogramSnapshot struct {
 	P50 int64 `json:"p50_ns"`
 	P95 int64 `json:"p95_ns"`
 	P99 int64 `json:"p99_ns"`
+	// Exemplar is the op behind Max, when the instrumented path recorded one
+	// via ObserveExemplar.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot copies the histogram. Zero snapshot on nil.
@@ -111,6 +151,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Sum = h.sum.Load()
 	s.Max = h.max.Load()
+	h.exMu.Lock()
+	if h.ex.Ns > 0 {
+		ex := h.ex
+		s.Exemplar = &ex
+	}
+	h.exMu.Unlock()
 	s.fillQuantiles()
 	return s
 }
@@ -122,6 +168,10 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 	s.Sum += o.Sum
 	if o.Max > s.Max {
 		s.Max = o.Max
+	}
+	if o.Exemplar != nil && (s.Exemplar == nil || o.Exemplar.Ns > s.Exemplar.Ns) {
+		ex := *o.Exemplar
+		s.Exemplar = &ex
 	}
 	for i := range s.Buckets {
 		s.Buckets[i] += o.Buckets[i]

@@ -93,6 +93,7 @@ type registryData struct {
 	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
 	tracer   *Tracer
+	flight   *FlightRecorder
 }
 
 // Registry names and owns metrics. The zero value is not useful; create one
@@ -114,6 +115,7 @@ func NewRegistry() *Registry {
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
 		tracer:   NewTracer(DefaultSpanRing),
+		flight:   NewFlightRecorder(DefaultFlightEvents),
 	}}
 }
 
@@ -216,12 +218,31 @@ func (r *Registry) StartSpan(name string) *Span {
 	return r.data.tracer.Start(r.prefix + name)
 }
 
+// StartSpanChild begins a span named prefix+name causally linked to the span
+// with ID parent; nil (no-op span) on a nil registry.
+func (r *Registry) StartSpanChild(name string, parent uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.data.tracer.StartChild(r.prefix+name, parent)
+}
+
 // Tracer exposes the shared span tracer (nil on a nil registry).
 func (r *Registry) Tracer() *Tracer {
 	if r == nil {
 		return nil
 	}
 	return r.data.tracer
+}
+
+// FlightRecorder exposes the registry's shared flight recorder (nil on a nil
+// registry; the recorder's own methods are nil-safe, so callers may record
+// unconditionally).
+func (r *Registry) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.data.flight
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry, ready for
@@ -231,6 +252,7 @@ type Snapshot struct {
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+	Events     []Event                      `json:"events,omitempty"`
 }
 
 // Snapshot captures every counter, gauge (stored and derived), histogram,
@@ -261,12 +283,13 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range d.hists {
 		s.Histograms[name] = h.Snapshot()
 	}
-	tracer := d.tracer
+	tracer, flight := d.tracer, d.flight
 	d.mu.RUnlock()
 	for name, fn := range fns {
 		s.Gauges[name] = fn()
 	}
 	s.Spans = tracer.Recent()
+	s.Events = flight.Events()
 	return s
 }
 

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parsePromText is a minimal text-exposition (0.0.4) parser: it returns the
+// sample lines as name{labels} -> value and the declared family types, and
+// errors on any line that is neither a comment nor a well-formed sample.
+// It is deliberately small — just enough to prove the output a Prometheus
+// scraper would ingest is well-formed (the CI property job scrapes /metrics
+// and pipes it through this same grammar).
+func parsePromText(text string) (samples map[string]float64, types map[string]string, err error) {
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, nil, fmt.Errorf("line %d: no value separator: %q", n, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, perr := strconv.ParseFloat(valStr, 64)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("line %d: bad value %q: %v", n, valStr, perr)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, nil, fmt.Errorf("line %d: unterminated labels: %q", n, line)
+			}
+			name = key[:i]
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				return nil, nil, fmt.Errorf("line %d: invalid metric name %q", n, name)
+			}
+		}
+		samples[key] = v
+	}
+	return samples, types, sc.Err()
+}
+
+// TestWritePrometheus pins the exporter contract: every counter, gauge and
+// histogram in a snapshot comes out as well-formed exposition text with the
+// mets_ namespace, summary quantiles, and dotted names sanitized.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.fsyncs").Add(7)
+	r.Gauge("shard0.dynamic_len").Set(42)
+	h := r.Histogram("put.commit_ns")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := parsePromText(b.String())
+	if err != nil {
+		t.Fatalf("output not parseable:\n%s\nerr: %v", b.String(), err)
+	}
+	if samples["mets_wal_fsyncs"] != 7 {
+		t.Fatalf("counter = %v", samples["mets_wal_fsyncs"])
+	}
+	if types["mets_wal_fsyncs"] != "counter" {
+		t.Fatalf("counter type = %q", types["mets_wal_fsyncs"])
+	}
+	if samples["mets_shard0_dynamic_len"] != 42 {
+		t.Fatalf("gauge = %v", samples["mets_shard0_dynamic_len"])
+	}
+	if types["mets_put_commit_ns"] != "summary" {
+		t.Fatalf("histogram type = %q", types["mets_put_commit_ns"])
+	}
+	if samples["mets_put_commit_ns_count"] != 100 {
+		t.Fatalf("summary count = %v", samples["mets_put_commit_ns_count"])
+	}
+	p99 := samples[`mets_put_commit_ns{quantile="0.99"}`]
+	if p99 <= 0 {
+		t.Fatalf("p99 quantile missing or zero: %v", p99)
+	}
+	if samples["mets_put_commit_ns_max"] != 100*1000 {
+		t.Fatalf("max gauge = %v, want 100µs in ns", samples["mets_put_commit_ns_max"])
+	}
+}
+
+// TestWritePrometheusDeterministic pins scrape stability: two renders of the
+// same snapshot are byte-identical (families sorted, no map ordering leaks).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.ops", "a.ops", "m.ops"} {
+		r.Counter(n).Inc()
+		r.Gauge(n + ".g").Set(1)
+	}
+	s := r.Snapshot()
+	var b1, b2 strings.Builder
+	if err := WritePrometheus(&b1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b2, s); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two renders of one snapshot differ")
+	}
+	if !strings.Contains(b1.String(), "mets_a_ops") {
+		t.Fatalf("missing sanitized family:\n%s", b1.String())
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,7 +12,12 @@ const DefaultSpanRing = 64
 // Tracer records completed spans into a bounded ring — the most recent
 // DefaultSpanRing background lifecycle events (merges, flushes, compactions)
 // stay inspectable from a debug endpoint without unbounded growth.
+//
+// Every span gets a tracer-unique nonzero ID at Start, so spans can reference
+// each other (Parent) and flight-recorder events and histogram exemplars can
+// point back into the ring.
 type Tracer struct {
+	ids     atomic.Uint64
 	mu      sync.Mutex
 	ring    []SpanSnapshot
 	next    int
@@ -35,10 +41,32 @@ func NewTracer(capacity int) *Tracer {
 type Span struct {
 	t        *Tracer
 	name     string
+	id       uint64
+	parent   uint64
 	start    time.Time
 	phases   []PhaseSnapshot
 	curName  string
 	curStart time.Time
+	attrs    []Attr
+}
+
+// ID returns the span's tracer-unique nonzero ID; 0 on a nil span. The ID is
+// the causal handle: flight-recorder events (RecordSpan), histogram exemplars
+// (ObserveExemplar), and child spans (StartChild) reference it.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Annotate attaches typed attributes to the span (visible in its snapshot).
+// No-op on nil. Like Phase/End, only the owning goroutine may call it.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
 }
 
 // PhaseSnapshot is one completed phase of a span.
@@ -51,12 +79,17 @@ type PhaseSnapshot struct {
 // Duration returns the phase's length.
 func (p PhaseSnapshot) Duration() time.Duration { return p.End.Sub(p.Start) }
 
-// SpanSnapshot is one completed span in the ring.
+// SpanSnapshot is one completed span in the ring. ID is the span's
+// tracer-unique handle; Parent, when nonzero, is the ID of the span that
+// caused this one (a compaction points at the flush that triggered it).
 type SpanSnapshot struct {
 	Name   string          `json:"name"`
+	ID     uint64          `json:"id"`
+	Parent uint64          `json:"parent,omitempty"`
 	Start  time.Time       `json:"start"`
 	End    time.Time       `json:"end"`
 	Phases []PhaseSnapshot `json:"phases,omitempty"`
+	Attrs  []Attr          `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's total length.
@@ -74,13 +107,19 @@ func (s SpanSnapshot) Phase(name string) (PhaseSnapshot, bool) {
 
 // Start begins a span. Nil-safe: a nil tracer returns a nil (no-op) span.
 func (t *Tracer) Start(name string) *Span {
+	return t.StartChild(name, 0)
+}
+
+// StartChild begins a span causally linked to the span with the given ID
+// (0 for no parent). Nil-safe.
+func (t *Tracer) StartChild(name string, parent uint64) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	t.started++
 	t.mu.Unlock()
-	return &Span{t: t, name: name, start: time.Now()}
+	return &Span{t: t, name: name, id: t.ids.Add(1), parent: parent, start: time.Now()}
 }
 
 // Phase ends the current phase (if any) and starts a new one. No-op on nil.
@@ -108,7 +147,8 @@ func (s *Span) End() {
 	}
 	now := time.Now()
 	s.closePhase(now)
-	snap := SpanSnapshot{Name: s.name, Start: s.start, End: now, Phases: s.phases}
+	snap := SpanSnapshot{Name: s.name, ID: s.id, Parent: s.parent,
+		Start: s.start, End: now, Phases: s.phases, Attrs: s.attrs}
 	t := s.t
 	t.mu.Lock()
 	if len(t.ring) < cap(t.ring) {

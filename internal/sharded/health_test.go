@@ -1,0 +1,40 @@
+package sharded
+
+import (
+	"fmt"
+	"testing"
+
+	"mets/internal/hybrid"
+	"mets/internal/vfs"
+)
+
+// TestShardedHealth pins the aggregate health surface: shard count, healthy
+// journals, and zero merge-behind/merging counts once every shard has
+// merged. (The per-shard MergeBehind semantics are pinned in the hybrid
+// package; this is the aggregation.)
+func TestShardedHealth(t *testing.T) {
+	fs := vfs.NewMemFS()
+	hc := hybrid.DefaultConfig()
+	hc.MinDynamic = 16
+	hc.MergeRatio = 2
+	hc.FS = fs
+	s := NewBTree(Config{Shards: 4, Hybrid: hc, Dir: "data"})
+	for i := 0; i < 400; i++ {
+		s.Insert([]byte(fmt.Sprintf("key-%05d", i)), uint64(i))
+	}
+	h := s.Health()
+	if !h.Healthy || h.JournalErr != "" {
+		t.Fatalf("Health = %+v, want healthy", h)
+	}
+	if h.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", h.Shards)
+	}
+	s.Merge()
+	s.WaitMerges()
+	if h := s.Health(); h.Merging != 0 || h.MergeBehind != 0 {
+		t.Fatalf("post-merge Health = %+v, want settled", h)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

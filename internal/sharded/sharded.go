@@ -235,6 +235,44 @@ func (s *Index) JournalErr() error {
 	return nil
 }
 
+// Health aggregates shard health (see hybrid.Health): the sharded index is
+// healthy while every shard journal is, and the counts report how many
+// shards are mid-merge or behind on merging. Like the other aggregate
+// accessors it visits shards one at a time — a monotonic summary, not a
+// point-in-time cut.
+type Health struct {
+	// Healthy is false once any shard journal has a sticky failure.
+	Healthy bool `json:"healthy"`
+	// JournalErr is the first failed shard's sticky error ("" while healthy).
+	JournalErr string `json:"journal_err,omitempty"`
+	// Shards is the shard count of the current generation.
+	Shards int `json:"shards"`
+	// Merging counts shards with an in-flight background merge.
+	Merging int `json:"merging"`
+	// MergeBehind counts shards past their merge trigger.
+	MergeBehind int `json:"merge_behind"`
+}
+
+// Health reports aggregate shard health. Safe for concurrent use.
+func (s *Index) Health() Health {
+	shards := s.load().shards
+	h := Health{Healthy: true, Shards: len(shards)}
+	for _, sh := range shards {
+		sh := sh.Health()
+		if !sh.Healthy && h.Healthy {
+			h.Healthy = false
+			h.JournalErr = sh.JournalErr
+		}
+		if sh.Merging {
+			h.Merging++
+		}
+		if sh.MergeBehind {
+			h.MergeBehind++
+		}
+	}
+	return h
+}
+
 // Close settles background merges and closes every shard journal (final
 // fsync each). A no-op without Config.Dir.
 func (s *Index) Close() error {

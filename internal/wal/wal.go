@@ -79,8 +79,14 @@ type Options struct {
 	// Obs hooks the log into a metrics registry under "wal.": appended
 	// records/bytes, fsyncs, rotations, a group-commit latency histogram
 	// (enqueue → durable, i.e. what a committed writer actually waits),
-	// and a batch-size histogram. Nil disables instrumentation.
+	// per-batch "wal.batch" spans, and slow-commit exemplars. Nil disables
+	// instrumentation.
 	Obs *obs.Registry
+	// FlightRec receives structured lifecycle events (fsync batches,
+	// rotations, the first sticky error). Nil falls back to Obs's recorder,
+	// so it only needs setting when the owner keeps a recorder without a
+	// registry (the always-on durable engines).
+	FlightRec *obs.FlightRecorder
 }
 
 // Ack is one record's durability promise.
@@ -96,6 +102,19 @@ type Ack struct {
 func (a *Ack) Wait() error {
 	<-a.done
 	return a.err
+}
+
+// Ready is the non-blocking probe: done reports whether the ack has
+// resolved, and err is its verdict when it has. Fire-and-forget callers
+// (the hybrid op journal) use it to notice a sticky failure — a failed log
+// resolves acks immediately — without ever blocking on a healthy one.
+func (a *Ack) Ready() (err error, done bool) {
+	select {
+	case <-a.done:
+		return a.err, true
+	default:
+		return nil, false
+	}
 }
 
 // Log is a segmented write-ahead log. Enqueue is cheap and safe to call
@@ -128,10 +147,13 @@ type Log struct {
 	obsFsyncs  *obs.Counter
 	obsRotates *obs.Counter
 	obsCommit  *obs.Histogram // group-commit latency (enqueue → ack)
+	obsSpans   *obs.Registry  // "wal."-prefixed view for per-batch spans
+	fr         *obs.FlightRecorder
 }
 
 type pendingRec struct {
 	rec []byte
+	tag string // slow-op exemplar tag (key prefix); "" when untagged
 	ack *Ack
 }
 
@@ -207,6 +229,11 @@ func Open(o Options) (*Log, error) {
 		l.obsFsyncs = w.Counter("fsyncs")
 		l.obsRotates = w.Counter("rotations")
 		l.obsCommit = w.Histogram("group_commit")
+		l.obsSpans = w
+	}
+	l.fr = o.FlightRec
+	if l.fr == nil {
+		l.fr = o.Obs.FlightRecorder()
 	}
 	f, err := l.fs.Create(path.Join(l.dir, SegmentName(l.seg)))
 	if err != nil {
@@ -222,7 +249,13 @@ func Open(o Options) (*Log, error) {
 // afterwards. Safe (and intended) to call under a caller mutex so that WAL
 // order matches in-memory apply order; do the blocking Wait after
 // unlocking.
-func (l *Log) Enqueue(rec []byte) *Ack {
+func (l *Log) Enqueue(rec []byte) *Ack { return l.EnqueueTagged(rec, "") }
+
+// EnqueueTagged is Enqueue with a short human-readable tag (e.g. the op's
+// key prefix). If this record turns out to be the slowest commit seen, the
+// tag lands in the group-commit histogram's exemplar, pointing the p99
+// reader at a concrete op.
+func (l *Log) EnqueueTagged(rec []byte, tag string) *Ack {
 	a := &Ack{done: make(chan struct{})}
 	if l.obsCommit != nil {
 		a.t0 = time.Now()
@@ -240,7 +273,7 @@ func (l *Log) Enqueue(rec []byte) *Ack {
 	}
 	l.enqSeq++
 	a.seq = l.enqSeq
-	l.pending = append(l.pending, pendingRec{rec: rec, ack: a})
+	l.pending = append(l.pending, pendingRec{rec: rec, tag: tag, ack: a})
 	l.cond.Signal()
 	l.mu.Unlock()
 	return a
@@ -389,6 +422,14 @@ func (l *Log) commitLoop() {
 		err := l.err
 		l.mu.Unlock()
 
+		// One "wal.batch" span per group-commit batch: every ack in the
+		// batch carries its ID, so a slow Put's exemplar resolves to the
+		// batch (and fsync) it actually waited on.
+		var sp *obs.Span
+		if l.obsSpans != nil && len(batch) > 0 {
+			sp = l.obsSpans.StartSpan("batch")
+			sp.Phase("write")
+		}
 		var wrote int64
 		if err == nil {
 			for _, p := range batch {
@@ -400,11 +441,18 @@ func (l *Log) commitLoop() {
 		}
 		needSync := l.mode != SyncNone || len(synchs) > 0 || len(rotates) > 0
 		if err == nil && needSync {
+			sp.Phase("fsync")
 			if serr := l.segFile.Sync(); serr != nil {
 				err = serr
 			} else {
 				l.obsFsyncs.Inc()
+				l.fr.RecordSpan("wal.fsync_batch", sp.ID(),
+					obs.I64("records", int64(len(batch))), obs.I64("bytes", wrote))
 			}
+		}
+		if sp != nil {
+			sp.Annotate(obs.I64("records", int64(len(batch))), obs.I64("bytes", wrote))
+			sp.End()
 		}
 		for _, r := range rotates {
 			if err == nil {
@@ -418,6 +466,7 @@ func (l *Log) commitLoop() {
 		l.mu.Lock()
 		if err != nil && l.err == nil {
 			l.err = err
+			l.fr.Record("wal.error", obs.Str("err", err.Error()))
 		}
 		if err == nil && len(batch) > 0 {
 			l.durableSeq = batch[len(batch)-1].ack.seq
@@ -433,7 +482,7 @@ func (l *Log) commitLoop() {
 			close(p.ack.done)
 			l.obsAppends.Inc()
 			if l.obsCommit != nil && !p.ack.t0.IsZero() {
-				l.obsCommit.ObserveNs(now.Sub(p.ack.t0).Nanoseconds())
+				l.obsCommit.ObserveExemplar(now.Sub(p.ack.t0).Nanoseconds(), sp.ID(), p.tag)
 			}
 		}
 		l.obsBytes.Add(wrote)
@@ -492,5 +541,6 @@ func (l *Log) openNextSegment() error {
 	}
 	l.segFile = f
 	l.obsRotates.Inc()
+	l.fr.Record("wal.rotate", obs.I64("sealed", int64(seq-1)), obs.I64("next", int64(seq)))
 	return nil
 }

@@ -255,6 +255,39 @@ func NewStatsRegistry() *StatsRegistry { return obs.NewRegistry() }
 // Stats snapshots a registry (zero-value snapshot for nil).
 func Stats(r *StatsRegistry) StatsSnapshot { return r.Snapshot() }
 
+// WritePrometheus renders a snapshot in Prometheus text exposition format
+// (cmd/mets-bench serves it at -debug-addr/metrics).
+var WritePrometheus = obs.WritePrometheus
+
+// FlightRecorder is the always-on bounded ring of structured engine events
+// (WAL rotations and repairs, flush/compaction commits, quarantines, journal
+// replays, epoch reclaims). Every registry carries one; durable engines dump
+// it to <dir>/flightrec.json on recovery, on a sticky durable error, and on
+// Close, so every crash leaves a postmortem artifact.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightEvent is one recorded engine event.
+type FlightEvent = obs.Event
+
+// FlightDump is a parsed flightrec.json artifact.
+type FlightDump = obs.FlightDump
+
+// ParseFlightDump decodes and validates a flightrec.json postmortem.
+var ParseFlightDump = obs.ParseFlightDump
+
+// LSMHealth summarizes a durable LSM engine's liveness (sticky errors,
+// quarantined tables, WAL backlog, flush/compaction pressure); read it with
+// LSM.Health.
+type LSMHealth = lsm.Health
+
+// HybridHealth summarizes a hybrid index's liveness (journal error, merge
+// backlog); read it with HybridIndex.Health.
+type HybridHealth = hybrid.Health
+
+// ShardedHealth aggregates HybridHealth across shards; read it with
+// ShardedIndex.Health.
+type ShardedHealth = sharded.Health
+
 // --- Key helpers -----------------------------------------------------------
 
 // Uint64Key encodes an integer as an order-preserving 8-byte key.
