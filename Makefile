@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause bench-putsync benchdiff benchdiff-gate obs-overhead fuzz-smoke crash-smoke prom-smoke
+.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause bench-putsync bench-server benchdiff benchdiff-gate obs-overhead fuzz-smoke crash-smoke prom-smoke server-smoke
 
 all: tier1
 
@@ -71,6 +71,14 @@ benchdiff-gate: bench-pause
 bench-putsync:
 	$(GO) run ./cmd/mets-bench lsm.putsync | $(GO) run ./cmd/benchjson -flags 'mets-bench lsm.putsync' -out BENCH_$(BENCHDATE).json
 
+# bench-server captures the served path: YCSB A/B/C through the wire
+# protocol against an in-process mets-server (pipelined connections, write
+# coalescer, epoch snapshot reads), plus workload C under merge churn. Read
+# p50/p99 and the worst pause land in BENCH_<date>.json via benchjson, so
+# benchdiff guards the network read tail too.
+bench-server:
+	$(GO) run ./cmd/mets-bench server.ycsb | $(GO) run ./cmd/benchjson -flags 'mets-bench server.ycsb' -out BENCH_$(BENCHDATE).json
+
 # obs-overhead is the instrumentation-cost guard: the hybrid-index microbench
 # with an enabled registry must stay within 10% of the nil-registry (no-op)
 # path. Run without the race detector — timing under -race is meaningless.
@@ -90,6 +98,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplayRawSegment$$' -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSSTableOpen$$' -fuzztime $(FUZZTIME) ./internal/lsm
+	$(GO) test -run '^$$' -fuzz '^FuzzServerFrame$$' -fuzztime $(FUZZTIME) ./internal/server
 
 # crash-smoke runs the durability matrix on its own: the differential
 # crash-recovery sweep (a crash injected at every k-th filesystem op, in
@@ -120,3 +129,38 @@ prom-smoke:
 	kill $$pid 2>/dev/null; \
 	rm -f ./mets-bench.promsmoke; \
 	if [ $$ok -eq 1 ]; then echo "prom-smoke: scraped mets_ metrics from /metrics"; else echo "prom-smoke: no mets_ samples scraped"; exit 1; fi
+
+# server-smoke exercises the real mets-server binary end to end: start it on
+# a loopback port with the debug endpoint, drive a mixed YCSB workload over
+# the wire protocol with mets-bench -server-addr, scrape /metrics for
+# server-namespaced samples, then SIGTERM and require the "clean shutdown"
+# line. Clean shutdown is itself the goroutine-leak check: Close waits for
+# every connection handler and the coalescer to exit, so a leaked goroutine
+# hangs the shutdown and the timeout below fails the target.
+SERVER_ADDR ?= 127.0.0.1:9189
+SERVER_DEBUG_ADDR ?= 127.0.0.1:9190
+server-smoke:
+	$(GO) build -o ./mets-server.smoke ./cmd/mets-server
+	@./mets-server.smoke -addr $(SERVER_ADDR) -debug-addr $(SERVER_DEBUG_ADDR) > server-smoke.log 2>&1 & pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+	  if curl -fsS -m 1 http://$(SERVER_DEBUG_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	  kill -0 $$pid 2>/dev/null || break; \
+	  sleep 0.1; \
+	done; \
+	if [ $$ok -ne 1 ]; then echo "server-smoke: server never came up"; kill $$pid 2>/dev/null; rm -f ./mets-server.smoke; exit 1; fi; \
+	$(GO) run ./cmd/mets-bench -server-addr $(SERVER_ADDR) -scale 1 -queries 20000 server.ycsb || { kill $$pid 2>/dev/null; rm -f ./mets-server.smoke; exit 1; }; \
+	scraped=0; \
+	if curl -fsS -m 2 http://$(SERVER_DEBUG_ADDR)/metrics 2>/dev/null | grep -q '^mets_server_'; then scraped=1; fi; \
+	kill -TERM $$pid 2>/dev/null; \
+	clean=0; \
+	for i in $$(seq 1 100); do \
+	  kill -0 $$pid 2>/dev/null || { grep -q '^clean shutdown' server-smoke.log && clean=1; break; }; \
+	  sleep 0.1; \
+	done; \
+	kill -9 $$pid 2>/dev/null; \
+	rm -f ./mets-server.smoke; \
+	if [ $$scraped -ne 1 ]; then echo "server-smoke: no mets_server_ samples on /metrics"; cat server-smoke.log; rm -f server-smoke.log; exit 1; fi; \
+	if [ $$clean -ne 1 ]; then echo "server-smoke: no clean shutdown"; cat server-smoke.log; rm -f server-smoke.log; exit 1; fi; \
+	rm -f server-smoke.log; \
+	echo "server-smoke: workload served, /metrics scraped, clean shutdown"

@@ -41,6 +41,10 @@ type benchContext struct {
 	queries int // queries per measurement
 	shards  int // shard count for the sharded-index experiments
 	threads int // client goroutines for the concurrent driver (0 = GOMAXPROCS)
+	// serverAddr points the server.* experiments at an external mets-server
+	// instead of spinning one up in-process (used by `make server-smoke` to
+	// exercise the real binary over real TCP).
+	serverAddr string
 	// obs is the process-wide metrics registry, non-nil when -debug-addr or
 	// -stats-every is set; experiments that support instrumentation attach
 	// their indexes to it. Nil exercises the no-op instrumentation path.
@@ -55,6 +59,7 @@ func main() {
 	queries := flag.Int("queries", 200000, "queries per measurement")
 	shards := flag.Int("shards", 8, "shard count for the sharded-index experiments")
 	threads := flag.Int("threads", 0, "concurrent driver client count (0 = GOMAXPROCS)")
+	serverAddr := flag.String("server-addr", "", "drive the server.* experiments against an external mets-server at this address (empty = in-process)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics + pprof on this address (e.g. :6060)")
 	statsEvery := flag.Duration("stats-every", 0, "periodically dump a metrics digest (e.g. 5s; 0 = off)")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -72,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mets-bench [-scale N] <experiment-id>... | -list | all")
 		os.Exit(2)
 	}
-	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads}
+	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads, serverAddr: *serverAddr}
 	if *debugAddr != "" || *statsEvery > 0 {
 		ctx.obs = obs.NewRegistry()
 		if *debugAddr != "" {

@@ -1,0 +1,158 @@
+// Command mets-server serves a mets storage engine over the wire protocol:
+// pipelined TCP connections, a write coalescer with group commit, admission
+// control that sheds load under merge/flush backlog, and MVCC snapshot reads
+// (sharded engine). A debug HTTP endpoint exposes /metrics (Prometheus text
+// format), /debug/vars, and /healthz.
+//
+// Usage:
+//
+//	mets-server -addr :7070 -engine sharded -shards 8 -dir /tmp/mets \
+//	            -debug-addr 127.0.0.1:7071
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+// connections and the write queue, close the engine, print "clean shutdown".
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mets/internal/hybrid"
+	"mets/internal/lsm"
+	"mets/internal/obs"
+	"mets/internal/server"
+	"mets/internal/sharded"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address for the wire protocol")
+		debugAddr  = flag.String("debug-addr", "", "debug HTTP address (/metrics, /debug/vars, /healthz); empty disables")
+		engine     = flag.String("engine", "sharded", "storage engine: sharded | lsm")
+		dir        = flag.String("dir", "", "durability directory (empty = in-memory, no journals/WAL)")
+		shards     = flag.Int("shards", 8, "shard count (sharded engine)")
+		minDynamic = flag.Int("min-dynamic", 0, "per-shard dynamic-stage merge floor (0 = engine default)")
+		writeQueue = flag.Int("write-queue", 1024, "bounded write-queue depth before RETRY_LATER")
+		batchMax   = flag.Int("batch-max", 256, "max ops per group commit")
+		maxConns   = flag.Int("max-conns", 1024, "max concurrent connections")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+
+	store, err := buildStore(*engine, *dir, *shards, *minDynamic, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mets-server:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		Store:      store,
+		Obs:        reg,
+		MaxConns:   *maxConns,
+		WriteQueue: *writeQueue,
+		BatchMax:   *batchMax,
+	})
+
+	if *debugAddr != "" {
+		startDebug(*debugAddr, reg, store)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		fmt.Printf("mets-server: engine=%s dir=%q listening on %s\n", *engine, *dir, *addr)
+		done <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("mets-server: %v, shutting down\n", s)
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mets-server:", err)
+			os.Exit(1)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mets-server: close:", err)
+		os.Exit(1)
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mets-server: engine close:", err)
+		os.Exit(1)
+	}
+	fmt.Println("clean shutdown")
+}
+
+// buildStore constructs the selected engine.
+func buildStore(engine, dir string, shards, minDynamic int, reg *obs.Registry) (server.Store, error) {
+	switch engine {
+	case "sharded":
+		hc := hybrid.DefaultConfig()
+		hc.EpochReads = true
+		hc.BackgroundMerge = true
+		if minDynamic > 0 {
+			hc.MinDynamic = minDynamic
+		}
+		idx := sharded.NewBTree(sharded.Config{
+			Shards: shards,
+			Hybrid: hc,
+			Obs:    reg,
+			Dir:    dir,
+		})
+		return server.NewShardedStore(idx), nil
+	case "lsm":
+		cfg := lsm.Config{Obs: reg, Dir: dir, BackgroundCompaction: true}
+		if dir == "" {
+			return server.NewLSMStore(lsm.Open(cfg)), nil
+		}
+		db, err := lsm.OpenDurable(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("open lsm: %w", err)
+		}
+		return server.NewLSMStore(db), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want sharded or lsm)", engine)
+	}
+}
+
+// startDebug serves /metrics (Prometheus), /debug/vars (expvar incl. the
+// full registry snapshot under "mets"), and /healthz (200 when the engine
+// accepts writes, 503 otherwise).
+func startDebug(addr string, reg *obs.Registry, store server.Store) {
+	expvar.Publish("mets", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := store.Health()
+		if !h.Healthy {
+			http.Error(w, "unhealthy: "+h.Err, http.StatusServiceUnavailable)
+			return
+		}
+		if h.Backlogged {
+			fmt.Fprintln(w, "ok (backlogged)")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "mets-server: debug endpoint:", err)
+		}
+	}()
+}

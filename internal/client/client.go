@@ -1,0 +1,476 @@
+// Package client is the Go client for the mets wire protocol: a pipelined
+// connection (many goroutines share one TCP connection; responses are
+// matched to callers by request id), typed errors for the server's
+// backpressure answers, and a KV adapter that lets the YCSB driver run
+// unmodified against a live server.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/index"
+	"mets/internal/wire"
+)
+
+// ErrRetryLater is the server's backpressure answer: the write was NOT
+// queued (the write queue is full or the engine is backlogged); retry after
+// a pause.
+var ErrRetryLater = errors.New("client: server busy, retry later")
+
+// ErrBadRequest means the server could not parse the request body.
+var ErrBadRequest = errors.New("client: bad request")
+
+// ErrUnsupported means the engine behind the server lacks the capability
+// (e.g. snapshots on the LSM engine).
+var ErrUnsupported = errors.New("client: operation unsupported by engine")
+
+// ErrClosed means the connection is gone; in-flight and future calls fail.
+var ErrClosed = errors.New("client: connection closed")
+
+// response pairs a status byte with the response body.
+type response struct {
+	status byte
+	body   []byte
+}
+
+// Client is one pipelined protocol connection. All methods are safe for
+// concurrent use; each in-flight request occupies one pending-table slot and
+// responses may return in any order.
+type Client struct {
+	nc     net.Conn
+	nextID atomic.Uint64
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	err     error // sticky; set once the reader dies
+	closed  bool
+}
+
+// Dial connects to a mets-server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(nc), nil
+}
+
+// New wraps an established connection (tests use net.Pipe).
+func New(nc net.Conn) *Client {
+	c := &Client{nc: nc, pending: make(map[uint64]chan response)}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection; in-flight requests fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.nc.Close()
+}
+
+// readLoop delivers responses to waiting callers until the connection dies,
+// then fails everyone still pending.
+func (c *Client) readLoop() {
+	var rerr error
+	for {
+		p, err := wire.ReadFrame(c.nc, wire.MaxFrame)
+		if err != nil {
+			rerr = err
+			break
+		}
+		id, status, body, err := wire.ParseHeader(p)
+		if err != nil {
+			rerr = err
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- response{status: status, body: body}
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		rerr = ErrClosed
+	}
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %v", ErrClosed, rerr)
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // a closed channel signals "failed, see c.err"
+	}
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+// do sends one request (header code + body) and waits for its response.
+func (c *Client) do(code byte, body func(buf []byte) []byte) (response, error) {
+	id := c.nextID.Add(1)
+	buf := wire.NewFrame(id, code)
+	if body != nil {
+		buf = body(buf)
+	}
+	frame, err := wire.Finish(buf)
+	if err != nil {
+		return response{}, err
+	}
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return response{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	_, werr := c.nc.Write(frame)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		err := c.err
+		c.mu.Unlock()
+		c.nc.Close()
+		if err == nil {
+			err = fmt.Errorf("%w: %v", ErrClosed, werr)
+		}
+		return response{}, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return response{}, err
+	}
+	return resp, nil
+}
+
+// statusErr maps a non-OK status to a typed error (StatusNotFound is not an
+// error; callers handle it).
+func statusErr(r response) error {
+	switch r.status {
+	case wire.StatusOK, wire.StatusNotFound:
+		return nil
+	case wire.StatusRetryLater:
+		return ErrRetryLater
+	case wire.StatusBadRequest:
+		return ErrBadRequest
+	case wire.StatusUnsupported:
+		return fmt.Errorf("%w: %s", ErrUnsupported, r.body)
+	default:
+		return fmt.Errorf("client: server error: %s", r.body)
+	}
+}
+
+// Get looks up key.
+func (c *Client) Get(key []byte) (uint64, bool, error) {
+	r, err := c.do(wire.OpGet, func(buf []byte) []byte {
+		return wire.AppendBytes(buf, key)
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if err := statusErr(r); err != nil {
+		return 0, false, err
+	}
+	if r.status == wire.StatusNotFound {
+		return 0, false, nil
+	}
+	v, _, err := wire.Uint(r.body)
+	return v, err == nil, err
+}
+
+// Put upserts key -> value. ErrRetryLater means the write was shed by
+// admission control and was NOT applied.
+func (c *Client) Put(key []byte, value uint64) error {
+	r, err := c.do(wire.OpPut, func(buf []byte) []byte {
+		buf = wire.AppendBytes(buf, key)
+		return wire.AppendUint(buf, value)
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// Delete removes key; found reports whether it existed (always true on the
+// blind-delete LSM engine).
+func (c *Client) Delete(key []byte) (bool, error) {
+	r, err := c.do(wire.OpDelete, func(buf []byte) []byte {
+		return wire.AppendBytes(buf, key)
+	})
+	if err != nil {
+		return false, err
+	}
+	if err := statusErr(r); err != nil {
+		return false, err
+	}
+	return r.status == wire.StatusOK, nil
+}
+
+// BatchOp is one write inside a Batch.
+type BatchOp struct {
+	Delete bool
+	Key    []byte
+	Value  uint64
+}
+
+// Batch applies ops atomically with respect to durability (one group commit)
+// and returns one wire status per op.
+func (c *Client) Batch(ops []BatchOp) ([]byte, error) {
+	r, err := c.do(wire.OpBatch, func(buf []byte) []byte {
+		buf = wire.AppendUint(buf, uint64(len(ops)))
+		for _, op := range ops {
+			if op.Delete {
+				buf = append(buf, wire.BatchDelete)
+				buf = wire.AppendBytes(buf, op.Key)
+			} else {
+				buf = append(buf, wire.BatchPut)
+				buf = wire.AppendBytes(buf, op.Key)
+				buf = wire.AppendUint(buf, op.Value)
+			}
+		}
+		return buf
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	n, rest, err := wire.Uint(r.body)
+	if err != nil || uint64(len(rest)) < n {
+		return nil, fmt.Errorf("client: malformed batch response")
+	}
+	return append([]byte(nil), rest[:n]...), nil
+}
+
+// parseEntries decodes a scan response body.
+func parseEntries(body []byte) ([]index.Entry, error) {
+	n, rest, err := wire.Uint(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]index.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var key []byte
+		key, rest, err = wire.Bytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		v, rest, err = wire.Uint(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, index.Entry{Key: append([]byte(nil), key...), Value: v})
+	}
+	return out, nil
+}
+
+// ScanN returns up to n entries with key >= start (nil start = beginning).
+// The server caps n at its configured scan limit; fewer entries than n does
+// NOT imply the key space is exhausted unless fewer than the cap came back.
+func (c *Client) ScanN(start []byte, n int) ([]index.Entry, error) {
+	r, err := c.do(wire.OpScan, func(buf []byte) []byte {
+		buf = wire.AppendBytes(buf, start)
+		return wire.AppendUint(buf, uint64(n))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return parseEntries(r.body)
+}
+
+// Stats fetches the server's JSON stats blob.
+func (c *Client) Stats() ([]byte, error) {
+	r, err := c.do(wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), r.body...), nil
+}
+
+// Snapshot is a server-side MVCC snapshot: a point-in-time view that
+// concurrent writes and merges never disturb. End releases it.
+type Snapshot struct {
+	c  *Client
+	id uint64
+}
+
+// SnapshotBegin captures a snapshot on the server.
+func (c *Client) SnapshotBegin() (*Snapshot, error) {
+	r, err := c.do(wire.OpSnapBegin, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	id, _, err := wire.Uint(r.body)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{c: c, id: id}, nil
+}
+
+// Get looks up key in the snapshot.
+func (s *Snapshot) Get(key []byte) (uint64, bool, error) {
+	r, err := s.c.do(wire.OpSnapRead, func(buf []byte) []byte {
+		buf = wire.AppendUint(buf, s.id)
+		buf = append(buf, wire.OpGet)
+		return wire.AppendBytes(buf, key)
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if err := statusErr(r); err != nil {
+		return 0, false, err
+	}
+	if r.status == wire.StatusNotFound {
+		return 0, false, nil
+	}
+	v, _, err := wire.Uint(r.body)
+	return v, err == nil, err
+}
+
+// ScanN returns up to n snapshot entries with key >= start.
+func (s *Snapshot) ScanN(start []byte, n int) ([]index.Entry, error) {
+	r, err := s.c.do(wire.OpSnapRead, func(buf []byte) []byte {
+		buf = wire.AppendUint(buf, s.id)
+		buf = append(buf, wire.OpScan)
+		buf = wire.AppendBytes(buf, start)
+		return wire.AppendUint(buf, uint64(n))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(r); err != nil {
+		return nil, err
+	}
+	return parseEntries(r.body)
+}
+
+// End releases the snapshot on the server.
+func (s *Snapshot) End() error {
+	r, err := s.c.do(wire.OpSnapEnd, func(buf []byte) []byte {
+		return wire.AppendUint(buf, s.id)
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(r)
+}
+
+// KV adapts a Client to the ycsb.KV surface so the concurrent YCSB driver
+// can run unchanged against a live server. Writes that hit backpressure
+// (ErrRetryLater) back off and retry a bounded number of times — counted in
+// Retries — then drop (counted in Errors); reads are never shed by the
+// server and fail only on connection errors.
+type KV struct {
+	C *Client
+	// MaxRetries bounds backpressure retries per op (default 8).
+	MaxRetries int
+	// Backoff is the initial retry pause, doubled per attempt (default
+	// 200µs).
+	Backoff time.Duration
+
+	Retries atomic.Int64
+	Errors  atomic.Int64
+}
+
+func (kv *KV) retry(do func() error) bool {
+	max := kv.MaxRetries
+	if max <= 0 {
+		max = 8
+	}
+	pause := kv.Backoff
+	if pause <= 0 {
+		pause = 200 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil {
+			return true
+		}
+		if !errors.Is(err, ErrRetryLater) || attempt >= max {
+			kv.Errors.Add(1)
+			return false
+		}
+		kv.Retries.Add(1)
+		time.Sleep(pause)
+		pause *= 2
+	}
+}
+
+func (kv *KV) Get(key []byte) (uint64, bool) {
+	v, ok, err := kv.C.Get(key)
+	if err != nil {
+		kv.Errors.Add(1)
+		return 0, false
+	}
+	return v, ok
+}
+
+func (kv *KV) Insert(key []byte, value uint64) bool {
+	return kv.retry(func() error { return kv.C.Put(key, value) })
+}
+
+func (kv *KV) Update(key []byte, value uint64) bool {
+	return kv.retry(func() error { return kv.C.Put(key, value) })
+}
+
+// scanChunk is the per-request page size for the chunked Scan.
+const scanChunk = 128
+
+// Scan streams entries with key >= start to fn until fn returns false,
+// fetching scanChunk entries per round trip and resuming past the last key.
+func (kv *KV) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	n := 0
+	lo := start
+	for {
+		es, err := kv.C.ScanN(lo, scanChunk)
+		if err != nil {
+			kv.Errors.Add(1)
+			return n
+		}
+		if len(es) == 0 {
+			return n
+		}
+		for _, e := range es {
+			n++
+			if !fn(e.Key, e.Value) {
+				return n
+			}
+		}
+		// Resume strictly after the last key returned.
+		last := es[len(es)-1].Key
+		lo = append(append([]byte(nil), last...), 0)
+	}
+}

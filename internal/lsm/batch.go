@@ -1,0 +1,112 @@
+package lsm
+
+import "mets/internal/wal"
+
+// BatchOp is one write inside an ApplyBatch group.
+type BatchOp struct {
+	// Delete selects a tombstone write; Value is ignored.
+	Delete bool
+	Key    []byte
+	// Value is retained by the memtable (as in Put): callers must not
+	// modify it afterwards.
+	Value []byte
+}
+
+// ApplyBatch commits a group of writes through the WAL with one durability
+// wait for the whole batch, and — unlike Put/Delete — applies them to the
+// memtable only AFTER the WAL ack resolves. That ordering closes the
+// documented read-your-failed-write window for callers that serialize their
+// writes through one committer (the server's write coalescer): a batch whose
+// fsync failed is never visible to reads, so a client can never observe a
+// write that was reported as failed. The cost of the stronger ordering is a
+// visibility constraint Put does not have, acceptable only under a single
+// logical writer (see below).
+//
+// Durability: the records are WAL-enqueued in order under one lock hold, so
+// they are contiguous in the log, and the batch waits on the LAST record's
+// ack. WAL failures are sticky — once any sync fails, every later ack fails
+// too — so a successful tail ack implies every earlier record in the batch
+// (and the log) was acked. On failure the DB is failed (sticky error) and
+// NOTHING from the batch is applied; recovery replays only what the WAL
+// holds, which is a superset of the acked prefix trimmed by segment CRCs.
+//
+// Concurrency contract: ApplyBatch must be the only writer in flight.
+// Interleaving direct Put/Delete/Flush calls would (a) reorder WAL order vs
+// memtable apply order for overlapping keys, and (b) allow a flush-triggered
+// WAL rotation between this batch's enqueue and its apply, after which the
+// flush could advance the WAL low-water mark past records not yet in any
+// flushed table. Readers are unrestricted; they simply do not see the batch
+// until it commits.
+//
+// On an in-memory DB (no Dir) the batch applies immediately and returns nil.
+func (db *DB) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	if db.durErr != nil {
+		err := db.durErr
+		db.mu.Unlock()
+		return err
+	}
+	if db.dur == nil {
+		db.applyBatchLocked(ops)
+		ferr := db.maybeFlushLocked()
+		db.mu.Unlock()
+		return ferr
+	}
+	// Encode once; the encoded keys are reused for the post-ack apply.
+	enc := make([][]byte, len(ops))
+	var tail *wal.Ack
+	for i, op := range ops {
+		enc[i] = db.encodeKey(op.Key)
+		var rec []byte
+		if op.Delete {
+			rec = encodeWALDelete(enc[i])
+		} else {
+			rec = encodeWALPut(enc[i], op.Value)
+		}
+		if db.obs != nil {
+			tail = db.dur.wal.EnqueueTagged(rec, keyTag(enc[i]))
+		} else {
+			tail = db.dur.wal.Enqueue(rec)
+		}
+	}
+	db.mu.Unlock()
+	if err := tail.Wait(); err != nil {
+		db.fail(err)
+		return err
+	}
+	db.mu.Lock()
+	if db.durErr != nil {
+		// Failed between ack and apply (e.g. a concurrent reader path hit a
+		// sticky error); report the failure without applying — conservative,
+		// and recovery still replays the acked records.
+		err := db.durErr
+		db.mu.Unlock()
+		return err
+	}
+	for i, op := range ops {
+		if op.Delete {
+			db.mem.putRaw(enc[i], tombstoneMarker)
+		} else {
+			db.mem.put(enc[i], op.Value)
+		}
+	}
+	ferr := db.maybeFlushLocked()
+	db.mu.Unlock()
+	return ferr
+}
+
+// applyBatchLocked applies the batch to the memtable (in-memory path; keys
+// are encoded here since the durable path encodes before enqueueing).
+func (db *DB) applyBatchLocked(ops []BatchOp) {
+	for _, op := range ops {
+		ek := db.encodeKey(op.Key)
+		if op.Delete {
+			db.mem.putRaw(ek, tombstoneMarker)
+		} else {
+			db.mem.put(ek, op.Value)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"mets/internal/vfs"
+)
+
+// TestApplyBatchInMemory covers the non-durable path: puts, deletes,
+// same-key reordering within a batch, and the empty batch.
+func TestApplyBatchInMemory(t *testing.T) {
+	db := Open(Config{})
+	defer db.Close()
+
+	if err := db.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+
+	var ops []BatchOp
+	for i := 0; i < 100; i++ {
+		ops = append(ops, BatchOp{Key: []byte(fmt.Sprintf("k%03d", i)), Value: []byte(fmt.Sprintf("v%03d", i))})
+	}
+	// In-batch overwrite and delete: later ops win.
+	ops = append(ops,
+		BatchOp{Key: []byte("k000"), Value: []byte("rewritten")},
+		BatchOp{Delete: true, Key: []byte("k001")},
+	)
+	if err := db.ApplyBatch(ops); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if v, ok := db.Get([]byte("k000")); !ok || string(v) != "rewritten" {
+		t.Fatalf("k000 = (%q,%v), want rewritten", v, ok)
+	}
+	if _, ok := db.Get([]byte("k001")); ok {
+		t.Fatal("k001 visible after in-batch delete")
+	}
+	if v, ok := db.Get([]byte("k050")); !ok || string(v) != "v050" {
+		t.Fatalf("k050 = (%q,%v)", v, ok)
+	}
+}
+
+// TestApplyBatchDurable commits batches through the WAL and verifies a
+// reopen recovers exactly the acked state.
+func TestApplyBatchDurable(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cfg := Config{Dir: "data", FS: fs}
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	var ops []BatchOp
+	for i := 0; i < 200; i++ {
+		ops = append(ops, BatchOp{Key: []byte(fmt.Sprintf("k%04d", i)), Value: []byte(fmt.Sprintf("v%04d", i))})
+	}
+	if err := db.ApplyBatch(ops); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if err := db.ApplyBatch([]BatchOp{{Delete: true, Key: []byte("k0000")}}); err != nil {
+		t.Fatalf("delete batch: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get([]byte("k0000")); ok {
+		t.Fatal("deleted key visible after recovery")
+	}
+	for i := 1; i < 200; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		if v, ok := db2.Get(k); !ok || string(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("recovered %s = (%q,%v)", k, v, ok)
+		}
+	}
+}
+
+// TestApplyBatchFailedWriteNotVisible is the regression for the documented
+// read-your-failed-write window on the server path: when the WAL barrier
+// fails, ApplyBatch must report the error AND leave the batch invisible to
+// reads — unlike Put, which applies to the memtable before the ack and can
+// briefly expose a write whose fsync then fails.
+func TestApplyBatchFailedWriteNotVisible(t *testing.T) {
+	fs := vfs.NewMemFS()
+	cfg := Config{Dir: "data", FS: fs}
+	db, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+
+	// Acked baseline.
+	if err := db.ApplyBatch([]BatchOp{{Key: []byte("base"), Value: []byte("v")}}); err != nil {
+		t.Fatalf("baseline batch: %v", err)
+	}
+
+	// The next FS op crashes (CrashAt is relative) and every op after fails:
+	// the batch's WAL append/sync cannot succeed, so the batch must be
+	// rejected and stay invisible.
+	fs.CrashAt(1, vfs.DropUnsynced, 0)
+	err = db.ApplyBatch([]BatchOp{
+		{Key: []byte("doomed1"), Value: []byte("x")},
+		{Key: []byte("doomed2"), Value: []byte("y")},
+	})
+	if err == nil {
+		t.Fatal("ApplyBatch succeeded through a crashed filesystem")
+	}
+	// The regression assertion: the failed writes are NOT readable. (Both
+	// keys would be memtable-resident if they had been applied, so Get needs
+	// no FS access to find them.)
+	if _, ok := db.Get([]byte("doomed1")); ok {
+		t.Fatal("read-your-failed-write: doomed1 visible after failed commit")
+	}
+	if _, ok := db.Get([]byte("doomed2")); ok {
+		t.Fatal("read-your-failed-write: doomed2 visible after failed commit")
+	}
+	// The failure is sticky.
+	if db.Err() == nil {
+		t.Fatal("expected sticky durability error")
+	}
+	if err := db.ApplyBatch([]BatchOp{{Key: []byte("after"), Value: []byte("z")}}); err == nil {
+		t.Fatal("ApplyBatch accepted writes after sticky failure")
+	}
+	db.Close()
+
+	// After recovery, the acked baseline must be there; the failed batch was
+	// never acked so recovery owes it nothing (and DropUnsynced dropped it).
+	fs.Recover()
+	db2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if v, ok := db2.Get([]byte("base")); !ok || string(v) != "v" {
+		t.Fatalf("acked baseline lost: (%q,%v)", v, ok)
+	}
+}

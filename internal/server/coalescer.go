@@ -1,0 +1,166 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/obs"
+	"mets/internal/wire"
+)
+
+// writeReq is one client write (a single PUT/DELETE or a BATCH) queued for
+// the coalescer. done is called exactly once with the per-op statuses and
+// the batch-level durability verdict; it runs on the coalescer goroutine
+// and must not block indefinitely.
+type writeReq struct {
+	ops  []Op
+	done func(statuses []byte, err error)
+}
+
+// coalescer funnels every write on the server into one applier goroutine:
+// requests queue on a bounded channel, the applier drains up to batchMax
+// ops per pass, and the store commits them with a single durability barrier
+// (journal sync / WAL group commit) — per-request acks, amortized fsync.
+//
+// Admission control happens at enqueue time, before anything is queued:
+//   - sticky engine failure        -> ERR (writes are gone for good)
+//   - engine backlogged AND queue  -> RETRY_LATER (shed early: queueing
+//     half full                       more just grows the backlog)
+//   - queue full                   -> RETRY_LATER (hard bound: the server
+//     never queues unboundedly)
+//
+// The engine health is cached and refreshed at most every healthEvery so a
+// hot write path does not pay a shard walk per request.
+type coalescer struct {
+	store    Store
+	ch       chan *writeReq
+	batchMax int
+
+	healthEvery time.Duration
+	healthMu    sync.Mutex
+	healthAt    time.Time
+	health      atomic.Pointer[Health]
+
+	obsShedFull    *obs.Counter
+	obsShedBacklog *obs.Counter
+	obsBatches     *obs.Counter
+	obsBatchedOps  *obs.Counter
+	commitHist     *obs.Histogram
+	fr             *obs.FlightRecorder
+
+	wg sync.WaitGroup
+}
+
+func newCoalescer(store Store, queue, batchMax int, healthEvery time.Duration, reg *obs.Registry) *coalescer {
+	co := &coalescer{
+		store:       store,
+		ch:          make(chan *writeReq, queue),
+		batchMax:    batchMax,
+		healthEvery: healthEvery,
+
+		obsShedFull:    reg.Counter("shed_queue_full"),
+		obsShedBacklog: reg.Counter("shed_backlog"),
+		obsBatches:     reg.Counter("commit_batches"),
+		obsBatchedOps:  reg.Counter("committed_ops"),
+		commitHist:     reg.Histogram("commit_ns"),
+		fr:             reg.FlightRecorder(),
+	}
+	reg.GaugeFunc("write_queue_depth", func() float64 { return float64(len(co.ch)) })
+	h := store.Health()
+	co.health.Store(&h)
+	co.healthAt = time.Now()
+	co.wg.Add(1)
+	go co.run()
+	return co
+}
+
+// currentHealth returns the cached engine health, refreshing it when stale.
+// healthEvery <= 0 refreshes on every call (deterministic tests).
+func (co *coalescer) currentHealth() Health {
+	if co.healthEvery > 0 {
+		co.healthMu.Lock()
+		stale := time.Since(co.healthAt) >= co.healthEvery
+		if stale {
+			co.healthAt = time.Now()
+		}
+		co.healthMu.Unlock()
+		if !stale {
+			return *co.health.Load()
+		}
+	}
+	h := co.store.Health()
+	co.health.Store(&h)
+	return h
+}
+
+// admit enqueues req or rejects it with a wire status. StatusOK means the
+// request is queued and done will eventually be called.
+func (co *coalescer) admit(req *writeReq) byte {
+	h := co.currentHealth()
+	if !h.Healthy {
+		return wire.StatusErr
+	}
+	if h.Backlogged && len(co.ch) >= cap(co.ch)/2 {
+		co.obsShedBacklog.Inc()
+		co.fr.Record("server.shed", obs.Str("reason", "backlog"))
+		return wire.StatusRetryLater
+	}
+	select {
+	case co.ch <- req:
+		return wire.StatusOK
+	default:
+		co.obsShedFull.Inc()
+		co.fr.Record("server.shed", obs.Str("reason", "queue_full"))
+		return wire.StatusRetryLater
+	}
+}
+
+// close drains and stops the applier. Callers must guarantee no admit call
+// is in flight or future (the server closes all connections first).
+func (co *coalescer) close() {
+	close(co.ch)
+	co.wg.Wait()
+}
+
+// run is the single applier: take one request, opportunistically drain more
+// up to batchMax ops, commit them as one store batch, fan the statuses back
+// out per request.
+func (co *coalescer) run() {
+	defer co.wg.Done()
+	for req := range co.ch {
+		batch := []*writeReq{req}
+		total := len(req.ops)
+	fill:
+		for total < co.batchMax {
+			select {
+			case r, ok := <-co.ch:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+				total += len(r.ops)
+			default:
+				break fill
+			}
+		}
+		ops := make([]Op, 0, total)
+		for _, r := range batch {
+			ops = append(ops, r.ops...)
+		}
+		t0 := time.Now()
+		statuses, err := co.store.ApplyBatch(ops)
+		co.commitHist.ObserveNs(int64(time.Since(t0)))
+		co.obsBatches.Inc()
+		co.obsBatchedOps.Add(int64(total))
+		off := 0
+		for _, r := range batch {
+			if err != nil {
+				r.done(nil, err)
+			} else {
+				r.done(statuses[off:off+len(r.ops)], nil)
+			}
+			off += len(r.ops)
+		}
+	}
+}

@@ -1,0 +1,680 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mets/internal/index"
+	"mets/internal/obs"
+	"mets/internal/wire"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Store is the engine the server fronts (required).
+	Store Store
+	// Obs attaches the server to a metrics registry under a "server."
+	// prefix: connection/request counters, shed counters, queue-depth
+	// gauge, request-latency histogram with slow-op exemplars, and flight-
+	// recorder events for accept/shed/slow-request. Nil disables.
+	Obs *obs.Registry
+	// MaxConns caps concurrently served connections (default 1024); excess
+	// accepts are closed immediately.
+	MaxConns int
+	// WriteQueue bounds the coalescer's pending-write queue (default 1024
+	// requests). A full queue answers RETRY_LATER — the server never queues
+	// writes unboundedly.
+	WriteQueue int
+	// BatchMax caps ops per commit batch (default 256).
+	BatchMax int
+	// MaxScan caps entries per SCAN/SNAPSHOT_READ response (default 1024);
+	// clients chunk longer scans.
+	MaxScan int
+	// SnapshotsPerConn caps live snapshots per connection (default 16).
+	SnapshotsPerConn int
+	// HealthEvery is how often admission control refreshes the engine
+	// health (default 50ms; <= 0 refreshes on every write, which tests use
+	// for determinism).
+	HealthEvery time.Duration
+	// SlowRequest is the latency above which a request is flight-recorded
+	// (default 50ms).
+	SlowRequest time.Duration
+}
+
+// Server serves the wire protocol over TCP (or any net.Listener). Requests
+// on one connection are pipelined: reads execute inline on the connection's
+// reader goroutine while writes park in the coalescer, so a GET queued
+// behind a fsyncing PUT completes first and responses arrive out of order
+// (matched by request id).
+type Server struct {
+	cfg Config
+	co  *coalescer
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*srvConn]struct{}
+	closed bool
+	connWG sync.WaitGroup
+
+	active    atomic.Int64
+	snapsLive atomic.Int64
+
+	reg         *obs.Registry
+	fr          *obs.FlightRecorder
+	obsAccepted *obs.Counter
+	obsRejected *obs.Counter
+	obsClosed   *obs.Counter
+	obsBadReq   *obs.Counter
+	obsOps      [10]*obs.Counter // indexed by opcode
+	reqHist     *obs.Histogram
+}
+
+// opNames label the per-opcode request counters.
+var opNames = [10]string{"", "get", "put", "delete", "scan", "batch", "snap_begin", "snap_read", "snap_end", "stats"}
+
+// New creates a server around cfg.Store. Call Serve to start accepting.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("server: Config.Store is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.WriteQueue <= 0 {
+		cfg.WriteQueue = 1024
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 256
+	}
+	if cfg.MaxScan <= 0 {
+		cfg.MaxScan = 1024
+	}
+	if cfg.SnapshotsPerConn <= 0 {
+		cfg.SnapshotsPerConn = 16
+	}
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = 50 * time.Millisecond
+	}
+	if cfg.SlowRequest <= 0 {
+		cfg.SlowRequest = 50 * time.Millisecond
+	}
+	reg := cfg.Obs.Sub("server.")
+	s := &Server{
+		cfg:         cfg,
+		conns:       make(map[*srvConn]struct{}),
+		reg:         reg,
+		fr:          reg.FlightRecorder(),
+		obsAccepted: reg.Counter("conns_accepted"),
+		obsRejected: reg.Counter("conns_rejected"),
+		obsClosed:   reg.Counter("conns_closed"),
+		obsBadReq:   reg.Counter("bad_requests"),
+		reqHist:     reg.Histogram("request_ns"),
+	}
+	for op := 1; op < len(opNames); op++ {
+		s.obsOps[op] = reg.Counter("req_" + opNames[op])
+	}
+	reg.GaugeFunc("conns_active", func() float64 { return float64(s.active.Load()) })
+	reg.GaugeFunc("snapshots_active", func() float64 { return float64(s.snapsLive.Load()) })
+	s.co = newCoalescer(cfg.Store, cfg.WriteQueue, cfg.BatchMax, cfg.HealthEvery, reg)
+	return s
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a clean
+// Close, or the first accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if s.active.Load() >= int64(s.cfg.MaxConns) {
+			s.obsRejected.Inc()
+			s.fr.Record("server.shed", obs.Str("reason", "max_conns"))
+			nc.Close()
+			continue
+		}
+		s.startConn(nc)
+	}
+}
+
+// Addr returns the serving listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// startConn registers and serves one connection.
+func (s *Server) startConn(nc net.Conn) {
+	c := &srvConn{s: s, nc: nc, snaps: make(map[uint64]Snapshot)}
+	c.q.cond = sync.NewCond(&c.q.mu)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+	s.active.Add(1)
+	s.obsAccepted.Inc()
+	s.fr.Record("server.accept", obs.Str("remote", nc.RemoteAddr().String()))
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			s.active.Add(-1)
+			s.obsClosed.Inc()
+			s.fr.Record("server.close", obs.Str("remote", nc.RemoteAddr().String()))
+			s.connWG.Done()
+		}()
+		c.serve()
+	}()
+}
+
+// Close stops accepting, closes every connection, waits for their handlers
+// (and every in-flight write ack) to finish, then stops the coalescer. The
+// store itself is NOT closed — the caller that built it owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.connWG.Wait()
+	s.co.close()
+	return nil
+}
+
+// statsPayload is the STATS response body (JSON).
+type statsPayload struct {
+	ConnsActive   int64  `json:"conns_active"`
+	ConnsAccepted int64  `json:"conns_accepted"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+	Snapshots     int64  `json:"snapshots_active"`
+	Healthy       bool   `json:"healthy"`
+	Backlogged    bool   `json:"backlogged"`
+	HealthErr     string `json:"health_err,omitempty"`
+}
+
+func (s *Server) stats() []byte {
+	h := s.cfg.Store.Health()
+	p := statsPayload{
+		ConnsActive:   s.active.Load(),
+		ConnsAccepted: s.obsAccepted.Load(),
+		QueueDepth:    len(s.co.ch),
+		QueueCap:      cap(s.co.ch),
+		Snapshots:     s.snapsLive.Load(),
+		Healthy:       h.Healthy,
+		Backlogged:    h.Backlogged,
+		HealthErr:     h.Err,
+	}
+	b, _ := json.Marshal(p)
+	return b
+}
+
+// maxConnOutBytes caps a connection's queued-but-unwritten response bytes;
+// past it the peer is a slow consumer and the connection is dropped rather
+// than buffering without bound.
+const maxConnOutBytes = 32 << 20
+
+// outQueue hands response frames from the reader goroutine and the
+// coalescer's done callbacks to the connection's writer goroutine. push
+// never blocks (the coalescer must never stall on one slow client), so the
+// queue is unbounded in frame count and bounded in bytes by the slow-
+// consumer kill in push.
+type outQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	bytes  int
+	closed bool
+}
+
+func (q *outQueue) push(b []byte) (overflow bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.frames = append(q.frames, b)
+	q.bytes += len(b)
+	overflow = q.bytes > maxConnOutBytes
+	q.cond.Signal()
+	q.mu.Unlock()
+	return overflow
+}
+
+// pop blocks until a frame or close; close drains remaining frames first.
+func (q *outQueue) pop() ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		return nil, false
+	}
+	b := q.frames[0]
+	q.frames[0] = nil
+	q.frames = q.frames[1:]
+	q.bytes -= len(b)
+	return b, true
+}
+
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// srvConn is one served connection: a reader goroutine (frame parse, sync
+// ops inline, async ops to the coalescer) and a writer goroutine draining
+// the out queue. Snapshots are owned by the reader goroutine and force-
+// released when the connection ends.
+type srvConn struct {
+	s  *Server
+	nc net.Conn
+	q  outQueue
+
+	// pend tracks writes admitted to the coalescer whose done callback has
+	// not yet run; the out queue closes only after they all land.
+	pend sync.WaitGroup
+
+	snaps    map[uint64]Snapshot
+	snapNext uint64
+}
+
+func (c *srvConn) serve() {
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var werr error
+		for {
+			b, ok := c.q.pop()
+			if !ok {
+				break
+			}
+			if werr != nil {
+				continue // drain so pushers' frames are consumed
+			}
+			if _, werr = c.nc.Write(b); werr != nil {
+				c.nc.Close() // unblock the reader
+			}
+		}
+		c.nc.Close()
+	}()
+	c.readLoop()
+	// Reader done: no new snapshots or admits. Release snapshot pins, wait
+	// out in-flight write acks, then let the writer drain and exit.
+	for id, sn := range c.snaps {
+		sn.Release()
+		delete(c.snaps, id)
+		c.s.snapsLive.Add(-1)
+	}
+	c.pend.Wait()
+	c.q.close()
+	<-writerDone
+}
+
+// respond seals and queues a response frame; on overflow the connection is
+// killed (slow consumer).
+func (c *srvConn) respond(buf []byte) {
+	frame, err := wire.Finish(buf)
+	if err != nil {
+		// Response overflowed the frame limit (cannot happen with the scan
+		// caps, but fail closed rather than desync the stream).
+		c.nc.Close()
+		return
+	}
+	if c.q.push(frame) {
+		c.fr().Record("server.shed", obs.Str("reason", "slow_consumer"))
+		c.nc.Close()
+	}
+}
+
+func (c *srvConn) fr() *obs.FlightRecorder { return c.s.fr }
+
+// observe records one request's latency (histogram + slow-request flight
+// event). keyTag is a short exemplar tag, "" when there is no key.
+func (c *srvConn) observe(op byte, start time.Time, key []byte) {
+	ns := int64(time.Since(start))
+	tag := keyTag(key)
+	c.s.reqHist.ObserveExemplar(ns, 0, tag)
+	if ns >= int64(c.s.cfg.SlowRequest) {
+		c.fr().Record("server.slow_request",
+			obs.Str("op", opNames[op]), obs.Str("key", tag), obs.I64("ns", ns))
+	}
+}
+
+// keyTag truncates a key to a short exemplar/flight tag.
+func keyTag(key []byte) string {
+	const n = 8
+	if len(key) > n {
+		key = key[:n]
+	}
+	return string(key)
+}
+
+func (c *srvConn) readLoop() {
+	for {
+		p, err := wire.ReadFrame(c.nc, wire.MaxFrame)
+		if err != nil {
+			return // EOF, closed, or an unrecoverable framing error
+		}
+		id, op, body, err := wire.ParseHeader(p)
+		if err != nil {
+			return
+		}
+		if op >= 1 && op < byte(len(opNames)) {
+			c.s.obsOps[op].Inc()
+		}
+		start := time.Now()
+		switch op {
+		case wire.OpGet:
+			key, _, err := wire.Bytes(body)
+			if err != nil {
+				c.badRequest(id)
+				continue
+			}
+			v, found := c.s.cfg.Store.Get(key)
+			c.respondGet(id, v, found)
+			c.observe(op, start, key)
+		case wire.OpScan:
+			start2, limit, ok := parseScan(body)
+			if !ok {
+				c.badRequest(id)
+				continue
+			}
+			c.respondEntries(id, c.s.cfg.Store.ScanN(start2, c.capScan(limit)))
+			c.observe(op, start, start2)
+		case wire.OpPut:
+			key, rest, err := wire.Bytes(body)
+			var v uint64
+			if err == nil {
+				v, _, err = wire.Uint(rest)
+			}
+			if err != nil {
+				c.badRequest(id)
+				continue
+			}
+			c.admitWrite(id, op, start, []Op{{Key: append([]byte(nil), key...), Value: v}}, false)
+		case wire.OpDelete:
+			key, _, err := wire.Bytes(body)
+			if err != nil {
+				c.badRequest(id)
+				continue
+			}
+			c.admitWrite(id, op, start, []Op{{Delete: true, Key: append([]byte(nil), key...)}}, false)
+		case wire.OpBatch:
+			ops, ok := parseBatch(body)
+			if !ok {
+				c.badRequest(id)
+				continue
+			}
+			if len(ops) == 0 {
+				// Nothing to commit; answer an empty status list directly.
+				buf := wire.NewFrame(id, wire.StatusOK)
+				buf = wire.AppendUint(buf, 0)
+				c.respond(buf)
+				c.observe(op, start, nil)
+				continue
+			}
+			c.admitWrite(id, op, start, ops, true)
+		case wire.OpSnapBegin:
+			c.snapBegin(id)
+			c.observe(op, start, nil)
+		case wire.OpSnapRead:
+			c.snapRead(id, body, start)
+		case wire.OpSnapEnd:
+			sid, _, err := wire.Uint(body)
+			if err != nil {
+				c.badRequest(id)
+				continue
+			}
+			sn, ok := c.snaps[sid]
+			if !ok {
+				c.badRequest(id)
+				continue
+			}
+			sn.Release()
+			delete(c.snaps, sid)
+			c.s.snapsLive.Add(-1)
+			c.respond(wire.NewFrame(id, wire.StatusOK))
+			c.observe(op, start, nil)
+		case wire.OpStats:
+			buf := wire.NewFrame(id, wire.StatusOK)
+			buf = append(buf, c.s.stats()...)
+			c.respond(buf)
+			c.observe(op, start, nil)
+		default:
+			c.badRequest(id)
+		}
+	}
+}
+
+func (c *srvConn) badRequest(id uint64) {
+	c.s.obsBadReq.Inc()
+	c.respond(wire.NewFrame(id, wire.StatusBadRequest))
+}
+
+func (c *srvConn) capScan(limit uint64) int {
+	if limit == 0 || limit > uint64(c.s.cfg.MaxScan) {
+		return c.s.cfg.MaxScan
+	}
+	return int(limit)
+}
+
+func (c *srvConn) respondGet(id uint64, v uint64, ok bool) {
+	if !ok {
+		c.respond(wire.NewFrame(id, wire.StatusNotFound))
+		return
+	}
+	buf := wire.NewFrame(id, wire.StatusOK)
+	buf = wire.AppendUint(buf, v)
+	c.respond(buf)
+}
+
+func (c *srvConn) respondEntries(id uint64, es []index.Entry) {
+	buf := wire.NewFrame(id, wire.StatusOK)
+	buf = wire.AppendUint(buf, uint64(len(es)))
+	for _, e := range es {
+		buf = wire.AppendBytes(buf, e.Key)
+		buf = wire.AppendUint(buf, e.Value)
+	}
+	c.respond(buf)
+}
+
+// parseScan decodes a SCAN body: start key (empty = from the beginning) and
+// a uvarint limit.
+func parseScan(body []byte) (start []byte, limit uint64, ok bool) {
+	start, rest, err := wire.Bytes(body)
+	if err != nil {
+		return nil, 0, false
+	}
+	limit, _, err = wire.Uint(rest)
+	if err != nil {
+		return nil, 0, false
+	}
+	if len(start) == 0 {
+		start = nil
+	}
+	return start, limit, true
+}
+
+// maxBatchOps bounds one BATCH request (the frame size bounds it anyway;
+// this keeps a tight explicit limit).
+const maxBatchOps = 4096
+
+func parseBatch(body []byte) ([]Op, bool) {
+	n, rest, err := wire.Uint(body)
+	if err != nil || n > maxBatchOps {
+		return nil, false
+	}
+	ops := make([]Op, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(rest) == 0 {
+			return nil, false
+		}
+		tag := rest[0]
+		rest = rest[1:]
+		var key []byte
+		key, rest, err = wire.Bytes(rest)
+		if err != nil {
+			return nil, false
+		}
+		switch tag {
+		case wire.BatchPut:
+			var v uint64
+			v, rest, err = wire.Uint(rest)
+			if err != nil {
+				return nil, false
+			}
+			ops = append(ops, Op{Key: append([]byte(nil), key...), Value: v})
+		case wire.BatchDelete:
+			ops = append(ops, Op{Delete: true, Key: append([]byte(nil), key...)})
+		default:
+			return nil, false
+		}
+	}
+	return ops, true
+}
+
+// admitWrite hands ops to the coalescer and answers from its done callback;
+// a rejected admit answers immediately (RETRY_LATER under backpressure).
+func (c *srvConn) admitWrite(id uint64, op byte, start time.Time, ops []Op, batch bool) {
+	firstKey := ops[0].Key
+	c.pend.Add(1)
+	req := &writeReq{ops: ops, done: func(statuses []byte, err error) {
+		defer c.pend.Done()
+		switch {
+		case err != nil:
+			buf := wire.NewFrame(id, wire.StatusErr)
+			buf = append(buf, err.Error()...)
+			c.respond(buf)
+		case batch:
+			buf := wire.NewFrame(id, wire.StatusOK)
+			buf = wire.AppendUint(buf, uint64(len(statuses)))
+			buf = append(buf, statuses...)
+			c.respond(buf)
+		default:
+			c.respond(wire.NewFrame(id, statuses[0]))
+		}
+		c.observe(op, start, firstKey)
+	}}
+	if st := c.s.co.admit(req); st != wire.StatusOK {
+		c.pend.Done()
+		c.respond(wire.NewFrame(id, st))
+		c.observe(op, start, firstKey)
+	}
+}
+
+func (c *srvConn) snapBegin(id uint64) {
+	if len(c.snaps) >= c.s.cfg.SnapshotsPerConn {
+		buf := wire.NewFrame(id, wire.StatusErr)
+		buf = append(buf, "too many snapshots on this connection"...)
+		c.respond(buf)
+		return
+	}
+	sn, err := c.s.cfg.Store.Snapshot()
+	if err != nil {
+		st := wire.StatusErr
+		if errors.Is(err, ErrSnapshotsUnsupported) {
+			st = wire.StatusUnsupported
+		}
+		buf := wire.NewFrame(id, st)
+		buf = append(buf, err.Error()...)
+		c.respond(buf)
+		return
+	}
+	c.snapNext++
+	sid := c.snapNext
+	c.snaps[sid] = sn
+	c.s.snapsLive.Add(1)
+	buf := wire.NewFrame(id, wire.StatusOK)
+	buf = wire.AppendUint(buf, sid)
+	c.respond(buf)
+}
+
+func (c *srvConn) snapRead(id uint64, body []byte, start time.Time) {
+	sid, rest, err := wire.Uint(body)
+	if err != nil || len(rest) == 0 {
+		c.badRequest(id)
+		return
+	}
+	sn, ok := c.snaps[sid]
+	if !ok {
+		c.badRequest(id)
+		return
+	}
+	sub := rest[0]
+	rest = rest[1:]
+	switch sub {
+	case wire.OpGet:
+		key, _, err := wire.Bytes(rest)
+		if err != nil {
+			c.badRequest(id)
+			return
+		}
+		v, found := sn.Get(key)
+		c.respondGet(id, v, found)
+		c.observe(wire.OpSnapRead, start, key)
+	case wire.OpScan:
+		start2, limit, ok := parseScan(rest)
+		if !ok {
+			c.badRequest(id)
+			return
+		}
+		c.respondEntries(id, sn.ScanN(start2, c.capScan(limit)))
+		c.observe(wire.OpSnapRead, start, start2)
+	default:
+		c.badRequest(id)
+	}
+}

@@ -1,0 +1,114 @@
+package sharded
+
+import (
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/keycodec"
+)
+
+// Snapshot is a read-only view of the sharded index assembled from one
+// per-shard hybrid.Snapshot each, all taken against a single core generation
+// (codec, router, shards). Each shard's view is an exact point-in-time cut
+// of that shard; the shards are captured one at a time, so — like the live
+// aggregate accessors — the cross-shard composite is monotonic rather than
+// a single global instant. What the server's SNAPSHOT_* protocol needs holds
+// regardless: once Snapshot() returns, no concurrent write, merge, or bulk
+// load changes what any read against it observes, and reads hold no lock and
+// no epoch pin, so arbitrarily long snapshot scans never block writers.
+type Snapshot struct {
+	codec  keycodec.Codec
+	router *Router
+	shards []*hybrid.Snapshot
+}
+
+// Snapshot captures a read-only view of every shard. The epoch pin (when in
+// epoch mode) covers only the capture itself — it keeps the core triple from
+// being reclaimed under a concurrent codec-retraining bulk load — and is
+// dropped before the call returns.
+func (s *Index) Snapshot() (*Snapshot, error) {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
+	c := s.load()
+	snap := &Snapshot{
+		codec:  c.codec,
+		router: c.router,
+		shards: make([]*hybrid.Snapshot, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		hs, err := sh.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		snap.shards[i] = hs
+	}
+	return snap, nil
+}
+
+// Get returns the value stored under key at capture time.
+func (s *Snapshot) Get(key []byte) (uint64, bool) {
+	if s.codec != nil {
+		key = s.codec.Encode(key)
+	}
+	return s.shards[s.router.Shard(key)].Get(key)
+}
+
+// Scan visits the snapshot's entries in key order from the smallest key >=
+// start. Shard ranges are disjoint and ordered, so concatenating the
+// per-shard snapshot scans in shard order is the ordered merge (as in the
+// live Scan). With a codec the emitted key lives in a reused decode buffer
+// and is valid only during the callback.
+func (s *Snapshot) Scan(start []byte, fn func(key []byte, value uint64) bool) int {
+	if s.codec != nil {
+		if start != nil {
+			start = s.codec.EncodeBound(start)
+		}
+		inner := fn
+		var scratch []byte
+		fn = func(k []byte, v uint64) bool {
+			scratch = s.codec.DecodeAppend(scratch[:0], k)
+			return inner(scratch, v)
+		}
+	}
+	first := 0
+	if start != nil {
+		first = s.router.Shard(start)
+	}
+	count := 0
+	for i := first; i < len(s.shards); i++ {
+		stop := false
+		count += s.shards[i].Scan(start, func(k []byte, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return count
+		}
+	}
+	return count
+}
+
+// ScanN collects up to n snapshot entries from the smallest key >= start;
+// returned keys are fresh copies in raw (decoded) space.
+func (s *Snapshot) ScanN(start []byte, n int) []index.Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]index.Entry, 0, minInt(n, 1024))
+	s.Scan(start, func(k []byte, v uint64) bool {
+		out = append(out, index.Entry{Key: append([]byte(nil), k...), Value: v})
+		return len(out) < n
+	})
+	return out
+}
+
+// Release drops every shard's captured stage references (see
+// hybrid.Snapshot.Release).
+func (s *Snapshot) Release() {
+	for _, hs := range s.shards {
+		hs.Release()
+	}
+}

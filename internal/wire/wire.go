@@ -1,0 +1,145 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// mets-server and internal/client. A frame is
+//
+//	u32 little-endian payload length | payload
+//
+// with the length bounded by MaxFrame so a malicious or corrupted peer can
+// never make the receiver allocate unboundedly. Every payload starts with a
+// fixed header
+//
+//	u64 little-endian request id | u8 opcode (request) or status (response)
+//
+// followed by an opcode-specific body of uvarint-framed fields (the same
+// framing discipline the WAL records use). Request ids are chosen by the
+// client and echoed verbatim by the server; responses may arrive in any
+// order, which is what makes per-connection pipelining work — a GET behind a
+// fsyncing PUT on the same connection completes without waiting for it.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload (requests and responses). Large range
+// scans are chunked by the client well below this.
+const MaxFrame = 1 << 20
+
+// HeaderLen is the fixed payload prefix: u64 request id + 1 opcode/status.
+const HeaderLen = 9
+
+// Request opcodes.
+const (
+	OpGet       byte = 1
+	OpPut       byte = 2
+	OpDelete    byte = 3
+	OpScan      byte = 4
+	OpBatch     byte = 5
+	OpSnapBegin byte = 6
+	OpSnapRead  byte = 7
+	OpSnapEnd   byte = 8
+	OpStats     byte = 9
+)
+
+// Response statuses.
+const (
+	StatusOK          byte = 0
+	StatusNotFound    byte = 1
+	StatusRetryLater  byte = 2 // admission control shed the request; retry after backoff
+	StatusBadRequest  byte = 3 // malformed body, unknown opcode, unknown snapshot id
+	StatusErr         byte = 4 // store-side failure; body carries the message
+	StatusUnsupported byte = 5 // engine does not implement the operation (e.g. lsm snapshots)
+)
+
+// Batch body op tags (one per op inside an OpBatch request).
+const (
+	BatchPut    byte = 1
+	BatchDelete byte = 2
+)
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the limit;
+// the connection is unrecoverable past it (the stream cannot be resynced).
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ReadFrame reads one length-prefixed frame payload. max caps the accepted
+// payload length (0 means MaxFrame). io.EOF is returned untouched when the
+// stream ends cleanly between frames so callers can tell shutdown from a
+// truncated frame (io.ErrUnexpectedEOF).
+func ReadFrame(r io.Reader, max uint32) ([]byte, error) {
+	if max == 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < HeaderLen || n > max {
+		return nil, fmt.Errorf("%w: length %d (max %d)", ErrFrameTooLarge, n, max)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewFrame starts a frame buffer: 4 reserved length bytes plus the header.
+// Append body fields with AppendBytes/AppendUint, then seal with Finish.
+func NewFrame(id uint64, code byte) []byte {
+	buf := make([]byte, 4, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, code)
+}
+
+// Finish fills in the length prefix and returns the wire-ready frame.
+func Finish(buf []byte) ([]byte, error) {
+	n := len(buf) - 4
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
+	return buf, nil
+}
+
+// ParseHeader splits a frame payload into its id, opcode/status, and body.
+func ParseHeader(p []byte) (id uint64, code byte, body []byte, err error) {
+	if len(p) < HeaderLen {
+		return 0, 0, nil, fmt.Errorf("wire: short payload (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), p[8], p[HeaderLen:], nil
+}
+
+// AppendBytes appends a uvarint-length-prefixed byte field.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendUint appends a uvarint field.
+func AppendUint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Bytes pops one length-prefixed byte field.
+func Bytes(p []byte) (field, rest []byte, err error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(len(p)-w) {
+		return nil, nil, errors.New("wire: malformed bytes field")
+	}
+	return p[w : w+int(n)], p[w+int(n):], nil
+}
+
+// Uint pops one uvarint field.
+func Uint(p []byte) (v uint64, rest []byte, err error) {
+	v, w := binary.Uvarint(p)
+	if w <= 0 {
+		return 0, nil, errors.New("wire: malformed uvarint field")
+	}
+	return v, p[w:], nil
+}

@@ -1,0 +1,121 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mets/internal/client"
+)
+
+// NetworkConfig parameterizes a network run: the driver config plus the
+// connection fan-out to the server.
+type NetworkConfig struct {
+	DriverConfig
+	// Conns is how many TCP connections the clients multiplex over
+	// (default 4). Driver threads round-robin across them, so each
+	// connection carries pipelined requests from several threads.
+	Conns int
+}
+
+// NetworkResult is a DriverResult plus the wire-level outcomes the
+// in-process driver cannot have: backpressure retries and dropped ops.
+type NetworkResult struct {
+	DriverResult
+	// Retries counts writes that hit RETRY_LATER and were retried.
+	Retries int64
+	// Errors counts ops dropped after retry exhaustion or connection
+	// failures.
+	Errors int64
+}
+
+// netMux spreads KV ops across several pipelined connections; it is itself
+// a KV, so RunConcurrent drives the network exactly as it drives an index.
+type netMux struct {
+	kvs  []*client.KV
+	next atomic.Uint64
+}
+
+func (m *netMux) pick() *client.KV {
+	return m.kvs[m.next.Add(1)%uint64(len(m.kvs))]
+}
+
+func (m *netMux) Get(key []byte) (uint64, bool)        { return m.pick().Get(key) }
+func (m *netMux) Insert(key []byte, value uint64) bool { return m.pick().Insert(key, value) }
+func (m *netMux) Update(key []byte, value uint64) bool { return m.pick().Update(key, value) }
+func (m *netMux) Scan(start []byte, fn func([]byte, uint64) bool) int {
+	return m.pick().Scan(start, fn)
+}
+
+// RunNetwork executes the workload against a live mets-server at addr
+// through the wire protocol: cfg.Conns pipelined connections, the usual
+// concurrent driver on top. The key set ks must already be loaded into the
+// server (use client.Batch). Read latencies here include the full network
+// round trip, so the interesting signal is the p99/worst-pause shape under
+// merge churn, not the absolute numbers.
+func RunNetwork(addr string, ks [][]byte, cfg NetworkConfig) (NetworkResult, error) {
+	conns := cfg.Conns
+	if conns <= 0 {
+		conns = 4
+	}
+	mux := &netMux{kvs: make([]*client.KV, conns)}
+	for i := range mux.kvs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				mux.kvs[j].C.Close()
+			}
+			return NetworkResult{}, fmt.Errorf("ycsb: dial %s: %w", addr, err)
+		}
+		mux.kvs[i] = &client.KV{C: c}
+	}
+	defer func() {
+		for _, kv := range mux.kvs {
+			kv.C.Close()
+		}
+	}()
+
+	res := RunConcurrent(mux, ks, cfg.DriverConfig)
+	out := NetworkResult{DriverResult: res}
+	for _, kv := range mux.kvs {
+		out.Retries += kv.Retries.Load()
+		out.Errors += kv.Errors.Load()
+	}
+	return out, nil
+}
+
+// LoadServer bulk-loads ks into the server at addr via batched writes over
+// a single connection (values are i+1, matching the in-process loaders).
+func LoadServer(addr string, ks [][]byte) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const batch = 512
+	for off := 0; off < len(ks); off += batch {
+		end := off + batch
+		if end > len(ks) {
+			end = len(ks)
+		}
+		ops := make([]client.BatchOp, 0, end-off)
+		for i := off; i < end; i++ {
+			ops = append(ops, client.BatchOp{Key: ks[i], Value: uint64(i + 1)})
+		}
+		for {
+			sts, err := c.Batch(ops)
+			if err == client.ErrRetryLater {
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("ycsb: load batch at %d: %w", off, err)
+			}
+			for j, st := range sts {
+				if st != 0 {
+					return fmt.Errorf("ycsb: load op %d rejected with status %d", off+j, st)
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
