@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHDATE := $(shell date +%Y%m%d)
 
-.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause bench-putsync bench-server benchdiff benchdiff-gate obs-overhead fuzz-smoke crash-smoke prom-smoke server-smoke
+.PHONY: all build vet test race tier1 bench bench-json bench-integrated bench-pause bench-putsync bench-server benchdiff benchdiff-gate obs-overhead fuzz-smoke crash-smoke prom-smoke server-smoke drift-smoke
 
 all: tier1
 
@@ -110,6 +110,14 @@ crash-smoke:
 	$(GO) test -race -count=1 -run '^(TestTornTailStopsAtAckedPrefix|TestCorruptTailDetected|TestStickyErrorAfterCrash|TestRepairTornSegmentThenContinue|TestRepairQuarantinesUntrustedSuffix)$$' ./internal/wal
 	$(GO) test -race -count=1 -run '^TestMemFSCrash' ./internal/vfs
 	$(GO) test -race -count=1 -run '^(TestJournal.*|TestSharded(JournalReopen|DirWithTrainerPanics|Health))$$' ./internal/hybrid ./internal/sharded
+
+# drift-smoke closes the control loop end to end: a short drift.rollover run
+# (time-series key prefix rolls over mid-run) must show the adaptive tuner
+# firing a reconfiguration — codec retrain or shard rebalance — and the
+# post-retrain read p99 landing within 2x of the pre-drift baseline, without
+# a restart. -assert-drift makes mets-bench exit non-zero otherwise.
+drift-smoke:
+	$(GO) run ./cmd/mets-bench -scale 1 -queries 50000 -assert-drift drift.rollover
 
 # prom-smoke scrapes the Prometheus exposition surface of a live shard.ycsb
 # run: start mets-bench with -debug-addr, poll /metrics until a mets_-

@@ -14,6 +14,11 @@
 // enforced: only benchmarks matching the regexp, and only their latency
 // metrics (ns/op and *-ns) — allocation noise on a gated benchmark, or any
 // movement on an ungated one, is still reported but never fails the run.
+//
+// -trend N switches to trend mode: instead of a two-way diff, every metric
+// of the newest artifact is tabulated across the last N artifacts (one
+// column each), with the overall delta of newest vs the oldest artifact that
+// carries the metric — the long-horizon view the two-way diff cannot give.
 package main
 
 import (
@@ -115,6 +120,101 @@ func diff(oldDoc, newDoc *Doc, thresholdPct float64) (rows []row, added, removed
 	return rows, added, removed
 }
 
+// trendRow is one benchmark/metric series across the trend window.
+type trendRow struct {
+	name, unit string
+	vals       []float64 // one per doc (oldest first), NaN where absent
+	pct        float64   // newest vs the oldest artifact that has a value
+}
+
+// trend builds per-metric series across docs, oldest first. The rows cover
+// the benchmark/metric pairs of the newest artifact (what the suite measures
+// today), in sorted order; artifacts predating a benchmark contribute gaps,
+// and the delta compares the newest value against the oldest one present —
+// so a metric that drifted slowly across many runs shows its full excursion,
+// not just the last step.
+func trend(docs []*Doc) []trendRow {
+	byName := make([]map[string]Result, len(docs))
+	for i, d := range docs {
+		m := make(map[string]Result, len(d.Results))
+		for _, r := range d.Results {
+			m[r.Name] = r
+		}
+		byName[i] = m
+	}
+	newest := docs[len(docs)-1]
+	names := make([]string, 0, len(newest.Results))
+	for _, r := range newest.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	var rows []trendRow
+	for _, name := range names {
+		nr := byName[len(docs)-1][name]
+		units := make([]string, 0, len(nr.Metrics))
+		for u := range nr.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			row := trendRow{name: name, unit: u, vals: make([]float64, len(docs)), pct: math.NaN()}
+			for i, m := range byName {
+				row.vals[i] = math.NaN()
+				if r, ok := m[name]; ok {
+					if v, ok := r.Metrics[u]; ok {
+						row.vals[i] = v
+					}
+				}
+			}
+			last := row.vals[len(row.vals)-1]
+			for i, v := range row.vals {
+				if math.IsNaN(v) || i == len(row.vals)-1 {
+					continue // no history: only the newest artifact has it
+				}
+				switch {
+				case v != 0:
+					row.pct = (last - v) / math.Abs(v) * 100
+				case last != 0:
+					row.pct = math.Inf(1)
+				default:
+					row.pct = 0
+				}
+				break
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// printTrend renders the trend table: one column per artifact, gaps for
+// metrics an artifact predates, and the overall delta (newest vs oldest
+// present) last.
+func printTrend(labels []string, rows []trendRow) {
+	fmt.Printf("## benchtrend: %s → %s (%d artifacts)\n\n",
+		labels[0], labels[len(labels)-1], len(labels))
+	fmt.Printf("| benchmark | metric | %s | Δ%% |\n", strings.Join(labels, " | "))
+	fmt.Printf("|---|---|%s---:|\n", strings.Repeat("---:|", len(labels)))
+	for _, r := range rows {
+		cells := make([]string, len(r.vals))
+		for i, v := range r.vals {
+			if math.IsNaN(v) {
+				cells[i] = "—"
+			} else {
+				cells[i] = fmtVal(v)
+			}
+		}
+		delta := "—"
+		if !math.IsNaN(r.pct) {
+			delta = fmt.Sprintf("%+.1f%%", r.pct)
+			if higherIsWorse(r.unit) && r.pct > 0 {
+				delta += " ↑"
+			}
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", r.name, r.unit, strings.Join(cells, " | "), delta)
+	}
+}
+
 // load reads one benchjson doc.
 func load(path string) (*Doc, error) {
 	data, err := os.ReadFile(path)
@@ -128,18 +228,22 @@ func load(path string) (*Doc, error) {
 	return &d, nil
 }
 
-// latestTwo returns the two lexicographically newest BENCH_*.json in dir,
-// oldest first.
-func latestTwo(dir string) (string, string, error) {
+// latestN returns the n lexicographically newest BENCH_*.json in dir, oldest
+// first (the date-stamped naming makes name order date order). Fewer than n
+// on disk is fine as long as there are two to compare.
+func latestN(dir string, n int) ([]string, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
-		return "", "", err
+		return nil, err
 	}
 	if len(paths) < 2 {
-		return "", "", fmt.Errorf("need two BENCH_*.json artifacts in %s, found %d", dir, len(paths))
+		return nil, fmt.Errorf("need two BENCH_*.json artifacts in %s, found %d", dir, len(paths))
 	}
 	sort.Strings(paths)
-	return paths[len(paths)-2], paths[len(paths)-1], nil
+	if len(paths) > n {
+		paths = paths[len(paths)-n:]
+	}
+	return paths, nil
 }
 
 func fmtVal(v float64) string {
@@ -161,7 +265,27 @@ func main() {
 	fail := flag.Bool("fail", false, "exit 1 when any regression is flagged")
 	gate := flag.String("gate", "", "regexp of benchmark names whose latency regressions (ns/op, *-ns) are enforced by -fail; empty enforces every regression")
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when no files are given")
+	trendN := flag.Int("trend", 0, "trend mode: table of every metric across the last N BENCH_*.json artifacts instead of a two-way diff")
 	flag.Parse()
+
+	if *trendN > 0 {
+		paths, err := latestN(*dir, *trendN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		docs := make([]*Doc, len(paths))
+		labels := make([]string, len(paths))
+		for i, p := range paths {
+			if docs[i], err = load(p); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(2)
+			}
+			labels[i] = strings.TrimSuffix(filepath.Base(p), ".json")
+		}
+		printTrend(labels, trend(docs))
+		return
+	}
 
 	var gateRe *regexp.Regexp
 	if *gate != "" {
@@ -175,12 +299,12 @@ func main() {
 	var oldPath, newPath string
 	switch flag.NArg() {
 	case 0:
-		var err error
-		oldPath, newPath, err = latestTwo(*dir)
+		paths, err := latestN(*dir, 2)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
+		oldPath, newPath = paths[0], paths[1]
 	case 2:
 		oldPath, newPath = flag.Arg(0), flag.Arg(1)
 	default:

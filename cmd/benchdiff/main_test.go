@@ -92,6 +92,60 @@ func TestDiffAddedRemoved(t *testing.T) {
 	}
 }
 
+func TestTrendSeriesAndDelta(t *testing.T) {
+	docs := []*Doc{
+		doc(res("BenchmarkA", map[string]float64{"ns/op": 100})),
+		doc(res("BenchmarkA", map[string]float64{"ns/op": 110})),
+		doc(res("BenchmarkA", map[string]float64{"ns/op": 130})),
+	}
+	rows := trend(docs)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v, want 1", rows)
+	}
+	r := rows[0]
+	if r.name != "BenchmarkA" || r.unit != "ns/op" {
+		t.Fatalf("row = %+v", r)
+	}
+	if len(r.vals) != 3 || r.vals[0] != 100 || r.vals[1] != 110 || r.vals[2] != 130 {
+		t.Fatalf("vals = %v", r.vals)
+	}
+	// Delta spans the whole window, not the last step: 100 → 130.
+	if math.Abs(r.pct-30) > 1e-9 {
+		t.Fatalf("pct = %v, want 30", r.pct)
+	}
+}
+
+func TestTrendNewBenchmarkHasGaps(t *testing.T) {
+	docs := []*Doc{
+		doc(res("BenchmarkOld", map[string]float64{"ns/op": 1})),
+		doc(
+			res("BenchmarkOld", map[string]float64{"ns/op": 1}),
+			res("BenchmarkNew", map[string]float64{"ns/op": 50}),
+		),
+		doc(
+			res("BenchmarkOld", map[string]float64{"ns/op": 1}),
+			res("BenchmarkNew", map[string]float64{"ns/op": 60}),
+		),
+	}
+	rows := trend(docs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", rows)
+	}
+	// Sorted: BenchmarkNew first.
+	r := rows[0]
+	if r.name != "BenchmarkNew" || !math.IsNaN(r.vals[0]) || r.vals[1] != 50 || r.vals[2] != 60 {
+		t.Fatalf("new row = %+v vals=%v", r, r.vals)
+	}
+	// Delta is newest vs oldest PRESENT: 50 → 60.
+	if math.Abs(r.pct-20) > 1e-9 {
+		t.Fatalf("pct = %v, want 20", r.pct)
+	}
+	// A benchmark dropped from the newest artifact gets no row.
+	if rows[1].name != "BenchmarkOld" || rows[1].pct != 0 {
+		t.Fatalf("old row = %+v", rows[1])
+	}
+}
+
 func TestDiffZeroBaseline(t *testing.T) {
 	old := doc(res("BenchmarkA", map[string]float64{"p99-ns": 0}))
 	cur := doc(res("BenchmarkA", map[string]float64{"p99-ns": 100}))

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mets/internal/hope"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+	"mets/internal/obs"
+	"mets/internal/sharded"
+	"mets/internal/tune"
+	"mets/internal/ycsb"
+)
+
+func init() {
+	register("drift.rollover", "Adaptive drift tuner: time-series prefix rollover, retrain without restart", runDriftRollover)
+}
+
+// driftTune is the bench-scale tuner configuration: tick fast enough that the
+// control loop closes within seconds, with the same hysteresis shape as the
+// production defaults (consecutive trips + cooldown).
+func driftTune() tune.Config {
+	return tune.Config{
+		Interval:    50 * time.Millisecond,
+		CPRMinBytes: 1 << 14,
+		SkewMinOps:  5000,
+		Trips:       2,
+		Cooldown:    20, // 1s at the bench tick
+	}
+}
+
+// runDriftRollover is the control-plane experiment: a sharded hybrid index
+// bulk-loads epoch-0 time-series keys (training the HOPE codec and the
+// quantile router on that prefix), then the key prefix rolls over — every
+// new insert carries the epoch-1 prefix, so the trained dictionary stops
+// matching and all new keys route past the last learned boundary into one
+// shard. With AutoTune off the system is stuck with the stale generation;
+// with AutoTune on the drift tuner detects the compression decay / shard
+// skew and republishes codec+router+shards through the reconfiguration seam,
+// and post-retrain read p99 over the new keys must return to the pre-drift
+// ballpark — no restart, no latency cliff.
+func runDriftRollover(ctx *benchContext) {
+	n := ctx.numKeys()
+	nDrift := n / 2
+	ks0 := keys.TimeSeriesKeys(0, n, 1)
+	ks1 := keys.TimeSeriesKeys(1, nDrift, 2)
+	threads := threadCount(ctx)
+	readOps := ctx.queries / 4
+
+	row("mode", "pre p99 us", "post p99 us", "ratio", "retrains", "rebalances", "swaps")
+	type outcome struct {
+		pre, post  int64
+		retrains   int64
+		rebalances int64
+	}
+	results := map[string]outcome{}
+	for _, mode := range []string{"frozen", "autotune"} {
+		reg := obs.NewRegistry()
+		cfg := sharded.Config{
+			Shards:       ctx.shards,
+			Hybrid:       bgMergeCfg(true),
+			Obs:          reg,
+			CodecTrainer: keycodec.HOPETrainer(hope.DoubleChar, 1<<10),
+		}
+		if mode == "autotune" {
+			cfg.AutoTune = true
+			cfg.Tune = driftTune()
+		}
+		s := sharded.NewBTree(cfg)
+		if err := s.BulkLoad(loadEntries(ks0)); err != nil {
+			panic(err)
+		}
+
+		// Pre-drift baseline: read-only YCSB C over the trained key set.
+		pre := ycsb.RunConcurrent(s, ks0, ycsb.DriverConfig{
+			Workload: ycsb.WorkloadC, Threads: threads, OpsPerThread: readOps, Seed: 31,
+		})
+
+		// Drift: the prefix rolls over — every insert now carries epoch 1.
+		var wg sync.WaitGroup
+		per := (nDrift + threads - 1) / threads
+		for t := 0; t < threads; t++ {
+			lo, hi := t*per, (t+1)*per
+			if hi > nDrift {
+				hi = nDrift
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part [][]byte, base uint64) {
+				defer wg.Done()
+				for i, k := range part {
+					s.Insert(k, base+uint64(i))
+				}
+			}(ks1[lo:hi], uint64(lo))
+		}
+		wg.Wait()
+
+		if mode == "autotune" {
+			// Keep post-drift traffic flowing (the detectors watch per-tick
+			// deltas) until the tuner has fired a reconfiguration — a codec
+			// retrain on compression decay, or a shard rebalance on skew
+			// (the rolled-over keys all sort into the last shard, so skew
+			// usually trips first).
+			fired := func() int64 {
+				h := s.Tuner().Health()
+				return h.Retrains + h.Rebalances
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			i := 0
+			for fired() == 0 && time.Now().Before(deadline) {
+				s.Get(ks1[i%len(ks1)])
+				i++
+			}
+			if fired() == 0 && ctx.assertDrift {
+				fmt.Fprintln(os.Stderr, "drift.rollover: FAIL: tuner never fired under sustained drift")
+				os.Exit(1)
+			}
+		}
+		s.WaitMerges()
+
+		// Post-drift: read the rolled-over keys.
+		post := ycsb.RunConcurrent(s, ks1, ycsb.DriverConfig{
+			Workload: ycsb.WorkloadC, Threads: threads, OpsPerThread: readOps, Seed: 37,
+		})
+
+		var retrains, rebalances int64
+		if tn := s.Tuner(); tn != nil {
+			h := tn.Health()
+			retrains, rebalances = h.Retrains, h.Rebalances
+		}
+		snap := reg.Snapshot()
+		ratio := float64(post.ReadLatency.P99) / float64(pre.ReadLatency.P99+1)
+		row(mode, float64(pre.ReadLatency.P99)/1e3, float64(post.ReadLatency.P99)/1e3,
+			ratio, retrains, rebalances, snap.Counters["reconfig.applied"])
+		fmt.Printf("BenchmarkDriftRollover/shards=%d/mode=%s \t%d\t%.1f ns/op\t%d pre-read-p99-ns\t%d post-read-p99-ns\t%d retrains\n",
+			ctx.shards, mode, post.Ops, 1e3/post.Mops(),
+			pre.ReadLatency.P99, post.ReadLatency.P99, retrains)
+		results[mode] = outcome{pre: pre.ReadLatency.P99, post: post.ReadLatency.P99,
+			retrains: retrains, rebalances: rebalances}
+		s.Close()
+	}
+
+	if ctx.assertDrift {
+		at := results["autotune"]
+		if at.retrains+at.rebalances == 0 {
+			fmt.Fprintln(os.Stderr, "drift.rollover: FAIL: no reconfiguration fired in autotune mode")
+			os.Exit(1)
+		}
+		// One log2 histogram bucket of slack: post must land within 2x of the
+		// pre-drift baseline (the acceptance bar for "re-learns without a
+		// latency cliff").
+		if at.post > 2*(at.pre+1) {
+			fmt.Fprintf(os.Stderr, "drift.rollover: FAIL: post-retrain read p99 %dns > 2x pre-drift %dns\n",
+				at.post, at.pre)
+			os.Exit(1)
+		}
+		fmt.Printf("assert-drift: OK (retrains=%d, rebalances=%d, pre p99=%dns, post p99=%dns)\n",
+			at.retrains, at.rebalances, at.pre, at.post)
+	}
+	fmt.Println("expect: frozen mode cliffs after the rollover (stale codec, one hot shard); autotune re-learns in place")
+}

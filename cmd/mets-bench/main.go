@@ -49,6 +49,10 @@ type benchContext struct {
 	// -stats-every is set; experiments that support instrumentation attach
 	// their indexes to it. Nil exercises the no-op instrumentation path.
 	obs *obs.Registry
+	// assertDrift makes drift.rollover exit non-zero unless the tuner fired
+	// and post-retrain read p99 stayed within 2x of the pre-drift baseline
+	// (the CI drift-smoke gate).
+	assertDrift bool
 }
 
 // keysAtScale returns the base dataset size for tree experiments.
@@ -62,6 +66,7 @@ func main() {
 	serverAddr := flag.String("server-addr", "", "drive the server.* experiments against an external mets-server at this address (empty = in-process)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics + pprof on this address (e.g. :6060)")
 	statsEvery := flag.Duration("stats-every", 0, "periodically dump a metrics digest (e.g. 5s; 0 = off)")
+	assertDrift := flag.Bool("assert-drift", false, "fail (exit 1) unless drift.rollover shows a tuner retrain and bounded post-drift read p99")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -77,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mets-bench [-scale N] <experiment-id>... | -list | all")
 		os.Exit(2)
 	}
-	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads, serverAddr: *serverAddr}
+	ctx := &benchContext{scale: *scale, queries: *queries, shards: *shards, threads: *threads, serverAddr: *serverAddr, assertDrift: *assertDrift}
 	if *debugAddr != "" || *statsEvery > 0 {
 		ctx.obs = obs.NewRegistry()
 		if *debugAddr != "" {

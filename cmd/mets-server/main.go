@@ -23,7 +23,9 @@ import (
 	"syscall"
 	"time"
 
+	"mets/internal/hope"
 	"mets/internal/hybrid"
+	"mets/internal/keycodec"
 	"mets/internal/lsm"
 	"mets/internal/obs"
 	"mets/internal/server"
@@ -41,12 +43,13 @@ func main() {
 		writeQueue = flag.Int("write-queue", 1024, "bounded write-queue depth before RETRY_LATER")
 		batchMax   = flag.Int("batch-max", 256, "max ops per group commit")
 		maxConns   = flag.Int("max-conns", 1024, "max concurrent connections")
+		autoTune   = flag.Bool("autotune", false, "run the adaptive drift tuner: watches the metrics registry and retrains/rebalances the sharded engine in place (in-memory sharded engine only)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 
-	store, err := buildStore(*engine, *dir, *shards, *minDynamic, reg)
+	store, err := buildStore(*engine, *dir, *shards, *minDynamic, *autoTune, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mets-server:", err)
 		os.Exit(1)
@@ -93,23 +96,38 @@ func main() {
 }
 
 // buildStore constructs the selected engine.
-func buildStore(engine, dir string, shards, minDynamic int, reg *obs.Registry) (server.Store, error) {
+func buildStore(engine, dir string, shards, minDynamic int, autoTune bool, reg *obs.Registry) (server.Store, error) {
 	switch engine {
 	case "sharded":
+		if autoTune && dir != "" {
+			return nil, fmt.Errorf("-autotune requires an in-memory index (shard journals hold encoded keys); drop -dir")
+		}
 		hc := hybrid.DefaultConfig()
 		hc.EpochReads = true
 		hc.BackgroundMerge = true
 		if minDynamic > 0 {
 			hc.MinDynamic = minDynamic
 		}
-		idx := sharded.NewBTree(sharded.Config{
+		cfg := sharded.Config{
 			Shards: shards,
 			Hybrid: hc,
 			Obs:    reg,
 			Dir:    dir,
-		})
+		}
+		if autoTune {
+			// The trainer gives the tuner's compression-decay detector an
+			// action; without it the tuner could only rebalance. Everything
+			// the tuner does lands on /metrics (tune.* counters/gauges) and
+			// in the flight ring (tune.retrain / tune.rebalance events).
+			cfg.CodecTrainer = keycodec.HOPETrainer(hope.DoubleChar, 1<<10)
+			cfg.AutoTune = true
+		}
+		idx := sharded.NewBTree(cfg)
 		return server.NewShardedStore(idx), nil
 	case "lsm":
+		if autoTune {
+			return nil, fmt.Errorf("-autotune is a sharded-engine feature (the LSM engine compacts on its own)")
+		}
 		cfg := lsm.Config{Obs: reg, Dir: dir, BackgroundCompaction: true}
 		if dir == "" {
 			return server.NewLSMStore(lsm.Open(cfg)), nil

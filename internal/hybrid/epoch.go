@@ -10,6 +10,7 @@ import (
 	"mets/internal/index"
 	"mets/internal/keys"
 	"mets/internal/obs"
+	"mets/internal/reconfig"
 	"mets/internal/skiplist"
 )
 
@@ -64,7 +65,6 @@ type epochState struct {
 	merging   bool
 
 	live atomic.Int64 // exact live-entry count, writer-maintained
-	gens atomic.Int64 // generations published (diagnostics)
 }
 
 // initEpoch wires the epoch read path into a freshly constructed Index.
@@ -77,11 +77,6 @@ func (h *Index) initEpoch() {
 	h.eg.mergeDone = sync.NewCond(&h.eg.mu)
 	gen := &egen{mem: skiplist.NewConcurrent(), filter: h.eNewFilter(0)}
 	h.eg.gen.Store(gen)
-	if r := h.obsReg; r != nil {
-		r.GaugeFunc("epoch_readers", func() float64 { return float64(mgr.ActiveReaders()) })
-		r.GaugeFunc("epoch_inflight", func() float64 { return float64(mgr.InFlight()) })
-		r.GaugeFunc("epoch_gens", func() float64 { return float64(h.eg.gens.Load()) })
-	}
 }
 
 // EpochManager returns the epoch manager behind the wait-free read path, or
@@ -103,22 +98,20 @@ func (h *Index) eNewFilter(expected int) *bloom.Filter {
 	return bloom.New(expected, h.cfg.BloomBitsPerKey)
 }
 
-// ePublishLocked swaps in the next generation and retires the previous one.
+// ePublishLocked swaps in the next generation through the shared
+// reconfiguration seam, which retires the previous one via the epoch
+// manager: the retire closure pins old until every reader epoch that could
+// observe it has drained, and dropping the stage pointers there makes the
+// reclaim observable (leak tests hang a finalizer off the stages).
 // Requires eg.mu.
 func (h *Index) ePublishLocked(next, old *egen) {
-	h.eg.gen.Store(next)
-	h.eg.gens.Add(1)
-	c, fr := h.obsReclaims, h.fr
-	gen := h.eg.gens.Load()
-	h.eg.mgr.Retire(func() {
-		// The closure pins old until every reader epoch that could observe it
-		// has drained; dropping the stage pointers here makes the reclaim
-		// observable (leak tests hang a finalizer off the generation).
-		old.mem = nil
-		old.frozen = nil
-		old.static = nil
-		c.Inc()
-		fr.Record("epoch.reclaim", obs.I64("gen", int64(gen)))
+	_ = h.seam.PublishLocked("generation", reconfig.Prepared{
+		Publish: func() error { h.eg.gen.Store(next); return nil },
+		Retire: func() {
+			old.mem = nil
+			old.frozen = nil
+			old.static = nil
+		},
 	})
 }
 

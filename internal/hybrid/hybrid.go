@@ -29,6 +29,7 @@ import (
 	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
+	"mets/internal/reconfig"
 	"mets/internal/vfs"
 	"mets/internal/wal"
 )
@@ -118,6 +119,12 @@ type Index struct {
 	// methods dispatch to their e-prefixed counterparts.
 	eg *epochState
 
+	// seam is the shared reconfiguration pipeline every epoch-mode
+	// generation swap publishes through (merge commits, seals, bulk loads).
+	// It owns the generation counter, the publication/reclaim event
+	// vocabulary, and retirement routing through the epoch manager.
+	seam *reconfig.Seam
+
 	dynamic    index.Dynamic
 	static     index.Static
 	filter     *bloom.Filter
@@ -196,22 +203,6 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 		h.obsBloomSkip = r.Counter("bloom_skip")
 		h.obsMerges = r.Counter("merges")
 		h.obsReclaims = r.Counter("epoch_reclaims")
-		r.GaugeFunc("dynamic_len", func() float64 { return float64(h.DynamicLen()) })
-		r.GaugeFunc("static_len", func() float64 { return float64(h.StaticLen()) })
-		r.GaugeFunc("merging", func() float64 {
-			if h.Merging() {
-				return 1
-			}
-			return 0
-		})
-		// A sticky journal failure is otherwise invisible until the next
-		// explicit barrier; surface it in every snapshot.
-		r.GaugeFunc("journal_err", func() float64 {
-			if h.JournalErr() != nil {
-				return 1
-			}
-			return 0
-		})
 	}
 	if fr := cfg.Obs.FlightRecorder(); fr != nil {
 		h.fr = fr
@@ -226,9 +217,61 @@ func New(newDynamic func() index.Dynamic, build StaticBuilder, cfg Config) *Inde
 		h.mergeDone = sync.NewCond(&h.mu)
 		h.resetFilter(0)
 	}
+	// The seam keeps hybrid's historical event/counter vocabulary
+	// ("epoch.reclaim", "epoch_reclaims") while sharing the publication
+	// pipeline with the sharded core swap and the LSM manifest commit.
+	var retirer reconfig.Retirer
+	if h.eg != nil {
+		retirer = h.eg.mgr
+	}
+	h.seam = reconfig.New(reconfig.Options{
+		Name:           "hybrid",
+		Obs:            cfg.Obs,
+		FlightRec:      h.fr,
+		Retirer:        retirer,
+		ReclaimEvent:   "epoch.reclaim",
+		ReclaimCounter: h.obsReclaims,
+	})
 	if cfg.Dir != "" {
 		if err := h.openJournal(); err != nil {
 			panic(fmt.Sprintf("hybrid: journal open: %v", err))
+		}
+	}
+	// Derived gauges register last: a registry snapshot may evaluate them
+	// from another goroutine the moment they land in the gauge map (the
+	// drift tuner ticks concurrently with core rebuilds), so the index must
+	// be fully constructed first — and the registry's own lock publishes
+	// everything written above to the snapshotting goroutine.
+	if r := h.obsReg; r != nil {
+		r.GaugeFunc("dynamic_len", func() float64 { return float64(h.DynamicLen()) })
+		r.GaugeFunc("static_len", func() float64 { return float64(h.StaticLen()) })
+		r.GaugeFunc("merging", func() float64 {
+			if h.Merging() {
+				return 1
+			}
+			return 0
+		})
+		// The drift tuner's merge-backlog detector watches this: 1 while the
+		// dynamic stage sits past the merge trigger (Health.MergeBehind).
+		r.GaugeFunc("merge_behind", func() float64 {
+			if h.Health().MergeBehind {
+				return 1
+			}
+			return 0
+		})
+		// A sticky journal failure is otherwise invisible until the next
+		// explicit barrier; surface it in every snapshot.
+		r.GaugeFunc("journal_err", func() float64 {
+			if h.JournalErr() != nil {
+				return 1
+			}
+			return 0
+		})
+		if h.eg != nil {
+			mgr := h.eg.mgr
+			r.GaugeFunc("epoch_readers", func() float64 { return float64(mgr.ActiveReaders()) })
+			r.GaugeFunc("epoch_inflight", func() float64 { return float64(mgr.InFlight()) })
+			r.GaugeFunc("epoch_gens", func() float64 { return float64(h.seam.Generation()) })
 		}
 	}
 	return h
@@ -265,6 +308,11 @@ func (h *Index) Len() int {
 // any, counts as dynamic).
 func (h *Index) DynamicLen() int {
 	if h.eg != nil {
+		// Pin before loading: retirement nils a drained generation's stage
+		// pointers, and the pin is what holds that off (the stats gauges
+		// call this from the tuner's snapshot goroutine).
+		g := h.eg.mgr.Pin()
+		defer g.Unpin()
 		gen := h.eg.gen.Load()
 		n := gen.mem.Len()
 		if gen.frozen != nil {
@@ -283,6 +331,8 @@ func (h *Index) DynamicLen() int {
 
 func (h *Index) StaticLen() int {
 	if h.eg != nil {
+		g := h.eg.mgr.Pin()
+		defer g.Unpin()
 		if st := h.eg.gen.Load().static; st != nil {
 			return st.Len()
 		}

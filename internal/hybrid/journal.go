@@ -20,8 +20,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path"
+	"sort"
 
 	"mets/internal/index"
+	"mets/internal/keys"
 	"mets/internal/obs"
 	"mets/internal/vfs"
 	"mets/internal/wal"
@@ -105,18 +107,25 @@ func (h *Index) JournalErr() error {
 	return h.jl.Err()
 }
 
-// applyJournalRecord replays one CRC-verified record. Only successful ops
-// were journaled, so the replayed op succeeds too; results are still ignored
-// defensively (a reset-then-crash can leave a prefix whose tail ops no longer
-// apply cleanly, and replay must take what it can).
-func (h *Index) applyJournalRecord(rec []byte) error {
+// jop is one decoded journal record.
+type jop struct {
+	op    byte
+	key   []byte
+	value uint64
+}
+
+// decodeJournalRecord parses one CRC-verified record.
+func decodeJournalRecord(rec []byte) (jop, error) {
 	if len(rec) == 0 {
-		return fmt.Errorf("hybrid: empty journal record")
+		return jop{}, fmt.Errorf("hybrid: empty journal record")
 	}
 	op, rest := rec[0], rec[1:]
+	if op != jopInsert && op != jopUpdate && op != jopDelete {
+		return jop{}, fmt.Errorf("hybrid: unknown journal op %d", op)
+	}
 	n, w := binary.Uvarint(rest)
 	if w <= 0 || n > uint64(len(rest)-w) {
-		return fmt.Errorf("hybrid: malformed journal key")
+		return jop{}, fmt.Errorf("hybrid: malformed journal key")
 	}
 	key := append([]byte(nil), rest[w:w+int(n)]...)
 	rest = rest[w+int(n):]
@@ -124,21 +133,84 @@ func (h *Index) applyJournalRecord(rec []byte) error {
 	if op != jopDelete {
 		v, w := binary.Uvarint(rest)
 		if w <= 0 {
-			return fmt.Errorf("hybrid: malformed journal value")
+			return jop{}, fmt.Errorf("hybrid: malformed journal value")
 		}
 		value = v
 	}
-	switch op {
+	return jop{op: op, key: key, value: value}, nil
+}
+
+// applyJournalOp replays one op through the public API. Only successful ops
+// were journaled, so the replayed op succeeds too; results are still ignored
+// defensively (a reset-then-crash can leave a prefix whose tail ops no longer
+// apply cleanly, and replay must take what it can).
+func (h *Index) applyJournalOp(o jop) {
+	switch o.op {
 	case jopInsert:
-		if !h.Insert(key, value) {
-			h.Update(key, value)
+		if !h.Insert(o.key, o.value) {
+			h.Update(o.key, o.value)
 		}
 	case jopUpdate:
-		h.Update(key, value)
+		h.Update(o.key, o.value)
 	case jopDelete:
-		h.Delete(key)
-	default:
-		return fmt.Errorf("hybrid: unknown journal op %d", op)
+		h.Delete(o.key)
+	}
+}
+
+// journalBatchMin is the replayed-record count at which openJournal switches
+// from per-op replay through the public API to the batched rebuild: fold the
+// whole journal into a last-op-wins map, sort once, and build the static
+// stage directly. Below it the per-op path wins (no sort, no static build
+// for a handful of records). A var so the reopen benchmark and the
+// differential replay test can pin either path.
+var journalBatchMin = 4096
+
+// replayJournalBatched folds the decoded records into the final per-key
+// state and installs it as the initial generation: one sorted slice, one
+// static-stage build, zero per-op index operations. Equivalent to the
+// per-op path from an empty index: a replayed insert always sets (the
+// public-API fallback turns a duplicate insert into an update), a replayed
+// update sets only a present key, a delete removes it. Called from New
+// before the index is shared, so the installs are plain stores.
+func (h *Index) replayJournalBatched(ops []jop) error {
+	m := make(map[string]uint64, len(ops))
+	for _, o := range ops {
+		switch o.op {
+		case jopInsert:
+			m[string(o.key)] = o.value
+		case jopUpdate:
+			if _, ok := m[string(o.key)]; ok {
+				m[string(o.key)] = o.value
+			}
+		case jopDelete:
+			delete(m, string(o.key))
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	entries := make([]index.Entry, 0, len(m))
+	for k, v := range m {
+		entries = append(entries, index.Entry{Key: []byte(k), Value: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return keys.Compare(entries[i].Key, entries[j].Key) < 0
+	})
+	st, err := h.build(entries)
+	if err != nil {
+		return fmt.Errorf("hybrid: journal rebuild: %w", err)
+	}
+	if h.eg != nil {
+		gen := h.eg.gen.Load() // the fresh, empty, unshared initial generation
+		h.eg.gen.Store(&egen{
+			mem:    gen.mem,
+			filter: h.eNewFilter(len(entries) / h.cfg.MergeRatio),
+			static: st,
+		})
+		h.eg.live.Store(int64(len(entries)))
+	} else {
+		h.static = st
+		h.resetFilter(len(entries) / h.cfg.MergeRatio)
 	}
 	return nil
 }
@@ -154,20 +226,44 @@ func (h *Index) openJournal() error {
 	if err := fs.MkdirAll(h.cfg.Dir); err != nil {
 		return fmt.Errorf("hybrid: mkdir %s: %w", h.cfg.Dir, err)
 	}
-	// Journal keys are already encoded; disable the codec so the replayed
-	// public calls do not encode twice. The index is not shared yet.
-	codec := h.codec
-	h.codec = nil
-	stats, err := wal.Replay(fs, h.cfg.Dir, 0, h.applyJournalRecord)
-	h.codec = codec
+	// Decode every record first, then pick the replay strategy by volume:
+	// short journals replay per op through the public API, long ones rebuild
+	// the final state in one batched sort+build (replayJournalBatched) —
+	// reopening a large index no longer pays a full insert path per record.
+	var ops []jop
+	stats, err := wal.Replay(fs, h.cfg.Dir, 0, func(rec []byte) error {
+		o, err := decodeJournalRecord(rec)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, o)
+		return nil
+	})
 	if err != nil {
 		return err
+	}
+	mode := "per-op"
+	if len(ops) >= journalBatchMin {
+		mode = "batched"
+		if err := h.replayJournalBatched(ops); err != nil {
+			return err
+		}
+	} else {
+		// Journal keys are already encoded; disable the codec so the
+		// replayed public calls do not encode twice. Not shared yet.
+		codec := h.codec
+		h.codec = nil
+		for _, o := range ops {
+			h.applyJournalOp(o)
+		}
+		h.codec = codec
 	}
 	h.JournalRecovery = stats
 	replayAttrs := []obs.Attr{
 		obs.I64("segments", int64(stats.Segments)),
 		obs.I64("records", int64(stats.Records)),
 		obs.I64("bytes", stats.Bytes),
+		obs.Str("mode", mode),
 	}
 	if stats.Torn {
 		replayAttrs = append(replayAttrs,

@@ -1,0 +1,139 @@
+package hybrid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mets/internal/index"
+	"mets/internal/keys"
+	"mets/internal/vfs"
+)
+
+// setJournalBatchMin overrides the batched-replay threshold for the duration
+// of a test or benchmark.
+func setJournalBatchMin(t testing.TB, v int) {
+	old := journalBatchMin
+	journalBatchMin = v
+	t.Cleanup(func() { journalBatchMin = old })
+}
+
+// dumpIndex returns the full ordered contents.
+func dumpIndex(h *Index) []index.Entry {
+	var out []index.Entry
+	h.Scan(nil, func(k []byte, v uint64) bool {
+		out = append(out, index.Entry{Key: append([]byte(nil), k...), Value: v})
+		return true
+	})
+	return out
+}
+
+// writeJournalWorkload drives a mixed insert/update/delete stream against a
+// journaled index and closes it, leaving the journal behind on fs.
+func writeJournalWorkload(t testing.TB, fs *vfs.MemFS, cfg Config, nops int, seed int64) {
+	t.Helper()
+	h := NewBTree(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	space := nops / 2
+	for i := 0; i < nops; i++ {
+		k := keys.Uint64(uint64(rng.Intn(space)))
+		switch rng.Intn(10) {
+		case 0:
+			h.Delete(k)
+		case 1, 2:
+			h.Update(k, uint64(i))
+		default:
+			if !h.Insert(k, uint64(i)) {
+				h.Update(k, uint64(i))
+			}
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestJournalReplayBatchedMatchesPerOp is the differential check behind the
+// batched rebuild: replaying the same journal through the per-op public-API
+// path and through the batched map+sort+build path must produce identical
+// index contents, in lock and epoch mode.
+func TestJournalReplayBatchedMatchesPerOp(t *testing.T) {
+	for _, mode := range []string{"lock", "epoch"} {
+		t.Run(mode, func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			cfg := Config{MergeRatio: 4, MinDynamic: 64, Dir: "idx", FS: fs,
+				EpochReads: mode == "epoch"}
+			writeJournalWorkload(t, fs, cfg, 5000, 42)
+
+			setJournalBatchMin(t, 1 << 30) // force per-op
+			perOp := NewBTree(cfg)
+			wantDump := dumpIndex(perOp)
+			wantLen := perOp.Len()
+			if err := perOp.Close(); err != nil {
+				t.Fatalf("per-op close: %v", err)
+			}
+
+			setJournalBatchMin(t, 1) // force batched
+			batched := NewBTree(cfg)
+			defer batched.Close()
+			gotDump := dumpIndex(batched)
+			if got := batched.Len(); got != wantLen {
+				t.Fatalf("Len: batched %d, per-op %d", got, wantLen)
+			}
+			if len(gotDump) != len(wantDump) {
+				t.Fatalf("dump length: batched %d, per-op %d", len(gotDump), len(wantDump))
+			}
+			for i := range wantDump {
+				if keys.Compare(gotDump[i].Key, wantDump[i].Key) != 0 || gotDump[i].Value != wantDump[i].Value {
+					t.Fatalf("dump[%d]: batched %q=%d, per-op %q=%d", i,
+						gotDump[i].Key, gotDump[i].Value, wantDump[i].Key, wantDump[i].Value)
+				}
+			}
+			// The batched index must remain fully writable afterwards.
+			k := []byte("zz-after-replay")
+			if !batched.Insert(k, 7) {
+				t.Fatal("insert after batched replay failed")
+			}
+			if v, ok := batched.Get(k); !ok || v != 7 {
+				t.Fatalf("get after batched replay = %d,%v", v, ok)
+			}
+		})
+	}
+}
+
+// BenchmarkJournalReopen measures reopening a journaled index — the recovery
+// path — with the batched rebuild against the old per-op replay. The batched
+// path folds the journal into one sorted build instead of paying a full
+// public-API insert per record.
+func BenchmarkJournalReopen(b *testing.B) {
+	const nops = 50000
+	for _, mode := range []string{"per-op", "batched"} {
+		for _, epochs := range []bool{false, true} {
+			name := fmt.Sprintf("%s/epoch=%v", mode, epochs)
+			b.Run(name, func(b *testing.B) {
+				fs := vfs.NewMemFS()
+				// Realistic merge cadence: the per-op path re-merges the static
+				// stage every MinDynamic replayed inserts, which is exactly the
+				// cost the batched rebuild folds into one build.
+				cfg := Config{MergeRatio: 4, MinDynamic: 4096,
+					Dir: "idx", FS: fs, EpochReads: epochs}
+				writeJournalWorkload(b, fs, cfg, nops, 7)
+				if mode == "per-op" {
+					setJournalBatchMin(b, 1<<30)
+				} else {
+					setJournalBatchMin(b, 1)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h := NewBTree(cfg)
+					if h.Len() == 0 {
+						b.Fatal("replay produced empty index")
+					}
+					if err := h.Close(); err != nil {
+						b.Fatalf("close: %v", err)
+					}
+				}
+			})
+		}
+	}
+}

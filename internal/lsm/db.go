@@ -13,6 +13,7 @@ import (
 	"mets/internal/keycodec"
 	"mets/internal/keys"
 	"mets/internal/obs"
+	"mets/internal/reconfig"
 	"mets/internal/vfs"
 	"mets/internal/wal"
 )
@@ -146,6 +147,11 @@ type DB struct {
 	codec   keycodec.Codec // nil when identity: keys stored raw
 	codecID string         // stamped into every SSTable this DB builds
 
+	// seam routes manifest commits through the shared reconfiguration
+	// pipeline (publication counters, the "manifest.commit" event): each
+	// commit is a generation publication of the durable tree shape.
+	seam *reconfig.Seam
+
 	// dur is non-nil for a durable DB (Config.Dir set); durErr (under mu)
 	// is the sticky first hard failure — once set, every write returns it.
 	dur    *durableState
@@ -209,6 +215,11 @@ func OpenDurable(cfg Config) (*DB, error) {
 	} else {
 		db.fr = obs.NewFlightRecorder(obs.DefaultFlightEvents)
 	}
+	db.seam = reconfig.New(reconfig.Options{
+		Name:      "lsm.manifest",
+		Obs:       cfg.Obs,
+		FlightRec: db.fr,
+	})
 	if cfg.Obs != nil {
 		r := cfg.Obs.Sub("lsm.")
 		db.obs = r

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mets/internal/obs"
+	"mets/internal/reconfig"
 	"mets/internal/vfs"
 	"mets/internal/wal"
 )
@@ -266,7 +267,9 @@ func (db *DB) recoverLocked(fs vfs.FS, dir string) error {
 }
 
 // commitManifestLocked atomically persists the current tree shape plus the
-// WAL low-water mark.
+// WAL low-water mark, publishing through the reconfiguration seam (the
+// caller's db.mu is the serialization, hence the locked fast path). The
+// historical "manifest.commit" event vocabulary is preserved.
 func (db *DB) commitManifestLocked() error {
 	m := &manifest{nextID: db.nextID.Load(), walMin: db.dur.walMin, codecID: db.codecID}
 	for _, lvl := range db.levels {
@@ -276,12 +279,12 @@ func (db *DB) commitManifestLocked() error {
 		}
 		m.levels = append(m.levels, ids)
 	}
-	if err := writeManifest(db.dur.fs, db.dur.dir, m); err != nil {
-		return err
-	}
-	db.fr.Record("manifest.commit", obs.I64("wal_min", int64(m.walMin)),
-		obs.I64("levels", int64(len(m.levels))), obs.I64("next_id", int64(m.nextID)))
-	return nil
+	return db.seam.PublishLocked("manifest", reconfig.Prepared{
+		Publish: func() error { return writeManifest(db.dur.fs, db.dur.dir, m) },
+		Event:   "manifest.commit",
+		Attrs: []obs.Attr{obs.I64("wal_min", int64(m.walMin)),
+			obs.I64("levels", int64(len(m.levels))), obs.I64("next_id", int64(m.nextID))},
+	})
 }
 
 // advanceWALLocked commits the manifest with the low-water mark raised to

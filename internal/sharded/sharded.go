@@ -38,6 +38,8 @@ import (
 	"mets/internal/keycodec"
 	"mets/internal/obs"
 	"mets/internal/par"
+	"mets/internal/reconfig"
+	"mets/internal/tune"
 )
 
 // Config tunes the sharded index.
@@ -76,6 +78,18 @@ type Config struct {
 	// sharded layer owns the per-shard directories. Hybrid.FS still selects
 	// the filesystem. Use SyncJournals/Close as the durability barriers.
 	Dir string
+	// AutoTune attaches a background drift tuner (internal/tune) watching
+	// this index's registry: decaying codec compression triggers Retrain
+	// (when CodecTrainer is set), sustained shard skew triggers Rebalance,
+	// and merge debt nudges background merges. All actions flow through the
+	// reconfiguration seam, so they are as safe as the manual calls.
+	// Incompatible with Dir for the same reason as CodecTrainer (New
+	// panics). With a nil Obs a private registry is created — the tuner
+	// needs the metrics to watch.
+	AutoTune bool
+	// Tune overrides the tuner's detector thresholds (zero values pick the
+	// internal/tune defaults). Ignored without AutoTune.
+	Tune tune.Config
 }
 
 // DefaultConfig returns 8 uniform shards with background merges enabled.
@@ -108,9 +122,21 @@ type Index struct {
 	nshards   int
 	// dir is Config.Dir; each shard journals under dir/shardNNN.
 	dir string
-	// bulkMu serializes core rebuilds (concurrent BulkLoads would otherwise
-	// race their swaps); ordinary operations never take it.
-	bulkMu sync.Mutex
+	// seam is the reconfiguration pipeline every core rebuild publishes
+	// through — BulkLoad, Retrain, Rebalance, and the drift tuner's
+	// autonomous actions all serialize on it (it replaces the old bulkMu).
+	seam *reconfig.Seam
+	// wmu fences writers against a core publication: Insert/Update/Delete
+	// hold it shared, a reconfiguration's capture install and publish hold
+	// it exclusive. Readers never touch it — they go straight through the
+	// atomic core pointer.
+	wmu sync.RWMutex
+	// cap, while a reconfiguration builds its next core off-line, records
+	// every successful write (in raw key space) so the publication can
+	// replay them onto the new generation. Nil outside that window.
+	cap atomic.Pointer[capture]
+	// tuner is the background drift controller (Config.AutoTune).
+	tuner *tune.Tuner
 
 	// epochs is non-nil iff Hybrid.EpochReads: one manager shared by this
 	// layer and every shard across every core generation, so a single reader
@@ -131,6 +157,14 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 	}
 	if cfg.Dir != "" && cfg.CodecTrainer != nil {
 		panic("sharded: Dir cannot be combined with CodecTrainer (a codec swap would invalidate the encoded-space shard journals)")
+	}
+	if cfg.AutoTune {
+		if cfg.Dir != "" {
+			panic("sharded: AutoTune cannot be combined with Dir (reconfiguration would invalidate the encoded-space shard journals)")
+		}
+		if cfg.Obs == nil {
+			cfg.Obs = obs.NewRegistry() // the tuner needs metrics to watch
+		}
 	}
 	hc := cfg.Hybrid
 	hc.Codec = nil // the sharded layer owns the codec boundary
@@ -163,12 +197,38 @@ func New(cfg Config, newShard func(hybrid.Config) *hybrid.Index) *Index {
 	if codec != nil {
 		r = encodeRouter(r, codec)
 	}
+	var retirer reconfig.Retirer
+	if mgr != nil {
+		retirer = mgr
+	}
+	s.seam = reconfig.New(reconfig.Options{
+		Name:           "sharded",
+		Obs:            cfg.Obs,
+		FlightRec:      cfg.Obs.FlightRecorder(),
+		Retirer:        retirer,
+		ReclaimEvent:   "core.reclaim",
+		ReclaimCounter: cfg.Obs.Counter("core_reclaims"),
+	})
 	s.core.Store(s.newCore(codec, r))
 	if cfg.Obs != nil {
-		cfg.Obs.GaugeFunc("shards", func() float64 { return float64(len(s.load().shards)) })
+		cfg.Obs.GaugeFunc("shards", func() float64 { return float64(len(s.shardsView())) })
+	}
+	if cfg.AutoTune {
+		targets := tune.Targets{
+			Rebalance:   s.Rebalance,
+			NudgeMerges: s.MergeAsync,
+		}
+		if s.trainer != nil {
+			targets.RetrainCodec = s.Retrain
+		}
+		s.tuner = tune.New(cfg.Tune, cfg.Obs, targets)
+		s.tuner.Start()
 	}
 	return s
 }
+
+// Tuner returns the background drift tuner, or nil without Config.AutoTune.
+func (s *Index) Tuner() *tune.Tuner { return s.tuner }
 
 // NewBTree builds a sharded index with B-tree shards.
 func NewBTree(cfg Config) *Index { return New(cfg, hybrid.NewBTree) }
@@ -214,7 +274,7 @@ func (s *Index) newCore(codec keycodec.Codec, r *Router) *core {
 // SyncJournals is the explicit durability barrier across every shard
 // journal. A no-op without Config.Dir.
 func (s *Index) SyncJournals() error {
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		if err := sh.SyncJournal(); err != nil {
 			return err
 		}
@@ -227,7 +287,7 @@ func (s *Index) SyncJournals() error {
 // has diverged from its in-memory state (see hybrid.Index.JournalErr). A
 // no-op (always nil) without Config.Dir.
 func (s *Index) JournalErr() error {
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		if err := sh.JournalErr(); err != nil {
 			return err
 		}
@@ -255,7 +315,7 @@ type Health struct {
 
 // Health reports aggregate shard health. Safe for concurrent use.
 func (s *Index) Health() Health {
-	shards := s.load().shards
+	shards := s.shardsView()
 	h := Health{Healthy: true, Shards: len(shards)}
 	for _, sh := range shards {
 		sh := sh.Health()
@@ -273,11 +333,15 @@ func (s *Index) Health() Health {
 	return h
 }
 
-// Close settles background merges and closes every shard journal (final
-// fsync each). A no-op without Config.Dir.
+// Close stops the drift tuner (if any), settles background merges, and
+// closes every shard journal (final fsync each). Journal-less indexes only
+// need Close with AutoTune.
 func (s *Index) Close() error {
+	if s.tuner != nil {
+		s.tuner.Stop()
+	}
 	var first error
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		if err := sh.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -286,6 +350,20 @@ func (s *Index) Close() error {
 }
 
 func (s *Index) load() *core { return s.core.Load() }
+
+// shardsView reads the current generation's shard list under an epoch pin.
+// Retirement nils a retired core's fields once reader epochs drain, so an
+// unpinned load().shards can race that write (the drift tuner retires cores
+// while stats gauges and aggregate accessors iterate). The pin orders the
+// read before any retirement of the core it observed; the returned slice
+// stays valid after unpin — retirement drops references, it never closes
+// shards.
+func (s *Index) shardsView() []*hybrid.Index {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
+	return s.load().shards
+}
 
 // EpochManager returns the shared epoch manager, or nil in lock mode.
 func (s *Index) EpochManager() *epoch.Manager { return s.epochs }
@@ -299,18 +377,31 @@ func (c *core) encodeKey(key []byte) []byte {
 }
 
 // NumShards returns the shard count.
-func (s *Index) NumShards() int { return len(s.load().shards) }
+func (s *Index) NumShards() int { return len(s.shardsView()) }
 
 // Router returns the boundary router of the current generation. With a
 // codec active its boundaries are in encoded space.
-func (s *Index) Router() *Router { return s.load().router }
+func (s *Index) Router() *Router {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
+	return s.load().router
+}
 
 // Codec returns the current generation's codec (nil when keys are raw).
-func (s *Index) Codec() keycodec.Codec { return s.load().codec }
+func (s *Index) Codec() keycodec.Codec {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
+	return s.load().codec
+}
 
 // ShardFor returns the shard index owning key (exposed for tests and
 // placement-aware callers).
 func (s *Index) ShardFor(key []byte) int {
+	if s.epochs != nil {
+		defer s.epochs.Pin().Unpin()
+	}
 	c := s.load()
 	return c.router.Shard(c.encodeKey(key))
 }
@@ -328,31 +419,82 @@ func (s *Index) Get(key []byte) (uint64, bool) {
 	return c.shards[c.router.Shard(ek)].Get(ek)
 }
 
-// Insert adds a new entry (primary-index semantics: duplicates rejected).
-func (s *Index) Insert(key []byte, value uint64) bool {
+// capOp is one captured write, held in raw key space so it can be re-encoded
+// under whatever codec the next generation publishes with.
+type capOp struct {
+	op  byte // jop-style: 1 insert, 2 update, 3 delete
+	key []byte
+	val uint64
+}
+
+// capture collects the writes that land while a reconfiguration builds its
+// next core. Its mutex is held across apply+append, so the recorded order is
+// exactly the order the ops took effect in — replaying the log onto the new
+// core therefore converges on the same per-key final state (the log is
+// self-synchronizing: only successful ops are recorded, and insert replays
+// fall back to update when the snapshot already carried the key).
+type capture struct {
+	mu  sync.Mutex
+	ops []capOp
+}
+
+// write applies one point write to the current core, recording it in the
+// active capture, if any. Writers hold wmu shared, so a reconfiguration's
+// exclusive sections (capture install, core publication) see no write in
+// flight on either side.
+func (s *Index) write(op byte, key []byte, value uint64) bool {
+	s.wmu.RLock()
+	defer s.wmu.RUnlock()
+	cp := s.cap.Load()
+	if cp != nil {
+		// Serialize captured writes so log order equals apply order; the
+		// window only lasts while a rebuild is in flight.
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+	}
 	c := s.load()
 	ek := c.encodeKey(key)
-	return c.shards[c.router.Shard(ek)].Insert(ek, value)
+	sh := c.shards[c.router.Shard(ek)]
+	var ok bool
+	switch op {
+	case capInsert:
+		ok = sh.Insert(ek, value)
+	case capUpdate:
+		ok = sh.Update(ek, value)
+	case capDelete:
+		ok = sh.Delete(ek)
+	}
+	if ok && cp != nil {
+		cp.ops = append(cp.ops, capOp{op: op, key: append([]byte(nil), key...), val: value})
+	}
+	return ok
+}
+
+const (
+	capInsert byte = 1
+	capUpdate byte = 2
+	capDelete byte = 3
+)
+
+// Insert adds a new entry (primary-index semantics: duplicates rejected).
+func (s *Index) Insert(key []byte, value uint64) bool {
+	return s.write(capInsert, key, value)
 }
 
 // Update overwrites the value of an existing key.
 func (s *Index) Update(key []byte, value uint64) bool {
-	c := s.load()
-	ek := c.encodeKey(key)
-	return c.shards[c.router.Shard(ek)].Update(ek, value)
+	return s.write(capUpdate, key, value)
 }
 
 // Delete removes key.
 func (s *Index) Delete(key []byte) bool {
-	c := s.load()
-	ek := c.encodeKey(key)
-	return c.shards[c.router.Shard(ek)].Delete(ek)
+	return s.write(capDelete, key, 0)
 }
 
 // Len returns the total number of live entries across shards.
 func (s *Index) Len() int {
 	n := 0
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		n += sh.Len()
 	}
 	return n
@@ -361,7 +503,7 @@ func (s *Index) Len() int {
 // DynamicLen sums the per-shard dynamic (plus frozen) stage sizes.
 func (s *Index) DynamicLen() int {
 	n := 0
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		n += sh.DynamicLen()
 	}
 	return n
@@ -370,7 +512,7 @@ func (s *Index) DynamicLen() int {
 // StaticLen sums the per-shard static stage sizes.
 func (s *Index) StaticLen() int {
 	n := 0
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		n += sh.StaticLen()
 	}
 	return n
@@ -379,7 +521,7 @@ func (s *Index) StaticLen() int {
 // MemoryUsage sums all shards.
 func (s *Index) MemoryUsage() int64 {
 	var m int64
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		m += sh.MemoryUsage()
 	}
 	return m
@@ -388,7 +530,7 @@ func (s *Index) MemoryUsage() int64 {
 // Merge synchronously merges every shard's dynamic stage into its static
 // stage, fanning the per-shard rebuilds out across GOMAXPROCS workers.
 func (s *Index) Merge() {
-	shards := s.load().shards
+	shards := s.shardsView()
 	fns := make([]func(), len(shards))
 	for i := range shards {
 		sh := shards[i]
@@ -400,14 +542,14 @@ func (s *Index) Merge() {
 // MergeShard synchronously merges shard i only. Callers that want to spread
 // maintenance over time (or measure one shard's pause in isolation) can walk
 // the shards themselves instead of using Merge's all-at-once fan-out.
-func (s *Index) MergeShard(i int) { s.load().shards[i].Merge() }
+func (s *Index) MergeShard(i int) { s.shardsView()[i].Merge() }
 
 // MergeShardAsync starts a background merge on shard i only, reporting
 // whether one was started. Together with WaitMerges this lets a maintenance
 // loop stagger the rebuilds — one shard at a time — so that on machines with
 // few spare cores the merges don't all compete with foreground readers at
 // once (the same rationale as the LSM's single background compactor).
-func (s *Index) MergeShardAsync(i int) bool { return s.load().shards[i].MergeAsync() }
+func (s *Index) MergeShardAsync(i int) bool { return s.shardsView()[i].MergeAsync() }
 
 // MergeAsync starts a background merge on every shard that has dynamic
 // entries and no merge already in flight, returning how many were started.
@@ -416,7 +558,7 @@ func (s *Index) MergeShardAsync(i int) bool { return s.load().shards[i].MergeAsy
 // short seal/swap critical sections.
 func (s *Index) MergeAsync() int {
 	started := 0
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		if sh.MergeAsync() {
 			started++
 		}
@@ -426,14 +568,14 @@ func (s *Index) MergeAsync() int {
 
 // WaitMerges blocks until no shard has a background merge in flight.
 func (s *Index) WaitMerges() {
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		sh.WaitMerges()
 	}
 }
 
 // Merging reports whether any shard has a background merge running.
 func (s *Index) Merging() bool {
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		if sh.Merging() {
 			return true
 		}
@@ -453,7 +595,7 @@ type ShardStat struct {
 // ShardStats returns per-shard telemetry (the per-shard merge pauses the
 // YCSB driver reports).
 func (s *Index) ShardStats() []ShardStat {
-	shards := s.load().shards
+	shards := s.shardsView()
 	out := make([]ShardStat, len(shards))
 	for i, sh := range shards {
 		merges, last, total := sh.MergeStats()
@@ -469,7 +611,7 @@ func (s *Index) ShardStats() []ShardStat {
 // single-shard last-merge time (the worst pause any one shard imposed), and
 // summed merge work.
 func (s *Index) MergeStats() (merges int, worstLast, total time.Duration) {
-	for _, sh := range s.load().shards {
+	for _, sh := range s.shardsView() {
 		m, last, t := sh.MergeStats()
 		merges += m
 		if last > worstLast {
@@ -501,37 +643,188 @@ const bulkSampleCap = 1 << 16
 // new encoded space (so shards receive equal entry counts under the loaded
 // distribution), fresh shards are built, and codec+router+shards swap in
 // atomically. Earlier generations drain behind their own locks.
+//
+// Both paths run through the reconfiguration seam, which serializes them
+// against each other and against Retrain/Rebalance and instruments the
+// build/validate/publish pipeline.
 func (s *Index) BulkLoad(entries []index.Entry) error {
-	s.bulkMu.Lock()
-	defer s.bulkMu.Unlock()
-
-	c := s.load()
-	if s.trainer != nil {
-		old := c
-		codec, err := s.trainer(sampleKeys(entries, bulkSampleCap))
-		if err != nil {
-			return fmt.Errorf("sharded: codec training failed: %w", err)
-		}
-		if keycodec.IsIdentity(codec) {
-			codec = nil
-		} else {
-			codec = keycodec.Instrument(codec, s.obs)
-		}
-		enc := encodeEntries(entries, codec)
-		router := quantileRouter(enc, s.nshards)
-		next := s.newCore(codec, router)
-		if err := bulkLoadCore(next, enc); err != nil {
-			return err
-		}
-		s.core.Store(next)
-		if s.epochs != nil {
-			// The old codec/router/shards triple drains once every reader
-			// epoch that could have loaded it has unpinned.
-			s.epochs.Retire(func() { old.shards = nil })
-		}
-		return nil
+	if s.trainer == nil {
+		return s.seam.Apply(reconfig.Change{
+			Kind: "bulkload",
+			Build: func() (reconfig.Prepared, error) {
+				c := s.load()
+				enc := encodeEntries(entries, c.codec)
+				return reconfig.Prepared{
+					Publish: func() error { return bulkLoadCore(c, enc) },
+					Attrs:   []obs.Attr{obs.I64("entries", int64(len(entries)))},
+				}, nil
+			},
+		})
 	}
-	return bulkLoadCore(c, encodeEntries(entries, c.codec))
+	return s.seam.Apply(reconfig.Change{
+		Kind: "bulkload.retrain",
+		Build: func() (reconfig.Prepared, error) {
+			old := s.load()
+			sample := sampleKeys(entries, bulkSampleCap)
+			codec, err := s.trainer(sample)
+			if err != nil {
+				return reconfig.Prepared{}, fmt.Errorf("sharded: codec training failed: %w", err)
+			}
+			if keycodec.IsIdentity(codec) {
+				codec = nil
+			} else {
+				codec = keycodec.Instrument(codec, s.obs)
+			}
+			enc := encodeEntries(entries, codec)
+			router := quantileRouter(enc, s.nshards)
+			next := s.newCore(codec, router)
+			if err := bulkLoadCore(next, enc); err != nil {
+				return reconfig.Prepared{}, err
+			}
+			p := reconfig.Prepared{
+				Publish: func() error { s.core.Store(next); return nil },
+				Attrs: []obs.Attr{
+					obs.I64("entries", int64(len(entries))),
+					obs.I64("shards", int64(s.nshards)),
+				},
+			}
+			if codec != nil {
+				cc := codec
+				p.Validate = func() error { return keycodec.Validate(cc, sample) }
+			}
+			if s.epochs != nil {
+				// The old codec/router/shards triple drains once every
+				// reader epoch that could have loaded it has unpinned.
+				p.Retire = func() { old.shards, old.router, old.codec = nil, nil, nil }
+			}
+			return p, nil
+		},
+	})
+}
+
+// Retrain rebuilds the key codec from the live key distribution and swaps in
+// a fresh core (new codec, quantile router over the re-encoded keys, rebuilt
+// shards) without blocking readers: the rebuild runs off a scan snapshot
+// while writes continue (captured and replayed at publication). Requires a
+// CodecTrainer; errors without one. This is the action the drift tuner takes
+// when the compression ratio decays.
+func (s *Index) Retrain() error { return s.reconfigure("codec.retrain", true) }
+
+// Rebalance recomputes the shard boundaries as even quantiles of the
+// current live keys under the current codec and swaps in a rebuilt core —
+// the skew-correcting half of Retrain, without touching the codec. This is
+// the action the drift tuner takes when one shard runs disproportionately
+// hot.
+func (s *Index) Rebalance() error { return s.reconfigure("shard.rebalance", false) }
+
+// reconfigure rebuilds the core from a live snapshot plus captured writes.
+//
+// The protocol: (1) install a write-capture under the exclusive writer
+// fence, so every write from here on is recorded in order; (2) snapshot the
+// index contents in raw key space (writes keep flowing — any that land
+// before the scan passes them are both in the snapshot and in the capture,
+// which is safe because the capture log is self-synchronizing, see capture);
+// (3) train/encode/build the next core off-line; (4) validate a retrained
+// codec against the sample; (5) under the exclusive fence again, replay the
+// captured writes onto the new core and publish it. Readers are never
+// blocked; writers only wait during (1) and (5).
+func (s *Index) reconfigure(kind string, retrain bool) error {
+	if s.dir != "" {
+		return fmt.Errorf("sharded: %s requires an in-memory index (shard journals hold encoded keys)", kind)
+	}
+	if retrain && s.trainer == nil {
+		return fmt.Errorf("sharded: %s requires Config.CodecTrainer", kind)
+	}
+	return s.seam.Apply(reconfig.Change{
+		Kind: kind,
+		Build: func() (reconfig.Prepared, error) {
+			cp := &capture{}
+			s.wmu.Lock()
+			s.cap.Store(cp)
+			s.wmu.Unlock()
+			discard := func() {
+				s.wmu.Lock()
+				s.cap.Store(nil)
+				s.wmu.Unlock()
+			}
+			var entries []index.Entry
+			s.Scan(nil, func(k []byte, v uint64) bool {
+				entries = append(entries, index.Entry{Key: append([]byte(nil), k...), Value: v})
+				return true
+			})
+			old := s.load()
+			codec := old.codec
+			var sample [][]byte
+			if retrain {
+				sample = sampleKeys(entries, bulkSampleCap)
+				c, err := s.trainer(sample)
+				if err != nil {
+					discard()
+					return reconfig.Prepared{}, fmt.Errorf("sharded: codec training failed: %w", err)
+				}
+				if keycodec.IsIdentity(c) {
+					codec = nil
+				} else {
+					codec = keycodec.Instrument(c, s.obs)
+				}
+			}
+			enc := encodeEntries(entries, codec)
+			router := quantileRouter(enc, s.nshards)
+			next := s.newCore(codec, router)
+			if err := bulkLoadCore(next, enc); err != nil {
+				discard()
+				return reconfig.Prepared{}, err
+			}
+			p := reconfig.Prepared{
+				Publish: func() error {
+					s.wmu.Lock()
+					defer s.wmu.Unlock()
+					cp.mu.Lock() // no writer can hold it now; taken for order
+					ops := cp.ops
+					cp.mu.Unlock()
+					replayCapture(next, ops)
+					s.core.Store(next)
+					s.cap.Store(nil)
+					return nil
+				},
+				Discard: discard,
+				Attrs: []obs.Attr{
+					obs.I64("entries", int64(len(entries))),
+					obs.I64("shards", int64(s.nshards)),
+				},
+			}
+			if retrain && codec != nil {
+				cc := codec
+				p.Validate = func() error { return keycodec.Validate(cc, sample) }
+			}
+			if s.epochs != nil {
+				p.Retire = func() { old.shards, old.router, old.codec = nil, nil, nil }
+			}
+			return p, nil
+		},
+	})
+}
+
+// replayCapture applies captured raw-space writes onto a new core, encoding
+// and routing under the new generation. Runs with the writer fence held
+// exclusively, before the core is published. Insert replays fall back to
+// update: an op captured after the snapshot scan passed its key is already
+// reflected in the snapshot, and the fallback converges both cases.
+func replayCapture(next *core, ops []capOp) {
+	for _, o := range ops {
+		ek := next.encodeKey(o.key)
+		sh := next.shards[next.router.Shard(ek)]
+		switch o.op {
+		case capInsert:
+			if !sh.Insert(ek, o.val) {
+				sh.Update(ek, o.val)
+			}
+		case capUpdate:
+			sh.Update(ek, o.val)
+		case capDelete:
+			sh.Delete(ek)
+		}
+	}
 }
 
 // sampleKeys draws an evenly spaced key sample of at most cap entries.

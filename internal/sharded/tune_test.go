@@ -1,0 +1,267 @@
+package sharded
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mets/internal/hope"
+	"mets/internal/hybrid"
+	"mets/internal/index"
+	"mets/internal/keycodec"
+	"mets/internal/keys"
+	"mets/internal/obs"
+	"mets/internal/tune"
+)
+
+// fastTune trips within milliseconds instead of seconds — test scale.
+func fastTune() tune.Config {
+	return tune.Config{
+		Interval:    2 * time.Millisecond,
+		CPRMinBytes: 1 << 10,
+		SkewMinOps:  500,
+		Trips:       2,
+		Cooldown:    3,
+	}
+}
+
+func tuneCfg(shards int) Config {
+	return Config{
+		Shards: shards,
+		Hybrid: hybrid.Config{
+			MergeRatio: 4, MinDynamic: 256, BloomBitsPerKey: 10,
+			BackgroundMerge: true, EpochReads: true,
+		},
+		CodecTrainer: keycodec.HOPETrainer(hope.DoubleChar, 1<<10),
+		AutoTune:     true,
+		Tune:         fastTune(),
+	}
+}
+
+// TestDriftDifferential is the differential drift check: a live tuner firing
+// retrains/rebalances (plus direct Retrain/Rebalance calls mid-stream)
+// against a single-writer map oracle under reader churn. The capture-replay
+// publication must never lose or corrupt a write, so the final contents must
+// equal the oracle exactly.
+func TestDriftDifferential(t *testing.T) {
+	s := NewBTree(tuneCfg(4))
+	defer s.Close()
+
+	ks0 := keys.TimeSeriesKeys(0, 2000, 1)
+	entries := make([]index.Entry, len(ks0))
+	for i, k := range ks0 {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	if err := s.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[string]uint64, len(ks0))
+	for i, k := range ks0 {
+		oracle[string(k)] = uint64(i)
+	}
+
+	// Reader churn: Gets and short Scans racing the generation swaps.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := keys.TimeSeriesKey(uint64(rng.Intn(3)), uint64(rng.Int63n(200000)))
+				s.Get(k)
+				if rng.Intn(16) == 0 {
+					n := 0
+					var prev []byte
+					s.Scan(k, func(sk []byte, _ uint64) bool {
+						if prev != nil && keys.Compare(prev, sk) >= 0 {
+							panic("scan out of order across generation swap")
+						}
+						prev = append(prev[:0], sk...)
+						n++
+						return n < 30
+					})
+				}
+			}
+		}(int64(r) + 21)
+	}
+
+	// Single writer: rolling-epoch churn (the drift workload) interleaved
+	// with direct reconfigurations, all mirrored into the oracle.
+	rng := rand.New(rand.NewSource(9))
+	rounds := 6
+	if raceEnabled {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		epoch := uint64(round % 3)
+		for i := 0; i < 3000; i++ {
+			k := keys.TimeSeriesKey(epoch, uint64(rng.Int63n(200000)))
+			switch rng.Intn(10) {
+			case 0:
+				if s.Delete(k) {
+					delete(oracle, string(k))
+				}
+			case 1, 2:
+				v := uint64(round*1_000_000 + i)
+				if s.Update(k, v) {
+					oracle[string(k)] = v
+				}
+			default:
+				v := uint64(round*1_000_000 + i)
+				if s.Insert(k, v) {
+					oracle[string(k)] = v
+				}
+			}
+		}
+		// Direct reconfigurations racing the tuner's autonomous ones.
+		if round%2 == 0 {
+			if err := s.Retrain(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := s.Rebalance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.WaitMerges()
+
+	if got, want := s.Len(), len(oracle); got != want {
+		t.Fatalf("Len = %d, oracle has %d", got, want)
+	}
+	for k, want := range oracle {
+		if got, ok := s.Get([]byte(k)); !ok || got != want {
+			t.Fatalf("Get(%q) = %d,%v; oracle %d", k, got, ok, want)
+		}
+	}
+	// The scan view must agree too (ordered, decoded, complete).
+	seen := 0
+	s.Scan(nil, func(k []byte, v uint64) bool {
+		if want, ok := oracle[string(k)]; !ok || v != want {
+			t.Fatalf("Scan saw %q=%d; oracle %d (present=%v)", k, v, oracle[string(k)], ok)
+		}
+		seen++
+		return true
+	})
+	if seen != len(oracle) {
+		t.Fatalf("Scan yielded %d entries, oracle has %d", seen, len(oracle))
+	}
+}
+
+// TestGenerationSwapLeak pins the retirement contract: a retrained core's
+// codec, router, and shards must all be dropped through the epoch finalizer
+// hook once readers drain — retired generations must not accumulate.
+func TestGenerationSwapLeak(t *testing.T) {
+	cfg := tuneCfg(4)
+	cfg.AutoTune = false // drive reconfigurations by hand
+	cfg.Obs = obs.NewRegistry()
+	s := NewBTree(cfg)
+	ks := keys.TimeSeriesKeys(0, 3000, 2)
+	entries := make([]index.Entry, len(ks))
+	for i, k := range ks {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	if err := s.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	old := s.load()
+	if old.codec == nil {
+		t.Fatal("trained bulk load should have installed a codec")
+	}
+	// A pinned reader holds the old generation live across the swap.
+	g := s.EpochManager().Pin()
+	if err := s.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if s.load() == old {
+		t.Fatal("retrain did not publish a new core")
+	}
+	if old.shards == nil {
+		t.Fatal("old core reclaimed under a live pin")
+	}
+	g.Unpin()
+	s.EpochManager().Reclaim()
+	if old.shards != nil || old.router != nil || old.codec != nil {
+		t.Fatalf("retired core leaked: shards=%v router=%v codec=%v",
+			old.shards != nil, old.router != nil, old.codec != nil)
+	}
+	snap := s.Stats()
+	if snap.Counters["core_reclaims"] == 0 {
+		t.Fatal("core_reclaims counter did not advance")
+	}
+	if snap.Counters["reconfig.applied"] < 2 { // bulkload.retrain + codec.retrain
+		t.Fatalf("reconfig.applied = %d, want >= 2", snap.Counters["reconfig.applied"])
+	}
+	// The published generation serves everything.
+	for i, k := range ks {
+		if v, ok := s.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("post-retrain Get(%q) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+// TestReconfigureGuards pins the error paths: Retrain without a trainer,
+// and any live reconfiguration on a journaled index, must refuse cleanly.
+func TestReconfigureGuards(t *testing.T) {
+	s := NewBTree(Config{Shards: 2, Hybrid: hybrid.Config{MergeRatio: 4, MinDynamic: 64}})
+	if err := s.Retrain(); err == nil {
+		t.Fatal("Retrain without a trainer should error")
+	}
+	if err := s.Rebalance(); err != nil {
+		t.Fatalf("Rebalance without a trainer should work (identity codec): %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if !s.Insert(keys.Uint64(uint64(i)), uint64(i)) {
+			t.Fatal("insert failed")
+		}
+	}
+	if err := s.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := s.Get(keys.Uint64(uint64(i))); !ok || v != uint64(i) {
+			t.Fatalf("post-rebalance Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestAutoTuneFiresRetrain drives the full control loop at test scale: bulk
+// load epoch-0 keys (training the codec), then switch the write stream to
+// epoch-1 keys. The compression ratio decays and the skew detector sees the
+// new keys pile into the last shard; the tuner must fire a retrain (and/or
+// rebalance) autonomously — no manual reconfiguration calls.
+func TestAutoTuneFiresRetrain(t *testing.T) {
+	s := NewBTree(tuneCfg(4))
+	defer s.Close()
+	ks0 := keys.TimeSeriesKeys(0, 4000, 3)
+	entries := make([]index.Entry, len(ks0))
+	for i, k := range ks0 {
+		entries[i] = index.Entry{Key: k, Value: uint64(i)}
+	}
+	if err := s.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drift: every new write carries the rolled-over prefix.
+	rng := rand.New(rand.NewSource(4))
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 2000; i++ {
+			k := keys.TimeSeriesKey(1, uint64(rng.Int63n(400000)))
+			s.Insert(k, uint64(i))
+			s.Get(k)
+		}
+		h := s.Tuner().Health()
+		if h.Retrains+h.Rebalances >= 1 {
+			return // the control loop closed
+		}
+	}
+	t.Fatalf("tuner never fired under sustained drift: %+v", s.Tuner().Health())
+}

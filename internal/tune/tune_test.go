@@ -1,0 +1,200 @@
+package tune
+
+import (
+	"errors"
+	"testing"
+
+	"mets/internal/obs"
+)
+
+// tick drives n ticks.
+func tick(t *Tuner, n int) {
+	for i := 0; i < n; i++ {
+		t.Tick()
+	}
+}
+
+func TestTriggerHysteresis(t *testing.T) {
+	var tr trigger
+	// Needs 3 consecutive trips.
+	if tr.step(true, 3, 5) || tr.step(true, 3, 5) {
+		t.Fatal("fired before 3 consecutive trips")
+	}
+	if !tr.step(true, 3, 5) {
+		t.Fatal("did not fire on the 3rd consecutive trip")
+	}
+	// Cooldown: 5 ticks disarmed even while tripped.
+	for i := 0; i < 5; i++ {
+		if tr.step(true, 3, 5) {
+			t.Fatalf("fired during cooldown (tick %d)", i)
+		}
+	}
+	// A non-consecutive pattern never fires.
+	tr = trigger{}
+	for i := 0; i < 20; i++ {
+		if tr.step(i%3 != 2, 3, 5) && i%3 == 1 {
+			t.Fatal("fired on interrupted trip run")
+		}
+		if i%3 == 2 {
+			tr.trips = 0
+		}
+	}
+}
+
+// drive feeds one CPR window into the registry: src/enc bytes such that the
+// windowed ratio is `ratio` with enough volume to clear CPRMinBytes.
+func feedCPR(reg *obs.Registry, ratio float64) {
+	const enc = 1 << 20
+	reg.Counter("keycodec.enc_bytes").Add(enc)
+	reg.Counter("keycodec.src_bytes").Add(int64(ratio * enc))
+}
+
+func TestCPRStationaryNeverRetrains(t *testing.T) {
+	reg := obs.NewRegistry()
+	retrains := 0
+	tn := New(Config{Trips: 3, Cooldown: 5},
+		reg, Targets{RetrainCodec: func() error { retrains++; return nil }})
+	// A stationary workload with small ratio noise must never trip: the
+	// windows wobble around 3.0, far above the 0.85 decay threshold.
+	noise := []float64{3.0, 2.9, 3.1, 2.95, 3.05, 2.85, 3.0}
+	for i := 0; i < 200; i++ {
+		feedCPR(reg, noise[i%len(noise)])
+		tn.Tick()
+	}
+	if retrains != 0 {
+		t.Fatalf("stationary workload fired %d retrains", retrains)
+	}
+}
+
+func TestCPRDecayFiresOnceThenRebaselines(t *testing.T) {
+	reg := obs.NewRegistry()
+	retrains := 0
+	tn := New(Config{Trips: 3, Cooldown: 5},
+		reg, Targets{RetrainCodec: func() error { retrains++; return nil }})
+	for i := 0; i < 10; i++ { // establish a 3.0 baseline
+		feedCPR(reg, 3.0)
+		tn.Tick()
+	}
+	// Drift: the ratio collapses and stays collapsed (a stub retrain cannot
+	// actually restore it — exactly the flap hazard the baseline reset
+	// guards against).
+	for i := 0; i < 100; i++ {
+		feedCPR(reg, 1.2)
+		tn.Tick()
+	}
+	if retrains != 1 {
+		t.Fatalf("decay fired %d retrains, want exactly 1 (no flapping)", retrains)
+	}
+	if h := tn.Health(); h.Retrains != 1 || h.Ticks != 110 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestCPRBelowVolumeFloorIgnored(t *testing.T) {
+	reg := obs.NewRegistry()
+	retrains := 0
+	tn := New(Config{Trips: 2, Cooldown: 3},
+		reg, Targets{RetrainCodec: func() error { retrains++; return nil }})
+	for i := 0; i < 5; i++ {
+		feedCPR(reg, 3.0)
+		tn.Tick()
+	}
+	// Collapsed ratio but only a few bytes per tick: noise, not drift.
+	for i := 0; i < 50; i++ {
+		reg.Counter("keycodec.enc_bytes").Add(100)
+		reg.Counter("keycodec.src_bytes").Add(100)
+		tn.Tick()
+	}
+	if retrains != 0 {
+		t.Fatalf("sub-floor windows fired %d retrains", retrains)
+	}
+}
+
+// feedOps adds per-shard get deltas.
+func feedOps(reg *obs.Registry, perShard []int64) {
+	for i, d := range perShard {
+		reg.Sub("shard" + string(rune('0'+i)) + ".").Counter("get").Add(d)
+	}
+}
+
+func TestSkewFiresRebalanceWithHysteresis(t *testing.T) {
+	reg := obs.NewRegistry()
+	rebalances := 0
+	tn := New(Config{Trips: 3, Cooldown: 5, SkewMinOps: 1000, SkewRatio: 3},
+		reg, Targets{Rebalance: func() error { rebalances++; return nil }})
+	// Balanced load: never fires.
+	for i := 0; i < 20; i++ {
+		feedOps(reg, []int64{500, 500, 500, 500})
+		tn.Tick()
+	}
+	if rebalances != 0 {
+		t.Fatalf("balanced load fired %d rebalances", rebalances)
+	}
+	// All load on shard 3: skew = 4.0 >= 3 → fires after 3 consecutive
+	// trips, then holds through the cooldown.
+	fired := 0
+	for i := 0; i < 8; i++ {
+		feedOps(reg, []int64{0, 0, 0, 2000})
+		tn.Tick()
+		fired = rebalances
+		if i < 2 && fired != 0 {
+			t.Fatalf("fired after only %d skewed ticks", i+1)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("sustained skew fired %d rebalances in 8 ticks, want 1 (cooldown)", fired)
+	}
+}
+
+func TestMergeDebtNudges(t *testing.T) {
+	reg := obs.NewRegistry()
+	behind := 1.0
+	reg.Sub("shard0.").GaugeFunc("merge_behind", func() float64 { return behind })
+	nudged := 0
+	tn := New(Config{MergeBehindTicks: 3},
+		reg, Targets{NudgeMerges: func() int { nudged++; return 1 }})
+	tick(tn, 2)
+	if nudged != 0 {
+		t.Fatalf("nudged after only 2 behind ticks")
+	}
+	tick(tn, 1)
+	if nudged != 1 {
+		t.Fatalf("nudged %d times after 3 behind ticks, want 1", nudged)
+	}
+	behind = 0
+	tick(tn, 10)
+	if nudged != 1 {
+		t.Fatalf("nudged %d times with no debt", nudged)
+	}
+}
+
+func TestActionErrorCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	tn := New(Config{Trips: 1, Cooldown: 2},
+		reg, Targets{RetrainCodec: func() error { return errors.New("boom") }})
+	feedCPR(reg, 3.0)
+	tn.Tick()
+	for i := 0; i < 10; i++ {
+		feedCPR(reg, 1.0)
+		tn.Tick()
+	}
+	if h := tn.Health(); h.Errors == 0 || h.Retrains != 0 {
+		t.Fatalf("health = %+v, want errors counted and no retrains", h)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	tn := New(Config{}, reg, Targets{})
+	tn.Stop() // never started: no-op
+	tn.Start()
+	tn.Start()
+	if !tn.Health().Running {
+		t.Fatal("not running after Start")
+	}
+	tn.Stop()
+	tn.Stop()
+	if tn.Health().Running {
+		t.Fatal("running after Stop")
+	}
+}

@@ -372,11 +372,22 @@ func (r *memReader) ReadAt(p []byte, off int64) (int, error) {
 	if r.epoch != r.fs.epoch || r.fs.crashed {
 		return 0, ErrCrashed
 	}
-	all := r.f.view()
-	if off >= int64(len(all)) {
+	// Copy straight out of the synced/unsynced halves rather than
+	// materializing the whole file per call (view would): sequential
+	// fixed-size reads — the WAL replay pattern — stay O(file), not
+	// O(file²).
+	size := int64(len(r.f.synced)) + int64(len(r.f.unsynced))
+	if off >= size {
 		return 0, io.EOF
 	}
-	n := copy(p, all[off:])
+	n := 0
+	if off < int64(len(r.f.synced)) {
+		n = copy(p, r.f.synced[off:])
+	}
+	if n < len(p) {
+		uoff := off + int64(n) - int64(len(r.f.synced))
+		n += copy(p[n:], r.f.unsynced[uoff:])
+	}
 	if n < len(p) {
 		return n, io.EOF
 	}

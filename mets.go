@@ -29,8 +29,9 @@ import (
 	"mets/internal/lsm"
 	"mets/internal/obs"
 	"mets/internal/sharded"
-	"mets/internal/wal"
 	"mets/internal/surf"
+	"mets/internal/tune"
+	"mets/internal/wal"
 )
 
 // Entry is one key-value pair (values are 64-bit "tuple pointers").
@@ -138,6 +139,36 @@ var (
 	UniformRouter        = sharded.UniformRouter
 	RouterFromSample     = sharded.RouterFromSample
 )
+
+// --- Adaptive tuning -------------------------------------------------------
+
+// TuneConfig tunes the drift detectors and hysteresis of the background
+// controller; the zero value uses the production defaults. Set
+// ShardedConfig.AutoTune (with ShardedConfig.Tune to override knobs) and the
+// index runs a DriftTuner that watches its stats registry for compression
+// decay, per-shard load skew, and merge backlog, and repairs them in place —
+// codec retrain, shard rebalance, merge nudge — through the generation-swap
+// reconfiguration seam. See DESIGN.md "Control plane".
+type TuneConfig = tune.Config
+
+// DriftTuner is the background controller; reach it via ShardedIndex.Tuner.
+type DriftTuner = tune.Tuner
+
+// TunerHealth is a point-in-time controller summary (tick/action counts and
+// detector readings); read it with DriftTuner.Health.
+type TunerHealth = tune.Health
+
+// TuneTargets binds a standalone tuner to reconfiguration actions; only
+// needed when composing a custom controller with NewDriftTuner (the
+// ShardedConfig.AutoTune path wires these automatically).
+type TuneTargets = tune.Targets
+
+// NewDriftTuner composes a standalone controller over any stats registry —
+// for engines assembled from the layer packages directly. Call Start to run
+// it and Stop on shutdown.
+func NewDriftTuner(cfg TuneConfig, reg *StatsRegistry, targets TuneTargets) *DriftTuner {
+	return tune.New(cfg, reg, targets)
+}
 
 // --- HOPE ------------------------------------------------------------------
 
